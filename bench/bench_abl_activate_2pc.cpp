@@ -1,0 +1,57 @@
+// Ablation: the cost of activate()'s two-phase commit (paper S II-E).
+//
+// Claim to reproduce: "it does not incur any overhead if the group hasn't
+// changed when activate is called, and an overhead in the order of a second
+// when the group did change" (dominated by the abort + view refresh +
+// gossip-settling backoff).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "bench/colza_harness.hpp"
+
+int main() {
+  using namespace colza;
+  using namespace colza::bench;
+  headline("Ablation -- activate() 2PC cost, stable vs changed group",
+           "paper S II-E claim: free when stable, ~1 s when changed");
+
+  HarnessConfig cfg;
+  cfg.servers = 8;
+  cfg.servers_per_node = 4;
+  cfg.clients = 4;
+  cfg.pipeline_json = R"({"preset":"mandelbulb","width":32,"height":32})";
+
+  ColzaPipelineHarness harness(cfg);
+  auto& sim = harness.sim();
+
+  // Grow the area by one at iterations 4 and 8.
+  BeforeIteration before = [&](std::uint64_t iteration) {
+    if (iteration != 4 && iteration != 8) return;
+    harness.add_server(static_cast<net::NodeId>(50 + iteration));
+    sim.sleep_for(des::seconds(8));  // let the join and gossip land
+  };
+
+  auto gen = [&](int, std::uint64_t) {
+    return std::vector<std::pair<std::uint64_t, vis::DataSet>>{};
+  };
+  auto times = harness.run(12, gen, before);
+
+  Table table({"iteration", "group_changed", "activate_ms"});
+  double stable_sum = 0, changed_sum = 0;
+  int stable_n = 0, changed_n = 0;
+  std::size_t prev_servers = 8;
+  for (const auto& t : times) {
+    const bool changed = t.servers != prev_servers;
+    prev_servers = t.servers;
+    table.row({std::to_string(t.iteration), changed ? "yes" : "no",
+               fmt_ms(des::to_millis(t.activate))});
+    (changed ? changed_sum : stable_sum) += des::to_millis(t.activate);
+    (changed ? changed_n : stable_n) += 1;
+  }
+  table.print("abl_2pc");
+  std::printf("\nstable-group activate avg: %.3f ms; changed-group activate "
+              "avg: %.1f ms (%.0fx)\n",
+              stable_sum / stable_n, changed_sum / changed_n,
+              (changed_sum / changed_n) / (stable_sum / stable_n));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation: automatic resizing (paper S VI future work / S IV-B triggers).
+// Repeats the Fig 10 scenario -- Deep Water Impact with a growing mesh --
+// but instead of the paper's hand-written schedule, an AutoScaler watches
+// the per-iteration pipeline time and requests nodes when the median
+// exceeds the target. The shape to observe: execution time hugs the target
+// band instead of growing unboundedly, with join spikes like Fig 9/10.
+#include <cstdio>
+
+#include "apps/dwi_proxy.hpp"
+#include "bench/bench_util.hpp"
+#include "bench/colza_harness.hpp"
+#include "colza/autoscale.hpp"
+
+int main() {
+  using namespace colza;
+  using namespace colza::bench;
+  headline("Ablation -- automatic resizing on Deep Water Impact",
+           "AutoScaler vs static deployment (paper S VI future work)");
+
+  constexpr int kClients = 8;
+  constexpr int kIterations = 30;
+  apps::DwiParams params;
+  params.blocks = 64;
+  params.base_edge = 20;
+  params.growth_per_iteration = 4;
+
+  HarnessConfig cfg;
+  cfg.servers = 8;
+  cfg.servers_per_node = 8;
+  cfg.clients = kClients;
+  cfg.pipeline_json =
+      R"({"preset":"dwi","width":64,"height":64,"resample_dims":[24,24,24]})";
+
+  ColzaPipelineHarness harness(cfg);
+  auto& sim = harness.sim();
+
+  AutoScalePolicy policy;
+  policy.target_execute = des::milliseconds(4);
+  policy.window = 3;
+  policy.cooldown_iterations = 2;
+  policy.max_servers = 72;
+  AutoScaler scaler(policy);
+
+  // The scaler consumes each completed iteration's time; an "up" decision
+  // requests one more node (8 processes) before the next activate.
+  int next_node = 100;
+  bool scale_pending = false;
+  AfterIteration after = [&](const IterationTimes& t) {
+    if (scaler.observe(t.execute, t.servers) == ScaleDecision::up)
+      scale_pending = true;
+  };
+  BeforeIteration before = [&](std::uint64_t) {
+    if (!scale_pending) return;
+    scale_pending = false;
+    for (int i = 0; i < 8; ++i) {
+      harness.add_server(static_cast<net::NodeId>(next_node));
+    }
+    ++next_node;
+    sim.sleep_for(des::seconds(8));  // join + gossip settle
+  };
+
+  const std::uint32_t per_client = params.blocks / kClients;
+  auto gen = [&](int client, std::uint64_t iteration) {
+    std::vector<std::pair<std::uint64_t, vis::DataSet>> blocks;
+    for (std::uint32_t b = 0; b < per_client; ++b) {
+      const std::uint32_t id =
+          static_cast<std::uint32_t>(client) * per_client + b;
+      blocks.emplace_back(id, sim.charge_scoped([&] {
+        return vis::DataSet{
+            apps::dwi_block(params, static_cast<int>(iteration), id)};
+      }));
+    }
+    return blocks;
+  };
+
+  auto results = harness.run(kIterations, gen, before, after);
+
+  Table table({"iteration", "servers", "execute_ms"});
+  for (const auto& t : results) {
+    table.row({std::to_string(t.iteration), std::to_string(t.servers),
+               fmt_ms(des::to_millis(t.execute))});
+  }
+  table.print("abl_autoscale");
+  std::printf("\nfinal staging-area size: %zu (started at 8)\n",
+              results.back().servers);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation: collective algorithm choice in MoNA -- binomial-tree reduce vs
+// the linear (root-sequential) fallback, and bcast/allreduce scaling.
+// Quantifies why the OpenMPI fallback pathology of Table II is so costly and
+// documents the crossover behaviour of the implemented algorithms.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "des/simulation.hpp"
+#include "mona/mona.hpp"
+#include "net/network.hpp"
+
+namespace {
+
+using namespace colza;
+
+enum class Op { reduce_tree, reduce_linear, bcast, allreduce, barrier };
+
+double run_op(Op op, int nprocs, std::size_t bytes, int reps = 20) {
+  des::Simulation sim;
+  net::Network net(sim);
+  std::vector<net::Process*> procs;
+  std::vector<std::unique_ptr<mona::Instance>> insts;
+  std::vector<net::ProcId> addrs;
+  for (int i = 0; i < nprocs; ++i) {
+    auto& p = net.create_process(static_cast<net::NodeId>(i / 16));
+    procs.push_back(&p);
+    insts.push_back(std::make_unique<mona::Instance>(p));
+    addrs.push_back(p.id());
+  }
+  std::vector<std::shared_ptr<mona::Communicator>> comms;
+  for (int i = 0; i < nprocs; ++i) {
+    auto c = insts[static_cast<std::size_t>(i)]->comm_create(addrs);
+    c->policy.linear_fallback = (op == Op::reduce_linear);
+    c->policy.linear_threshold = 0;
+    comms.push_back(std::move(c));
+  }
+  des::Duration elapsed = 0;
+  const std::size_t count = bytes / 8;
+  for (int i = 0; i < nprocs; ++i) {
+    procs[static_cast<std::size_t>(i)]->spawn("rank", [&, i] {
+      auto& comm = *comms[static_cast<std::size_t>(i)];
+      std::vector<std::uint64_t> in(count, 1), out(count);
+      std::span<const std::byte> is{
+          reinterpret_cast<const std::byte*>(in.data()), bytes};
+      std::span<std::byte> os{reinterpret_cast<std::byte*>(out.data()), bytes};
+      std::span<std::byte> data{reinterpret_cast<std::byte*>(in.data()),
+                                bytes};
+      const auto sum = mona::op_sum<std::uint64_t>();
+      const des::Time t0 = sim.now();
+      for (int r = 0; r < reps; ++r) {
+        switch (op) {
+          case Op::reduce_tree:
+          case Op::reduce_linear:
+            comm.reduce(is, os, count, sum, 0).check();
+            break;
+          case Op::bcast: comm.bcast(data, 0).check(); break;
+          case Op::allreduce: comm.allreduce(is, os, count, sum).check(); break;
+          case Op::barrier: comm.barrier().check(); break;
+        }
+      }
+      comm.barrier().check();
+      if (i == 0) elapsed = sim.now() - t0;
+    });
+  }
+  sim.run();
+  return des::to_millis(elapsed) / reps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace colza::bench;
+  headline("Ablation -- MoNA collective algorithms",
+           "per-op cost (ms) of tree vs linear reduce, bcast, allreduce, "
+           "barrier vs #procs (design-choice ablation, DESIGN.md)");
+
+  constexpr std::size_t kBytes = 16 * 1024;
+  Table table({"procs", "reduce_tree_ms", "reduce_linear_ms", "linear_over_tree",
+               "bcast_ms", "allreduce_ms", "barrier_ms"});
+  for (int n : {4, 8, 16, 32, 64, 128, 256}) {
+    const double tree = run_op(Op::reduce_tree, n, kBytes);
+    const double linear = run_op(Op::reduce_linear, n, kBytes);
+    table.row({std::to_string(n), fmt_ms(tree), fmt_ms(linear),
+               fmt("%.1fx", linear / tree),
+               fmt_ms(run_op(Op::bcast, n, kBytes)),
+               fmt_ms(run_op(Op::allreduce, n, kBytes)),
+               fmt_ms(run_op(Op::barrier, n, 8))});
+  }
+  table.print("abl_coll");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation: SSG gossip parameters vs elastic resize latency. The paper
+// (S II-E) notes the activate/resize overhead "depends on SSG's
+// configuration parameters such as how frequently information is exchanged
+// across members". This bench measures join-propagation time as a function
+// of the SWIM probe period and group size.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "des/simulation.hpp"
+#include "net/network.hpp"
+#include "rpc/engine.hpp"
+#include "ssg/ssg.hpp"
+
+namespace {
+
+using namespace colza;
+
+double join_propagation_s(int group_size, des::Duration probe_period,
+                          std::uint64_t seed) {
+  des::Simulation sim(des::SimConfig{.seed = seed});
+  net::Network net(sim);
+  ssg::SwimConfig cfg;
+  cfg.probe_period = probe_period;
+  cfg.probe_timeout = probe_period / 3;
+  cfg.suspicion_timeout = 4 * probe_period;
+  ssg::Bootstrap bootstrap;
+  std::vector<net::Process*> procs;
+  std::vector<std::unique_ptr<rpc::Engine>> engines;
+  std::vector<std::unique_ptr<ssg::Group>> groups;
+  std::vector<net::ProcId> addrs;
+  for (int i = 0; i < group_size; ++i) {
+    auto& p = net.create_process(static_cast<net::NodeId>(i));
+    procs.push_back(&p);
+    engines.push_back(std::make_unique<rpc::Engine>(p, net::Profile::mona()));
+    addrs.push_back(p.id());
+  }
+  for (int i = 0; i < group_size; ++i) {
+    groups.push_back(std::make_unique<ssg::Group>(
+        *engines[static_cast<std::size_t>(i)], cfg, addrs, &bootstrap));
+  }
+  sim.run_until(des::seconds(5));
+
+  // Join one member and measure until every member's view includes it.
+  auto& joiner_proc = net.create_process(static_cast<net::NodeId>(group_size));
+  auto joiner_engine =
+      std::make_unique<rpc::Engine>(joiner_proc, net::Profile::mona());
+  const des::Time start = sim.now();
+  joiner_proc.spawn("joiner", [&] {
+    auto g = ssg::Group::join(*joiner_engine, cfg, bootstrap.contacts(),
+                              &bootstrap);
+    g.status().check();
+    groups.push_back(std::move(*g));
+  });
+  for (des::Time t = start; t < start + des::seconds(300);
+       t += des::milliseconds(50)) {
+    sim.run_until(t);
+    bool all = groups.size() == static_cast<std::size_t>(group_size) + 1;
+    for (const auto& g : groups) {
+      all = all && g->size() == static_cast<std::size_t>(group_size) + 1;
+    }
+    if (all) return des::to_seconds(sim.now() - start);
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace colza::bench;
+  headline("Ablation -- SSG gossip period vs join propagation",
+           "paper S II-E: resize overhead depends on gossip frequency");
+
+  Table table({"group_size", "period_s", "propagation_s"});
+  for (int n : {4, 8, 16, 32}) {
+    for (double period : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      const double t = join_propagation_s(
+          n, des::from_seconds(period),
+          static_cast<std::uint64_t>(n * 100) + static_cast<std::uint64_t>(period * 4));
+      table.row({std::to_string(n), fmt("%.2f", period), fmt("%.2f", t)});
+    }
+  }
+  table.print("abl_ssg");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark) for the runtime substrate itself:
+// fiber switching, sync primitives, the RPC engine, serialization, and the
+// visualization kernels. These measure HOST wall time (how fast the
+// simulator itself runs), not virtual time.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/mandelbulb.hpp"
+#include "common/archive.hpp"
+#include "des/simulation.hpp"
+#include "des/sync.hpp"
+#include "net/network.hpp"
+#include "render/render.hpp"
+#include "rpc/engine.hpp"
+#include "vis/filters.hpp"
+
+namespace {
+
+using namespace colza;
+
+void BM_FiberSpawnAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulation sim;
+    for (int i = 0; i < 100; ++i) sim.spawn("f", [] {});
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FiberSpawnAndRun);
+
+void BM_FiberContextSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulation sim;
+    sim.spawn("yielder", [&sim] {
+      for (int i = 0; i < 1000; ++i) sim.yield();
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);  // 2 switches per yield
+}
+BENCHMARK(BM_FiberContextSwitch);
+
+void BM_MutexLockUnlock(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulation sim;
+    sim.spawn("locker", [&sim] {
+      des::Mutex m(sim);
+      for (int i = 0; i < 1000; ++i) {
+        m.lock();
+        m.unlock();
+      }
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MutexLockUnlock);
+
+void BM_RpcRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulation sim;
+    net::Network net(sim);
+    auto& ps = net.create_process(0);
+    auto& pc = net.create_process(1);
+    rpc::Engine server(ps, net::Profile::mona());
+    rpc::Engine client(pc, net::Profile::mona());
+    server.define("echo", [](const rpc::RequestInfo&, InArchive& in,
+                             OutArchive& out) {
+      std::int32_t v = 0;
+      in.load(v);
+      out.save(v);
+      return Status::Ok();
+    });
+    pc.spawn("caller", [&] {
+      for (int i = 0; i < 100; ++i) {
+        auto r = client.call<std::int32_t>(server.self(), "echo",
+                                           std::int32_t{i});
+        benchmark::DoNotOptimize(r);
+      }
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_RpcRoundTrip);
+
+void BM_SerializeDataset(benchmark::State& state) {
+  vis::UniformGrid g;
+  g.dims = {32, 32, 32};
+  g.point_data.add(vis::DataArray::make<float>(
+      "f", std::vector<float>(g.point_count(), 1.5f)));
+  const vis::DataSet ds{g};
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto blob = vis::serialize_dataset(ds);
+    bytes += blob.size();
+    auto back = vis::deserialize_dataset(blob);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SerializeDataset);
+
+void BM_MarchingTetrahedra(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  vis::UniformGrid g;
+  g.dims = {n, n, n};
+  std::vector<float> f(g.point_count());
+  const vis::Vec3 c{static_cast<float>(n) / 2, static_cast<float>(n) / 2,
+                    static_cast<float>(n) / 2};
+  for (std::uint32_t k = 0; k < n; ++k)
+    for (std::uint32_t j = 0; j < n; ++j)
+      for (std::uint32_t i = 0; i < n; ++i)
+        f[g.point_index(i, j, k)] = (g.point(i, j, k) - c).norm();
+  g.point_data.add(vis::DataArray::make<float>("d", f));
+  for (auto _ : state) {
+    auto mesh = vis::isosurface(g, "d", static_cast<float>(n) / 3);
+    benchmark::DoNotOptimize(mesh);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.cell_count()));
+}
+BENCHMARK(BM_MarchingTetrahedra)->Arg(16)->Arg(32);
+
+void BM_Rasterize(benchmark::State& state) {
+  vis::UniformGrid g;
+  g.dims = {24, 24, 24};
+  std::vector<float> f(g.point_count());
+  for (std::uint32_t k = 0; k < 24; ++k)
+    for (std::uint32_t j = 0; j < 24; ++j)
+      for (std::uint32_t i = 0; i < 24; ++i)
+        f[g.point_index(i, j, k)] =
+            (g.point(i, j, k) - vis::Vec3{12, 12, 12}).norm();
+  g.point_data.add(vis::DataArray::make<float>("d", f));
+  const auto mesh = vis::isosurface(g, "d", 8.0f);
+  const render::Camera cam = render::Camera::framing(mesh.bounds());
+  render::FrameBuffer fb(256, 256);
+  for (auto _ : state) {
+    fb.clear();
+    render::rasterize(fb, mesh, cam,
+                      render::ColorMap{render::ColorMapKind::viridis, 0, 24});
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(mesh.triangle_count()));
+}
+BENCHMARK(BM_Rasterize);
+
+void BM_MandelbulbBlock(benchmark::State& state) {
+  apps::MandelbulbParams p;
+  p.nx = p.ny = p.nz = 16;
+  p.total_blocks = 4;
+  for (auto _ : state) {
+    auto block = apps::mandelbulb_block(p, 1);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * 16);
+}
+BENCHMARK(BM_MandelbulbBlock);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Table I: time (in milliseconds) to complete 1000 send/recv operations
+// using Cray-mpich, OpenMPI, MoNA, and NA, as a function of message size.
+//
+// Two processes on distinct nodes run a ping-pong; the reported value is the
+// per-direction cost x 1000 (total round-trip time / 2), matching the
+// paper's measurement. The NA column only exists for small messages, as in
+// the paper (raw NA has no large-message path in the benchmark).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/units.hpp"
+#include "des/simulation.hpp"
+#include "mona/mona.hpp"
+#include "net/network.hpp"
+
+namespace {
+
+using namespace colza;
+
+double pingpong_ms(const net::Profile& profile, std::size_t bytes, int reps) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pa = net.create_process(0);
+  auto& pb = net.create_process(1);
+  mona::Instance ia(pa, profile), ib(pb, profile);
+  des::Duration elapsed = 0;
+  pa.spawn("ping", [&] {
+    std::vector<std::byte> buf(bytes);
+    const des::Time t0 = sim.now();
+    for (int i = 0; i < reps; ++i) {
+      ia.send(buf, pb.id(), 1).check();
+      ia.recv(buf, pb.id(), 2).check();
+    }
+    elapsed = sim.now() - t0;
+  });
+  pb.spawn("pong", [&] {
+    std::vector<std::byte> buf(bytes);
+    for (int i = 0; i < reps; ++i) {
+      ib.recv(buf, pa.id(), 1).check();
+      ib.send(buf, pa.id(), 2).check();
+    }
+  });
+  sim.run();
+  // Per-direction total for 1000 ops.
+  return des::to_millis(elapsed) / 2.0 * (1000.0 / reps);
+}
+
+}  // namespace
+
+int main() {
+  using namespace colza::bench;
+  headline("Table I -- point-to-point latency",
+           "time (ms) to complete 1000 send/recv operations (paper Table I)");
+  note("paper values (Cori): cray 1.163..56.371, openmpi 1.527..109.472, "
+       "mona 1.924..72.69, na 2.103..2.766 (small msgs only)");
+
+  const std::vector<std::size_t> sizes{8,         128,       2048,
+                                       16 * 1024, 32 * 1024, 512 * 1024};
+  Table table({"size", "cray-mpich", "openmpi", "mona", "na"});
+  for (std::size_t size : sizes) {
+    const int reps = size >= 16 * 1024 ? 200 : 1000;
+    std::vector<std::string> row{format_size(size)};
+    row.push_back(
+        fmt_ms(pingpong_ms(net::Profile::cray_mpich(), size, reps)));
+    row.push_back(fmt_ms(pingpong_ms(net::Profile::openmpi(), size, reps)));
+    row.push_back(fmt_ms(pingpong_ms(net::Profile::mona(), size, reps)));
+    if (size <= 2048) {
+      row.push_back(fmt_ms(pingpong_ms(net::Profile::na(), size, reps)));
+    } else {
+      row.push_back("-");
+    }
+    table.row(row);
+  }
+  table.print("tab1");
+  return 0;
+}

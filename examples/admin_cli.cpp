@@ -1,0 +1,64 @@
+// Admin walkthrough: exercises the separate admin library the way an
+// external operator tool would (paper S II-B) -- listing and managing
+// pipelines, inspecting the membership, and requesting a server to leave.
+#include <cstdio>
+
+#include "colza/admin.hpp"
+#include "colza/client.hpp"
+#include "colza/deploy.hpp"
+#include "des/simulation.hpp"
+#include "net/network.hpp"
+
+using namespace colza;
+
+int main() {
+  des::Simulation sim;
+  net::Network net(sim);
+  StagingArea area(net, ServerConfig{});
+  area.launch_initial(3, /*base_node=*/10);
+  sim.run_until(des::seconds(30));
+
+  auto& tool_proc = net.create_process(0);
+  rpc::Engine tool(tool_proc, net::Profile::mona());
+
+  tool_proc.spawn("admin-tool", [&] {
+    Admin admin(tool);
+    const auto servers = area.alive_addresses();
+    std::printf("staging area members:");
+    for (net::ProcId s : servers) std::printf(" %s", net::to_string(s).c_str());
+    std::printf("\n");
+
+    // Deploy two pipelines on every server, each with its own JSON config.
+    for (net::ProcId s : servers) {
+      admin.create_pipeline(s, "iso", "catalyst",
+                            R"({"mode":"isosurface","field":"v"})")
+          .check();
+      admin.create_pipeline(s, "vol", "catalyst",
+                            R"({"mode":"volume","field":"rho"})")
+          .check();
+    }
+    auto names = admin.list_pipelines(servers[0]);
+    names.status().check();
+    std::printf("pipelines on %s:", net::to_string(servers[0]).c_str());
+    for (const auto& n : *names) std::printf(" %s", n.c_str());
+    std::printf("\n");
+
+    // Error handling: duplicate names and unknown types are rejected.
+    auto dup = admin.create_pipeline(servers[0], "iso", "catalyst");
+    std::printf("re-creating 'iso': %s\n", dup.to_string().c_str());
+    auto bad = admin.create_pipeline(servers[0], "x", "no-such-type");
+    std::printf("unknown type: %s\n", bad.to_string().c_str());
+
+    // Tear one pipeline down everywhere.
+    for (net::ProcId s : servers) admin.destroy_pipeline(s, "vol").check();
+
+    // Scale down: ask the last server to leave, then watch the view shrink.
+    std::printf("requesting %s to leave...\n",
+                net::to_string(servers.back()).c_str());
+    admin.request_leave(servers.back()).check();
+    sim.sleep_for(des::seconds(12));
+    std::printf("alive servers now: %zu\n", area.alive_count());
+  });
+  sim.run();
+  return 0;
+}

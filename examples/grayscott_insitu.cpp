@@ -1,0 +1,97 @@
+// Gray-Scott in situ: a 4-rank reaction-diffusion simulation (real stencil
+// solver with halo exchange over its own MoNA communicator) coupled to a
+// 2-server Colza staging area running the paper's Gray-Scott pipeline
+// (multi-level isosurfaces + clip, Fig 3a). Writes one image per staged
+// iteration to /tmp/colza_grayscott_<iter>.ppm.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/gray_scott.hpp"
+#include "colza/admin.hpp"
+#include "colza/client.hpp"
+#include "colza/deploy.hpp"
+#include "des/simulation.hpp"
+#include "net/network.hpp"
+
+using namespace colza;
+
+int main() {
+  constexpr int kRanks = 4;
+  constexpr int kIterations = 8;
+
+  des::Simulation sim;
+  net::Network net(sim);
+
+  StagingArea area(net, ServerConfig{});
+  area.launch_initial(2, /*base_node=*/10);
+  sim.run_until(des::seconds(30));
+
+  // Simulation ranks with their own communicator (their "MPI world").
+  std::vector<net::Process*> procs;
+  std::vector<std::unique_ptr<mona::Instance>> insts;
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<net::ProcId> addrs;
+  for (int r = 0; r < kRanks; ++r) {
+    auto& p = net.create_process(static_cast<net::NodeId>(r / 4));
+    procs.push_back(&p);
+    insts.push_back(std::make_unique<mona::Instance>(p));
+    clients.push_back(std::make_unique<Client>(p));
+    addrs.push_back(p.id());
+  }
+  std::vector<std::shared_ptr<mona::Communicator>> world;
+  for (int r = 0; r < kRanks; ++r)
+    world.push_back(insts[static_cast<std::size_t>(r)]->comm_create(addrs));
+
+  apps::GrayScott::Params params;
+  params.n = 48;
+  params.steps_per_iteration = 40;
+
+  for (int r = 0; r < kRanks; ++r) {
+    procs[static_cast<std::size_t>(r)]->spawn("gs-rank", [&, r] {
+      auto& comm = *world[static_cast<std::size_t>(r)];
+      if (r == 0) {
+        Admin admin(clients[0]->engine());
+        const char* config = R"({
+          "preset": "gray-scott", "width": 256, "height": 256,
+          "save_path": "/tmp/colza_grayscott_{}.ppm"
+        })";
+        for (net::ProcId server : area.alive_addresses()) {
+          admin.create_pipeline(server, "gs", "catalyst", config).check();
+        }
+      }
+      comm.barrier().check();
+
+      auto handle = DistributedPipelineHandle::lookup(
+          *clients[static_cast<std::size_t>(r)], area.bootstrap().contacts(),
+          "gs");
+      handle.status().check();
+
+      apps::GrayScott solver(params, r, kRanks);
+      for (int iter = 1; iter <= kIterations; ++iter) {
+        solver.step(&comm).check();  // real solver steps + halo exchange
+        const auto it = static_cast<std::uint64_t>(iter);
+        comm.barrier().check();
+        if (r == 0) handle->activate(it).check();
+        comm.barrier().check();
+        if (r != 0) {
+          (void)handle->refresh_view();  // simple view sync for the example
+        }
+        handle->stage(it, static_cast<std::uint64_t>(r),
+                      vis::DataSet{solver.block()})
+            .check();
+        comm.barrier().check();
+        if (r == 0) {
+          handle->execute(it).check();
+          handle->deactivate(it).check();
+          std::printf("iteration %d rendered (virtual t=%.2f s)\n", iter,
+                      des::to_seconds(sim.now()));
+        }
+        comm.barrier().check();
+      }
+    });
+  }
+  sim.run();
+  std::printf("wrote /tmp/colza_grayscott_{1..%d}.ppm\n", kIterations);
+  return 0;
+}

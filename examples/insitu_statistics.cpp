@@ -1,0 +1,101 @@
+// Two pipelines on one staging area: the same staged Gray-Scott data feeds
+// BOTH a rendering pipeline ("catalyst") and a statistics pipeline
+// ("histogram"). This is the paper's late-binding story (S II-B): "deploy
+// the staging area without any pipeline to begin with, and later decide
+// which pipelines to load and execute based on what they see happening" --
+// here the histogram pipeline is added mid-run, once the rendering shows
+// structure emerging.
+#include <cstdio>
+
+#include "apps/gray_scott.hpp"
+#include "colza/admin.hpp"
+#include "colza/client.hpp"
+#include "colza/deploy.hpp"
+#include "des/simulation.hpp"
+#include "net/network.hpp"
+
+using namespace colza;
+
+int main() {
+  constexpr int kIterations = 8;
+
+  des::Simulation sim;
+  net::Network net(sim);
+  StagingArea area(net, ServerConfig{});
+  area.launch_initial(2, 10);
+  sim.run_until(des::seconds(30));
+
+  auto& proc = net.create_process(0);
+  Client client(proc);
+
+  proc.spawn("app", [&] {
+    Admin admin(client.engine());
+    // Start with only the rendering pipeline deployed.
+    for (net::ProcId s : area.alive_addresses()) {
+      admin
+          .create_pipeline(s, "render", "catalyst",
+                           R"({"preset":"gray-scott","width":128,"height":128})")
+          .check();
+    }
+    auto render = DistributedPipelineHandle::lookup(
+        client, area.bootstrap().contacts(), "render");
+    render.status().check();
+
+    apps::GrayScott3D::Params params;
+    params.n = 32;
+    params.steps_per_iteration = 30;
+    apps::GrayScott3D solver(params, 0, 1);
+
+    DistributedPipelineHandle* hist_handle = nullptr;
+    std::optional<DistributedPipelineHandle> hist;
+
+    for (int iter = 1; iter <= kIterations; ++iter) {
+      solver.step(nullptr).check();
+      const auto it = static_cast<std::uint64_t>(iter);
+      const vis::DataSet block{solver.block()};
+
+      // The operator decides mid-run that statistics are worth collecting.
+      if (iter == 4) {
+        std::printf("-- iteration %d: deploying the histogram pipeline\n",
+                    iter);
+        for (net::ProcId s : area.alive_addresses()) {
+          admin
+              .create_pipeline(
+                  s, "stats", "histogram",
+                  R"({"field":"v","bins":10,"range_lo":0,"range_hi":0.5})")
+              .check();
+        }
+        hist = *DistributedPipelineHandle::lookup(
+            client, area.bootstrap().contacts(), "stats");
+        hist_handle = &*hist;
+      }
+
+      // Drive both pipelines over the same data.
+      render->activate(it).check();
+      render->stage(it, 0, block).check();
+      render->execute(it).check();
+      render->deactivate(it).check();
+
+      if (hist_handle != nullptr) {
+        hist_handle->activate(it).check();
+        hist_handle->stage(it, 0, block).check();
+        hist_handle->execute(it).check();
+        hist_handle->deactivate(it).check();
+
+        auto stats = admin.get_stats(hist_handle->view()[0], "stats");
+        stats.status().check();
+        const auto& rec = stats->find("iterations")->as_array().back();
+        std::printf("iter %d: v in [%.3f, %.3f], histogram:", iter,
+                    rec.number_or("min", 0), rec.number_or("max", 0));
+        for (const auto& c : rec.find("counts")->as_array()) {
+          std::printf(" %g", c.as_number());
+        }
+        std::printf("\n");
+      } else {
+        std::printf("iter %d: rendered only\n", iter);
+      }
+    }
+  });
+  sim.run();
+  return 0;
+}

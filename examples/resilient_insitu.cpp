@@ -1,0 +1,107 @@
+// Resilience + autoscaling walkthrough: the two future-work features from
+// the paper's conclusion running together.
+//
+//  * run_resilient_iteration() transparently recovers when a Colza server
+//    crashes mid-iteration (SWIM detects the death, survivors revoke the
+//    frozen communicator ULFM-style, the client re-runs the iteration on
+//    the survivors);
+//  * AutoScaler then notices the smaller staging area is too slow for the
+//    growing Deep Water Impact mesh and requests replacement nodes.
+#include <cstdio>
+
+#include "apps/dwi_proxy.hpp"
+#include "colza/admin.hpp"
+#include "colza/autoscale.hpp"
+#include "colza/client.hpp"
+#include "colza/deploy.hpp"
+#include "colza/fault.hpp"
+#include "des/simulation.hpp"
+#include "net/network.hpp"
+
+using namespace colza;
+
+int main() {
+  constexpr int kIterations = 10;
+
+  des::Simulation sim;
+  net::Network net(sim);
+  StagingArea area(net, ServerConfig{});
+  area.launch_initial(4, /*base_node=*/10);
+  sim.run_until(des::seconds(30));
+
+  apps::DwiParams params;
+  params.blocks = 16;
+  params.base_edge = 24;
+  params.growth_per_iteration = 5;
+  params.total_iterations = kIterations;
+
+  const char* config =
+      R"({"preset":"dwi","width":128,"height":128,"resample_dims":[24,24,24]})";
+
+  auto& client_proc = net.create_process(0);
+  Client client(client_proc);
+
+  // Crash one server, out of the blue, in the middle of iteration 4.
+  sim.schedule_at(des::seconds(34), [&] {
+    std::printf("!!! killing server %s (unplanned)\n",
+                net::to_string(area.servers()[1]->address()).c_str());
+    area.servers()[1]->process().kill();
+  });
+
+  client_proc.spawn("app", [&] {
+    Admin admin(client.engine());
+    for (net::ProcId s : area.alive_addresses()) {
+      admin.create_pipeline(s, "dwi", "catalyst", config).check();
+    }
+    auto handle = DistributedPipelineHandle::lookup(
+        client, area.bootstrap().contacts(), "dwi");
+    handle.status().check();
+
+    AutoScalePolicy policy;
+    policy.target_execute = des::milliseconds(30);
+    policy.window = 2;
+    AutoScaler scaler(policy);
+    int next_node = 100;
+
+    for (int iter = 1; iter <= kIterations; ++iter) {
+      // Pre-generate and serialize this iteration's blocks, so a recovery
+      // can re-stage them without recomputation.
+      std::vector<IterationBlock> blocks;
+      for (std::uint32_t b = 0; b < params.blocks; ++b) {
+        blocks.emplace_back(
+            b, sim.charge_scoped([&] {
+              return vis::serialize_dataset(
+                  vis::DataSet{apps::dwi_block(params, iter, b)});
+            }));
+      }
+      const des::Time t0 = sim.now();
+      Status s =
+          run_resilient_iteration(*handle, static_cast<std::uint64_t>(iter),
+                                  blocks);
+      s.check();
+      const des::Duration exec = sim.now() - t0;
+      std::printf("iter %2d: %zu servers, iteration %.3f s\n", iter,
+                  handle->server_count(), des::to_seconds(exec));
+
+      switch (scaler.observe(exec, handle->server_count())) {
+        case ScaleDecision::up:
+          std::printf("  autoscaler: requesting one more node\n");
+          area.launch_one(static_cast<net::NodeId>(next_node++),
+                          [&](Server& srv) {
+                            srv.create_pipeline("dwi", "catalyst", config)
+                                .check();
+                          });
+          sim.sleep_for(des::seconds(8));
+          break;
+        case ScaleDecision::down:
+          std::printf("  autoscaler: releasing one node\n");
+          admin.request_leave(handle->view().back()).check();
+          sim.sleep_for(des::seconds(8));
+          break;
+        case ScaleDecision::hold: break;
+      }
+    }
+  });
+  sim.run();
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "apps/dwi_proxy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace colza::apps {
+
+namespace {
+
+struct Splash {
+  float shell_radius;  // expanding crown radius
+  float shell_width;
+  float column_height;
+  float column_radius;
+  float noise_phase;
+};
+
+Splash splash_at(const DwiParams& params, int iteration) {
+  const float t = static_cast<float>(iteration);
+  Splash s;
+  s.shell_radius = 0.12f + 0.022f * t;
+  s.shell_width = 0.10f + 0.004f * t;
+  s.column_height = std::min(0.85f, 0.05f + 0.03f * t);
+  s.column_radius = 0.10f + 0.004f * t;
+  s.noise_phase = static_cast<float>(params.seed % 997) * 0.37f;
+  return s;
+}
+
+// Cheap deterministic directional noise in [-1, 1].
+float dir_noise(float x, float y, float z, float phase) {
+  return std::sin(13.1f * x + 17.7f * y + 9.3f * z + phase) *
+         std::cos(7.3f * x - 5.1f * y + 11.9f * z - phase);
+}
+
+bool inside_splash(const Splash& s, float x, float y, float z) {
+  const float r = std::sqrt(x * x + y * y + z * z);
+  const float wiggle = 1.0f + 0.35f * dir_noise(x / (r + 1e-6f),
+                                                y / (r + 1e-6f),
+                                                z / (r + 1e-6f), s.noise_phase);
+  if (std::abs(r - s.shell_radius) < s.shell_width * wiggle * 0.5f &&
+      r <= 1.0f)
+    return true;
+  // Rising central column.
+  const float rho = std::sqrt(x * x + y * y);
+  return rho < s.column_radius && z >= 0.0f && z <= s.column_height;
+}
+
+float velocity_at(const Splash& s, float x, float y, float z) {
+  const float r = std::sqrt(x * x + y * y + z * z) + 1e-6f;
+  const float radial = std::min(1.0f, 0.4f + 0.8f * r / (s.shell_radius + 0.1f));
+  return radial * (1.0f + 0.25f * dir_noise(x, y, z, s.noise_phase));
+}
+
+std::uint32_t lattice_edge(const DwiParams& params, int iteration) {
+  return params.base_edge +
+         params.growth_per_iteration * static_cast<std::uint32_t>(iteration);
+}
+
+}  // namespace
+
+std::size_t dwi_expected_cells(const DwiParams& params, int iteration) {
+  const std::uint32_t edge = lattice_edge(params, iteration);
+  const Splash s = splash_at(params, iteration);
+  const float h = 2.0f / static_cast<float>(edge - 1);
+  std::size_t count = 0;
+  for (std::uint32_t k = 0; k + 1 < edge; ++k) {
+    const float z = -1.0f + h * (static_cast<float>(k) + 0.5f);
+    for (std::uint32_t j = 0; j + 1 < edge; ++j) {
+      const float y = -1.0f + h * (static_cast<float>(j) + 0.5f);
+      for (std::uint32_t i = 0; i + 1 < edge; ++i) {
+        const float x = -1.0f + h * (static_cast<float>(i) + 0.5f);
+        count += inside_splash(s, x, y, z) ? 1 : 0;
+      }
+    }
+  }
+  return count;
+}
+
+std::size_t dwi_expected_bytes(const DwiParams& params, int iteration) {
+  // Per hex cell: 8 x u32 connectivity + u32 offset + u8 type + f32 field,
+  // plus roughly 1.1 shared lattice points x 12 B. ~= 55 B / cell.
+  return dwi_expected_cells(params, iteration) * 55;
+}
+
+vis::UnstructuredGrid dwi_block(const DwiParams& params, int iteration,
+                                std::uint32_t block_id) {
+  if (iteration < 1 || iteration > params.total_iterations)
+    throw std::invalid_argument("dwi_block: iteration out of range");
+  if (block_id >= params.blocks)
+    throw std::invalid_argument("dwi_block: block_id out of range");
+
+  const std::uint32_t edge = lattice_edge(params, iteration);
+  const Splash s = splash_at(params, iteration);
+  const float h = 2.0f / static_cast<float>(edge - 1);
+
+  // This block owns lattice cell layers [k0, k1).
+  const std::uint32_t layers = edge - 1;
+  const std::uint32_t per =
+      (layers + params.blocks - 1) / params.blocks;
+  const std::uint32_t k0 = std::min(block_id * per, layers);
+  const std::uint32_t k1 = std::min(k0 + per, layers);
+
+  vis::UnstructuredGrid g;
+  std::unordered_map<std::uint64_t, std::uint32_t> point_ids;
+  std::vector<float> velocities;
+
+  auto point_id = [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(k) * edge + j) * edge + i;
+    auto it = point_ids.find(key);
+    if (it != point_ids.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(g.points.size());
+    g.points.push_back({-1.0f + h * static_cast<float>(i),
+                        -1.0f + h * static_cast<float>(j),
+                        -1.0f + h * static_cast<float>(k)});
+    point_ids.emplace(key, id);
+    return id;
+  };
+
+  for (std::uint32_t k = k0; k < k1; ++k) {
+    const float z = -1.0f + h * (static_cast<float>(k) + 0.5f);
+    for (std::uint32_t j = 0; j + 1 < edge; ++j) {
+      const float y = -1.0f + h * (static_cast<float>(j) + 0.5f);
+      for (std::uint32_t i = 0; i + 1 < edge; ++i) {
+        const float x = -1.0f + h * (static_cast<float>(i) + 0.5f);
+        if (!inside_splash(s, x, y, z)) continue;
+        // VTK hexahedron ordering: bottom quad CCW, then top quad.
+        const std::uint32_t verts[8] = {
+            point_id(i, j, k),         point_id(i + 1, j, k),
+            point_id(i + 1, j + 1, k), point_id(i, j + 1, k),
+            point_id(i, j, k + 1),     point_id(i + 1, j, k + 1),
+            point_id(i + 1, j + 1, k + 1), point_id(i, j + 1, k + 1)};
+        g.add_cell(vis::CellType::hexahedron, verts);
+        velocities.push_back(velocity_at(s, x, y, z));
+      }
+    }
+  }
+  g.cell_data.add(vis::DataArray::make<float>("v02", velocities));
+  return g;
+}
+
+}  // namespace colza::apps

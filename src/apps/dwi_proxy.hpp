@@ -1,0 +1,45 @@
+// Deep Water Impact proxy (paper S III-A): a synthetic stand-in for the
+// LANL Deep Water Impact Ensemble Dataset. The real dataset (512 VTU files
+// per iteration, ~470M cells / ~28 GiB near the end) is not available here;
+// what every experiment that uses it needs is an unstructured mesh whose
+// cell count and rendering complexity GROW with the iteration number
+// (Fig 1a) -- that growth is what makes elasticity pay off in Fig 10.
+//
+// The proxy meshes an expanding, noise-perturbed "crown splash": a spherical
+// shell plus a rising central column, voxelized on a lattice whose
+// resolution grows with the iteration, with hexahedral cells carrying a
+// velocity-magnitude field ("v02", the field the paper colors by).
+#pragma once
+
+#include <cstdint>
+
+#include "vis/data.hpp"
+
+namespace colza::apps {
+
+struct DwiParams {
+  int total_iterations = 30;   // the paper uses 30 renumbered snapshots
+  std::uint32_t blocks = 512;  // "files" per iteration, split along z
+  // Lattice resolution ramp: edge(t) = base + growth * t (points per axis).
+  std::uint32_t base_edge = 24;
+  std::uint32_t growth_per_iteration = 3;
+  std::uint64_t seed = 1234;
+};
+
+// Expected global cell count at `iteration` (1-based), i.e. the proxy's
+// Fig 1a growth curve.
+[[nodiscard]] std::size_t dwi_expected_cells(const DwiParams& params,
+                                             int iteration);
+
+// Approximate serialized size in bytes of the full iteration (the proxy's
+// Fig 1a "file size" curve).
+[[nodiscard]] std::size_t dwi_expected_bytes(const DwiParams& params,
+                                             int iteration);
+
+// Generates block `block_id` (one of params.blocks z-slabs) of `iteration`
+// (1-based). Deterministic in (params.seed, iteration, block_id).
+[[nodiscard]] vis::UnstructuredGrid dwi_block(const DwiParams& params,
+                                              int iteration,
+                                              std::uint32_t block_id);
+
+}  // namespace colza::apps

@@ -1,0 +1,117 @@
+// Gray-Scott reaction-diffusion mini-app (paper S III-A): a real 3-D
+// two-species stencil solver on a regular grid, slab-decomposed along z with
+// halo exchange through a MoNA communicator, "generating the same amount of
+// data per process at every iteration".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "mona/mona.hpp"
+#include "vis/data.hpp"
+
+namespace colza::apps {
+
+class GrayScott {
+ public:
+  struct Params {
+    std::uint32_t n = 64;        // global cube edge (points per axis)
+    double du = 0.16;            // diffusion of u (dt * 6 * du < 1: stable)
+    double dv = 0.08;            // diffusion of v
+    double feed = 0.03;          // F
+    double kill = 0.06;          // k
+    double dt = 1.0;
+    double noise = 0.01;
+    int steps_per_iteration = 5;  // solver steps between in situ iterations
+    std::uint64_t seed = 20;
+  };
+
+  // Rank `rank` of `nranks` owns a contiguous z-slab of the global grid.
+  GrayScott(Params params, int rank, int nranks);
+
+  // Advances steps_per_iteration solver steps. When `comm` is non-null it is
+  // used for the face halo exchange with the z neighbours (ranks are slab
+  // neighbours in the communicator); with a null comm (single rank) the
+  // domain is periodic locally.
+  Status step(mona::Communicator* comm);
+
+  // This rank's slab as a uniform grid with point fields "u" and "v"
+  // (float), placed at the correct global origin.
+  [[nodiscard]] vis::UniformGrid block() const;
+
+  [[nodiscard]] std::uint32_t local_nz() const noexcept { return nz_; }
+  [[nodiscard]] std::size_t local_points() const noexcept {
+    return static_cast<std::size_t>(params_.n) * params_.n * nz_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(std::uint32_t i, std::uint32_t j,
+                                std::uint32_t k) const noexcept {
+    // k spans [0, nz+2): one ghost layer on each side.
+    return (static_cast<std::size_t>(k) * params_.n +
+            j) * params_.n + i;
+  }
+  Status exchange_halos(mona::Communicator* comm);
+  void apply_stencil();
+
+  Params params_;
+  int rank_;
+  int nranks_;
+  std::uint32_t nz_;        // owned z planes
+  std::uint32_t z_offset_;  // global index of first owned plane
+  std::vector<double> u_, v_, u2_, v2_;  // (n * n * (nz+2)) incl. ghosts
+};
+
+// Balanced factorization of `nranks` into up to 3 dimensions (the spirit of
+// MPI_Dims_create), used by GrayScott3D.
+[[nodiscard]] std::array<int, 3> cartesian_dims(int nranks);
+
+// The paper's actual decomposition (S III-A: "a three-dimensional Cartesian
+// partitioning of a regular grid"): each rank owns an (lx x ly x lz) box and
+// exchanges its six faces with its Cartesian neighbours every step (periodic
+// domain). The slab-decomposed GrayScott above remains as the simpler
+// variant used by the scaling benches.
+class GrayScott3D {
+ public:
+  using Params = GrayScott::Params;
+
+  GrayScott3D(Params params, int rank, int nranks);
+
+  // One in situ iteration's worth of solver steps; `comm` must span exactly
+  // `nranks` ranks (null allowed only when nranks == 1).
+  Status step(mona::Communicator* comm);
+
+  // This rank's box as a uniform grid (fields "u", "v"), at its global
+  // origin.
+  [[nodiscard]] vis::UniformGrid block() const;
+
+  [[nodiscard]] std::array<int, 3> dims() const noexcept { return dims_; }
+  [[nodiscard]] std::array<int, 3> coords() const noexcept { return coords_; }
+  [[nodiscard]] std::array<std::uint32_t, 3> local_extent() const noexcept {
+    return {lx_, ly_, lz_};
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(std::uint32_t i, std::uint32_t j,
+                                std::uint32_t k) const noexcept {
+    // All axes carry one ghost layer on each side.
+    return (static_cast<std::size_t>(k) * (ly_ + 2) + j) * (lx_ + 2) + i;
+  }
+  [[nodiscard]] int rank_of(int cx, int cy, int cz) const noexcept;
+  Status exchange_halos(mona::Communicator* comm);
+  void apply_stencil();
+
+  Params params_;
+  int rank_;
+  int nranks_;
+  std::array<int, 3> dims_{1, 1, 1};    // process grid
+  std::array<int, 3> coords_{0, 0, 0};  // this rank's coordinates
+  std::uint32_t lx_ = 0, ly_ = 0, lz_ = 0;          // owned extents
+  std::uint32_t ox_ = 0, oy_ = 0, oz_ = 0;          // global offsets
+  std::vector<double> u_, v_, u2_, v2_;  // (lx+2)(ly+2)(lz+2) incl. ghosts
+};
+
+}  // namespace colza::apps

@@ -1,0 +1,57 @@
+#include "apps/mandelbulb.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace colza::apps {
+
+int mandelbulb_escape(float cx, float cy, float cz, float power,
+                      int max_iterations) {
+  // Triplex power iteration (White/Nylander formula):
+  //   r^n * (sin(n theta) cos(n phi), sin(n theta) sin(n phi), cos(n theta))
+  float x = 0, y = 0, z = 0;
+  for (int it = 0; it < max_iterations; ++it) {
+    const float r2 = x * x + y * y + z * z;
+    if (r2 > 4.0f) return it;
+    const float r = std::sqrt(r2);
+    const float theta = r > 0 ? std::acos(z / r) : 0.0f;
+    const float phi = std::atan2(y, x);
+    const float rp = std::pow(r, power);
+    const float st = std::sin(power * theta);
+    x = rp * st * std::cos(power * phi) + cx;
+    y = rp * st * std::sin(power * phi) + cy;
+    z = rp * std::cos(power * theta) + cz;
+  }
+  return max_iterations;
+}
+
+vis::UniformGrid mandelbulb_block(const MandelbulbParams& params,
+                                  std::uint32_t block_id) {
+  if (block_id >= params.total_blocks)
+    throw std::invalid_argument("mandelbulb_block: block_id out of range");
+  vis::UniformGrid g;
+  g.dims = {params.nx, params.ny, params.nz};
+  const float extent = 2.0f * params.range;
+  const float slab = extent / static_cast<float>(params.total_blocks);
+  g.origin = {-params.range, -params.range,
+              -params.range + slab * static_cast<float>(block_id)};
+  g.spacing = {extent / static_cast<float>(params.nx - 1),
+               extent / static_cast<float>(params.ny - 1),
+               slab / static_cast<float>(params.nz - 1)};
+
+  std::vector<float> field(g.point_count());
+  for (std::uint32_t k = 0; k < params.nz; ++k) {
+    for (std::uint32_t j = 0; j < params.ny; ++j) {
+      for (std::uint32_t i = 0; i < params.nx; ++i) {
+        const vis::Vec3 p = g.point(i, j, k);
+        field[g.point_index(i, j, k)] = static_cast<float>(
+            mandelbulb_escape(p.x, p.y, p.z, params.power,
+                              params.max_iterations));
+      }
+    }
+  }
+  g.point_data.add(vis::DataArray::make<float>("iterations", field));
+  return g;
+}
+
+}  // namespace colza::apps

@@ -1,0 +1,42 @@
+#include "colza/autoscale.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace colza {
+
+des::Duration AutoScaler::median() const {
+  std::vector<des::Duration> sorted(window_.begin(), window_.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted[sorted.size() / 2];
+}
+
+ScaleDecision AutoScaler::observe(des::Duration execute_time,
+                                  std::size_t servers) {
+  if (cooldown_ > 0) {
+    --cooldown_;
+    // Keep the window clean of post-resize initialization spikes.
+    return ScaleDecision::hold;
+  }
+  window_.push_back(execute_time);
+  if (window_.size() > policy_.window) window_.pop_front();
+  if (window_.size() < policy_.window) return ScaleDecision::hold;
+
+  const des::Duration m = median();
+  const auto target = static_cast<double>(policy_.target_execute);
+  if (static_cast<double>(m) > target * policy_.up_factor &&
+      servers < policy_.max_servers) {
+    cooldown_ = policy_.cooldown_iterations;
+    window_.clear();
+    return ScaleDecision::up;
+  }
+  if (static_cast<double>(m) < target * policy_.down_factor &&
+      servers > policy_.min_servers) {
+    cooldown_ = policy_.cooldown_iterations;
+    window_.clear();
+    return ScaleDecision::down;
+  }
+  return ScaleDecision::hold;
+}
+
+}  // namespace colza

@@ -1,0 +1,59 @@
+// Automatic resizing -- the second of the paper's future-work items (S VI:
+// "enable automatic resizing as a response to performance constraints or
+// optimization targets") and one of the elasticity triggers discussed in
+// S IV-B (application-driven: keep the analysis-side iteration time
+// overlapped with the simulation side).
+//
+// AutoScaler is a pure policy object: feed it per-iteration pipeline
+// execution times and it answers "scale up", "scale down" or "hold".
+// Whoever owns the resources (the job script, the simulation, Colza itself
+// -- S II-F lists all three) applies the decision, e.g. via
+// StagingArea::launch_one or Admin::request_leave.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "des/time.hpp"
+
+namespace colza {
+
+enum class ScaleDecision : std::uint8_t { hold, up, down };
+
+struct AutoScalePolicy {
+  // The target the analysis time should stay under (e.g. the simulation's
+  // compute time per iteration, for perfect overlap).
+  des::Duration target_execute = des::seconds(10);
+  double up_factor = 1.0;     // scale up when median > target * up_factor
+  double down_factor = 0.35;  // scale down when median < target * down_factor
+  std::size_t min_servers = 1;
+  std::size_t max_servers = 1024;
+  // Iterations to wait after a resize before deciding again (a join causes
+  // a one-iteration pipeline-initialization spike that must not trigger a
+  // second resize -- see Fig 9/10's spikes).
+  int cooldown_iterations = 2;
+  // Median window length.
+  std::size_t window = 3;
+};
+
+class AutoScaler {
+ public:
+  explicit AutoScaler(AutoScalePolicy policy) : policy_(policy) {}
+
+  // Feed one iteration's observation; returns the decision for the caller
+  // to apply. Call once per iteration, in order.
+  ScaleDecision observe(des::Duration execute_time, std::size_t servers);
+
+  [[nodiscard]] const AutoScalePolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  [[nodiscard]] des::Duration median() const;
+
+  AutoScalePolicy policy_;
+  std::deque<des::Duration> window_;
+  int cooldown_ = 0;
+};
+
+}  // namespace colza

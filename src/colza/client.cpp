@@ -1,0 +1,268 @@
+#include "colza/client.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace colza {
+
+// ------------------------------------------------------------------ AsyncOp
+
+Status AsyncOp::wait() {
+  if (state_ == nullptr) return Status::Ok();
+  if (!state_->done) sim_->join(fiber_);
+  return state_->status;
+}
+
+bool AsyncOp::test() const { return state_ == nullptr || state_->done; }
+
+// ------------------------------------------------------------------ Client
+
+Client::Client(net::Process& proc, net::Profile profile)
+    : proc_(&proc),
+      engine_(std::make_unique<rpc::Engine>(proc, std::move(profile))) {}
+
+// ------------------------------------------------------- pipeline handle
+
+DistributedPipelineHandle::DistributedPipelineHandle(
+    Client* client, std::string name, std::vector<net::ProcId> view,
+    std::uint64_t hash)
+    : client_(client),
+      name_(std::move(name)),
+      view_(std::move(view)),
+      view_hash_(hash) {
+  policy_ = [](std::uint64_t block_id, std::size_t nservers) {
+    return static_cast<std::size_t>(block_id % nservers);
+  };
+}
+
+Expected<DistributedPipelineHandle> DistributedPipelineHandle::lookup(
+    Client& client, const std::vector<net::ProcId>& contacts,
+    std::string pipeline_name) {
+  for (net::ProcId contact : contacts) {
+    auto r = client.engine().call_raw(contact, "colza.get_view", {});
+    if (!r.has_value()) continue;
+    std::vector<net::ProcId> view;
+    std::uint64_t hash = 0;
+    unpack(*r, view, hash);
+    return DistributedPipelineHandle(&client, std::move(pipeline_name),
+                                     std::move(view), hash);
+  }
+  return Status::Unreachable("lookup: no Colza server answered");
+}
+
+Status DistributedPipelineHandle::refresh_view() {
+  for (net::ProcId server : view_) {
+    auto r = client_->engine().call_raw(server, "colza.get_view", {});
+    if (!r.has_value()) continue;
+    std::vector<net::ProcId> view;
+    std::uint64_t hash = 0;
+    unpack(*r, view, hash);
+    set_view(std::move(view), hash);
+    return Status::Ok();
+  }
+  return Status::Unreachable("refresh_view: no Colza server answered");
+}
+
+void DistributedPipelineHandle::set_view(std::vector<net::ProcId> view,
+                                         std::uint64_t hash) {
+  view_ = std::move(view);
+  view_hash_ = hash;
+}
+
+Status DistributedPipelineHandle::parallel_over(
+    const std::vector<net::ProcId>& servers,
+    const std::function<Status(net::ProcId)>& fn) {
+  auto& sim = client_->process().sim();
+  auto done = std::make_shared<des::Eventual<Status>>(sim);
+  auto remaining = std::make_shared<std::size_t>(servers.size());
+  auto first_error = std::make_shared<Status>();
+  if (servers.empty()) return Status::Ok();
+  for (net::ProcId server : servers) {
+    client_->process().spawn(
+        "colza-rpc-fan",
+        [fn, server, done, remaining, first_error] {
+          Status s = fn(server);
+          if (!s.ok() && first_error->ok()) *first_error = s;
+          if (--*remaining == 0) done->set_value(*first_error);
+        },
+        des::SpawnOptions{.daemon = true});
+  }
+  return done->wait();
+}
+
+// ------------------------------------------------------------------ 2PC
+
+Status DistributedPipelineHandle::activate(std::uint64_t iteration,
+                                           int max_attempts) {
+  auto& engine = client_->engine();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (view_.empty()) {
+      Status s = refresh_view();
+      if (!s.ok()) return s;
+      if (view_.empty())
+        return Status::Unreachable("activate: empty staging area");
+    }
+
+    // Phase 1: prepare. Servers vote by comparing view hashes.
+    bool mismatch = false;
+    std::vector<net::ProcId> fresh_view;
+    std::uint64_t fresh_hash = 0;
+    Status s = parallel_over(view_, [&](net::ProcId server) {
+      auto r = engine.call_raw(server, "colza.prepare",
+                               pack(name_, iteration, view_hash_));
+      if (r.has_value()) return Status::Ok();
+      if (r.status().code() == StatusCode::aborted) {
+        // The server shipped its own (fresh) view in the error path? No --
+        // status carries no payload; refresh below.
+        mismatch = true;
+        return Status::Ok();  // not fatal: retry with a fresh view
+      }
+      return r.status();
+    });
+    if (!s.ok()) {
+      // A server is unreachable (likely departed): drop it from our view and
+      // retry; SSG will confirm the departure.
+      if (s.code() == StatusCode::timeout ||
+          s.code() == StatusCode::unreachable ||
+          s.code() == StatusCode::shutting_down) {
+        (void)refresh_view();
+        continue;
+      }
+      return s;
+    }
+
+    if (mismatch) {
+      // Abort the prepared servers, refresh, retry.
+      (void)parallel_over(view_, [&](net::ProcId server) {
+        (void)engine.call_raw(server, "colza.abort", pack(name_, iteration));
+        return Status::Ok();
+      });
+      Status rs = refresh_view();
+      if (!rs.ok()) return rs;
+      (void)fresh_view;
+      (void)fresh_hash;
+      // Small backoff: let the gossip converge (S II-E measures ~1 s of
+      // overhead when the group changed).
+      client_->process().sim().sleep_for(des::milliseconds(200));
+      continue;
+    }
+
+    // Phase 2: commit.
+    Status cs = parallel_over(view_, [&](net::ProcId server) {
+      auto r =
+          engine.call_raw(server, "colza.commit", pack(name_, iteration));
+      return r.status();
+    });
+    if (cs.ok()) return Status::Ok();
+    if (cs.code() == StatusCode::failed_precondition) {
+      // Lost the prepare (e.g. a competing activate); retry.
+      continue;
+    }
+    return cs;
+  }
+  return Status::Aborted("activate: could not reach view agreement after " +
+                         std::to_string(max_attempts) + " attempts");
+}
+
+// ------------------------------------------------------------------ stage
+
+Status DistributedPipelineHandle::stage(std::uint64_t iteration,
+                                        std::uint64_t block_id,
+                                        std::span<const std::byte> data,
+                                        std::string field_name) {
+  if (view_.empty()) return Status::FailedPrecondition("stage: empty view");
+  auto& proc = client_->process();
+  const std::size_t idx = policy_(block_id, view_.size());
+  const net::ProcId server = view_.at(idx);
+
+  StageMetadata meta;
+  meta.pipeline = name_;
+  meta.iteration = iteration;
+  meta.block_id = block_id;
+  meta.field_name = std::move(field_name);
+  meta.data = proc.expose(data);
+
+  auto r = client_->engine().call_raw(server, "colza.stage", pack(meta));
+  proc.unexpose(meta.data);
+  return r.status();
+}
+
+Status DistributedPipelineHandle::stage(std::uint64_t iteration,
+                                        std::uint64_t block_id,
+                                        const vis::DataSet& dataset,
+                                        std::string field_name) {
+  auto& sim = client_->process().sim();
+  std::vector<std::byte> bytes;
+  if (sim.in_fiber()) {
+    bytes = sim.charge_scoped([&] { return vis::serialize_dataset(dataset); });
+  } else {
+    bytes = vis::serialize_dataset(dataset);
+  }
+  return stage(iteration, block_id, bytes, std::move(field_name));
+}
+
+// ------------------------------------------------------------------ exec
+
+Status DistributedPipelineHandle::execute(std::uint64_t iteration) {
+  return parallel_over(view_, [&](net::ProcId server) {
+    // Pipeline execution can be long (minutes of rendering); use a generous
+    // timeout.
+    auto r = client_->engine().call_timeout<rpc::None>(
+        server, "colza.execute", des::seconds(600), name_, iteration);
+    return r.status();
+  });
+}
+
+Status DistributedPipelineHandle::deactivate(std::uint64_t iteration) {
+  return parallel_over(view_, [&](net::ProcId server) {
+    auto r = client_->engine().call_raw(server, "colza.deactivate",
+                                        pack(name_, iteration));
+    return r.status();
+  });
+}
+
+// ------------------------------------------------------------- non-blocking
+
+AsyncOp DistributedPipelineHandle::async(std::string label,
+                                         std::function<Status()> op) {
+  auto& sim = client_->process().sim();
+  auto state = std::make_shared<AsyncOp::State>();
+  auto fiber = client_->process().spawn(
+      std::move(label),
+      [state, op = std::move(op)] {
+        state->status = op();
+        state->done = true;
+      },
+      des::SpawnOptions{.daemon = true});
+  return AsyncOp(&sim, fiber, state);
+}
+
+AsyncOp DistributedPipelineHandle::iactivate(std::uint64_t iteration) {
+  return async("colza-iactivate",
+               [this, iteration] { return activate(iteration); });
+}
+
+AsyncOp DistributedPipelineHandle::istage(std::uint64_t iteration,
+                                          std::uint64_t block_id,
+                                          std::span<const std::byte> data,
+                                          std::string field_name) {
+  return async("colza-istage",
+               [this, iteration, block_id, data,
+                field_name = std::move(field_name)]() mutable {
+                 return stage(iteration, block_id, data,
+                              std::move(field_name));
+               });
+}
+
+AsyncOp DistributedPipelineHandle::iexecute(std::uint64_t iteration) {
+  return async("colza-iexecute",
+               [this, iteration] { return execute(iteration); });
+}
+
+AsyncOp DistributedPipelineHandle::ideactivate(std::uint64_t iteration) {
+  return async("colza-ideactivate",
+               [this, iteration] { return deactivate(iteration); });
+}
+
+}  // namespace colza

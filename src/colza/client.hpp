@@ -1,0 +1,138 @@
+// The Colza client library: what the simulation links against.
+//
+// A DistributedPipelineHandle references a pipeline instance on every server
+// of the staging area (paper S II-B). It provides activate / stage /
+// execute / deactivate plus non-blocking variants. activate() runs the
+// client/server two-phase commit that reconciles SSG's eventually consistent
+// views (S II-E); stage() ships only a memory handle, the server pulls the
+// data via RDMA.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "colza/types.hpp"
+#include "des/sync.hpp"
+#include "rpc/engine.hpp"
+#include "ssg/ssg.hpp"
+#include "vis/data.hpp"
+
+namespace colza {
+
+// Handle to a non-blocking client operation.
+class AsyncOp {
+ public:
+  AsyncOp() = default;
+  Status wait();
+  [[nodiscard]] bool test() const;
+
+ private:
+  friend class DistributedPipelineHandle;
+  struct State {
+    Status status;
+    bool done = false;
+  };
+  AsyncOp(des::Simulation* sim, des::FiberHandle fiber,
+          std::shared_ptr<State> state)
+      : sim_(sim), fiber_(fiber), state_(std::move(state)) {}
+  des::Simulation* sim_ = nullptr;
+  des::FiberHandle fiber_;
+  std::shared_ptr<State> state_;
+};
+
+class Client {
+ public:
+  explicit Client(net::Process& proc,
+                  net::Profile profile = net::Profile::mona());
+
+  [[nodiscard]] rpc::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] net::Process& process() noexcept { return *proc_; }
+
+ private:
+  net::Process* proc_;
+  std::unique_ptr<rpc::Engine> engine_;
+};
+
+// Selects which server (index into the current view) receives a block.
+// Default: block_id % server_count (paper S II-B: "this selection is based
+// on a block id provided as part of the metadata").
+using DistributionPolicy =
+    std::function<std::size_t(std::uint64_t block_id, std::size_t nservers)>;
+
+class DistributedPipelineHandle {
+ public:
+  // Looks the pipeline up through any of `contacts` (e.g. the bootstrap
+  // file's member list). Must be called from a fiber.
+  static Expected<DistributedPipelineHandle> lookup(
+      Client& client, const std::vector<net::ProcId>& contacts,
+      std::string pipeline_name);
+
+  // ---- view management ----------------------------------------------------
+  // Fetches a fresh view from any known server.
+  Status refresh_view();
+  [[nodiscard]] const std::vector<net::ProcId>& view() const noexcept {
+    return view_;
+  }
+  [[nodiscard]] std::uint64_t view_hash() const noexcept { return view_hash_; }
+  // Installs a view obtained out of band (e.g. broadcast from the client
+  // rank that ran activate() to its peers).
+  void set_view(std::vector<net::ProcId> view, std::uint64_t hash);
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return view_.size();
+  }
+
+  void set_distribution_policy(DistributionPolicy policy) {
+    policy_ = std::move(policy);
+  }
+
+  // ---- the protocol ------------------------------------------------------
+  // Two-phase commit across all servers; retries with a refreshed view on
+  // mismatch (bounded). On success the servers' membership is frozen and
+  // the pipeline is activated everywhere.
+  Status activate(std::uint64_t iteration, int max_attempts = 8);
+
+  // Stages one block: exposes `data` for RDMA, sends the metadata to the
+  // server selected by the distribution policy, waits for the pull to
+  // complete. `data` must stay valid for the duration of the call.
+  Status stage(std::uint64_t iteration, std::uint64_t block_id,
+               std::span<const std::byte> data, std::string field_name = "");
+  // Convenience: serialize a dataset and stage it.
+  Status stage(std::uint64_t iteration, std::uint64_t block_id,
+               const vis::DataSet& dataset, std::string field_name = "");
+
+  // Broadcasts execute to every server of the frozen view.
+  Status execute(std::uint64_t iteration);
+  // Broadcasts deactivate; servers unfreeze membership afterwards.
+  Status deactivate(std::uint64_t iteration);
+
+  // ---- non-blocking variants (paper S II-B) -------------------------------
+  AsyncOp iactivate(std::uint64_t iteration);
+  AsyncOp istage(std::uint64_t iteration, std::uint64_t block_id,
+                 std::span<const std::byte> data, std::string field_name = "");
+  AsyncOp iexecute(std::uint64_t iteration);
+  AsyncOp ideactivate(std::uint64_t iteration);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  DistributedPipelineHandle(Client* client, std::string name,
+                            std::vector<net::ProcId> view,
+                            std::uint64_t hash);
+
+  // Runs `fn(server)` concurrently for every server in `servers`; returns
+  // the first non-ok status (all calls complete regardless).
+  Status parallel_over(const std::vector<net::ProcId>& servers,
+                       const std::function<Status(net::ProcId)>& fn);
+  AsyncOp async(std::string label, std::function<Status()> op);
+
+  Client* client_ = nullptr;
+  std::string name_;
+  std::vector<net::ProcId> view_;
+  std::uint64_t view_hash_ = 0;
+  DistributionPolicy policy_;
+};
+
+}  // namespace colza

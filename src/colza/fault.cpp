@@ -1,0 +1,82 @@
+#include "colza/fault.hpp"
+
+#include "common/log.hpp"
+#include "des/simulation.hpp"
+
+namespace colza {
+
+namespace {
+
+[[nodiscard]] bool retriable(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::timeout:
+    case StatusCode::unreachable:
+    case StatusCode::aborted:
+    case StatusCode::shutting_down:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void backoff(des::Duration d) {
+  auto* sim = des::Simulation::current();
+  if (sim != nullptr && sim->in_fiber()) sim->sleep_for(d);
+}
+
+}  // namespace
+
+Status run_resilient_iteration(DistributedPipelineHandle& handle,
+                               std::uint64_t iteration,
+                               std::span<const IterationBlock> blocks,
+                               const ResilientOptions& options) {
+  Status last;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Drop any partial state of the previous attempt on the survivors,
+      // give the membership protocol time to converge on the failure, and
+      // refresh the view before the next 2PC.
+      (void)handle.deactivate(iteration);
+      backoff(options.retry_backoff);
+      (void)handle.refresh_view();
+    }
+
+    Status s = handle.activate(iteration);
+    if (!s.ok()) {
+      if (!retriable(s)) return s;
+      COLZA_LOG_INFO("colza-ft", "iteration %llu: activate failed: %s",
+                     static_cast<unsigned long long>(iteration),
+                     s.to_string().c_str());
+      last = s;
+      continue;
+    }
+
+    bool attempt_failed = false;
+    for (const auto& [id, bytes] : blocks) {
+      s = handle.stage(iteration, id, bytes);
+      if (s.ok()) continue;
+      if (!retriable(s)) return s;
+      COLZA_LOG_INFO("colza-ft", "iteration %llu: stage(%llu) failed: %s",
+                     static_cast<unsigned long long>(iteration),
+                     static_cast<unsigned long long>(id),
+                     s.to_string().c_str());
+      last = s;
+      attempt_failed = true;
+      break;
+    }
+    if (attempt_failed) continue;
+
+    s = handle.execute(iteration);
+    if (s.ok()) return handle.deactivate(iteration);
+    if (!retriable(s)) return s;
+    COLZA_LOG_INFO("colza-ft", "iteration %llu: execute failed: %s",
+                   static_cast<unsigned long long>(iteration),
+                   s.to_string().c_str());
+    last = s;
+  }
+  return Status::Aborted("resilient iteration gave up after " +
+                         std::to_string(options.max_attempts) +
+                         " attempts: " + last.to_string());
+}
+
+}  // namespace colza

@@ -1,0 +1,47 @@
+// Fault-tolerant iteration driving -- the first of the paper's future-work
+// items (S VI: "make our framework capable of handling process crashes,
+// effectively enabling fault tolerance with unexpected/unplanned resizing").
+//
+// Failure model and recovery protocol:
+//   * A Colza server crashes (unplanned). SWIM suspects and then declares it
+//     dead; every surviving server unblocks pipeline operations waiting on
+//     the dead peer and revokes the frozen-view communicator (ULFM-style),
+//     so a running execute() fails with `aborted`/`unreachable` instead of
+//     hanging.
+//   * The client observes the failed (or timed-out) call, best-effort
+//     deactivates the iteration everywhere (dropping partial staged data),
+//     refreshes its view -- the dead server disappears from SSG -- and
+//     re-runs activate / stage / execute / deactivate on the survivors.
+//   * Staged blocks that lived on the dead server are lost, which is why
+//     the whole iteration is re-staged: the simulation still owns the data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "colza/client.hpp"
+
+namespace colza {
+
+struct ResilientOptions {
+  int max_attempts = 4;
+  // Wait between attempts so the membership protocol can converge on the
+  // failure before the next 2PC.
+  des::Duration retry_backoff = des::seconds(2);
+};
+
+// One block of an iteration: id + serialized dataset bytes (kept by the
+// caller, so re-staging after a failure needs no regeneration).
+using IterationBlock = std::pair<std::uint64_t, std::vector<std::byte>>;
+
+// Runs a full iteration (activate -> stage* -> execute -> deactivate) and
+// transparently retries it on a refreshed view when a server dies mid-way.
+// Returns the first non-retriable error, or ok.
+Status run_resilient_iteration(DistributedPipelineHandle& handle,
+                               std::uint64_t iteration,
+                               std::span<const IterationBlock> blocks,
+                               const ResilientOptions& options = {});
+
+}  // namespace colza

@@ -1,0 +1,169 @@
+#include "colza/histogram_backend.hpp"
+
+#include <algorithm>
+
+#include "des/simulation.hpp"
+#include "vis/data.hpp"
+
+namespace colza {
+
+HistogramBackend::HistogramBackend(Context ctx) : Backend(std::move(ctx)) {
+  field_ = ctx_.config.string_or("field", "v");
+  bins_ = static_cast<std::uint32_t>(ctx_.config.number_or("bins", 32));
+  lo_ = static_cast<float>(ctx_.config.number_or("range_lo", 0.0));
+  hi_ = static_cast<float>(ctx_.config.number_or("range_hi", 1.0));
+  if (bins_ == 0) bins_ = 1;
+}
+
+Status HistogramBackend::activate(std::uint64_t iteration) {
+  auto& slot = active_[iteration];
+  slot.counts.assign(bins_, 0);
+  return Status::Ok();
+}
+
+Status HistogramBackend::stage(StagedBlock block) {
+  auto it = active_.find(block.iteration);
+  if (it == active_.end())
+    return Status::FailedPrecondition("histogram: iteration not active");
+  Local& local = it->second;
+
+  vis::DataSet ds;
+  try {
+    auto& sim = ctx_.proc->sim();
+    ds = sim.in_fiber() ? sim.charge_scoped([&] {
+      return vis::deserialize_dataset(block.data);
+    })
+                        : vis::deserialize_dataset(block.data);
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(std::string("histogram: bad dataset: ") +
+                                   e.what());
+  }
+
+  // Find the field in point data, falling back to cell data.
+  const vis::DataArray* arr = nullptr;
+  std::visit(
+      [&](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, vis::UniformGrid>) {
+          arr = v.point_data.find(field_);
+        } else if constexpr (std::is_same_v<T, vis::UnstructuredGrid>) {
+          arr = v.point_data.find(field_);
+          if (arr == nullptr) arr = v.cell_data.find(field_);
+        }
+      },
+      ds);
+  if (arr == nullptr)
+    return Status::NotFound("histogram: field '" + field_ +
+                            "' not in staged block");
+
+  const float width = (hi_ - lo_) / static_cast<float>(bins_);
+  for (float v : arr->as<float>()) {
+    local.min_seen = std::min<double>(local.min_seen, v);
+    local.max_seen = std::max<double>(local.max_seen, v);
+    ++local.values;
+    if (v < lo_ || width <= 0) {
+      ++local.counts[0];
+    } else {
+      const auto bin = std::min<std::uint32_t>(
+          bins_ - 1, static_cast<std::uint32_t>((v - lo_) / width));
+      ++local.counts[bin];
+    }
+  }
+  return Status::Ok();
+}
+
+Status HistogramBackend::execute(std::uint64_t iteration) {
+  auto it = active_.find(iteration);
+  if (it == active_.end())
+    return Status::FailedPrecondition("histogram: iteration not active");
+  if (comm_ == nullptr)
+    return Status::FailedPrecondition("histogram: no communicator");
+  Local& local = it->second;
+
+  Result result;
+  result.iteration = iteration;
+  result.counts.assign(bins_, 0);
+
+  // Global histogram + count: element-wise sums.
+  std::vector<std::uint64_t> send = local.counts;
+  send.push_back(local.values);
+  std::vector<std::uint64_t> recv(send.size());
+  Status s = comm_->allreduce(
+      {reinterpret_cast<const std::byte*>(send.data()),
+       send.size() * sizeof(std::uint64_t)},
+      {reinterpret_cast<std::byte*>(recv.data()),
+       recv.size() * sizeof(std::uint64_t)},
+      send.size(), mona::op_sum<std::uint64_t>());
+  if (!s.ok()) return s;
+  std::copy_n(recv.begin(), bins_, result.counts.begin());
+  result.total_values = recv.back();
+
+  // Global extrema: allreduce min and max (negated-min trick for max).
+  double mm[2] = {local.min_seen, -local.max_seen};
+  double gmm[2] = {0, 0};
+  s = comm_->allreduce({reinterpret_cast<const std::byte*>(mm), sizeof(mm)},
+                       {reinterpret_cast<std::byte*>(gmm), sizeof(gmm)}, 2,
+                       mona::op_min<double>());
+  if (!s.ok()) return s;
+  result.min_seen = gmm[0];
+  result.max_seen = -gmm[1];
+
+  results_.push_back(std::move(result));
+  return Status::Ok();
+}
+
+Status HistogramBackend::deactivate(std::uint64_t iteration) {
+  active_.erase(iteration);
+  return Status::Ok();
+}
+
+json::Value HistogramBackend::stats() const {
+  json::Object out;
+  out.emplace("pipeline", std::string("histogram"));
+  out.emplace("field", field_);
+  out.emplace("bins", static_cast<double>(bins_));
+  json::Array iterations;
+  for (const Result& r : results_) {
+    json::Object it;
+    it.emplace("iteration", static_cast<double>(r.iteration));
+    it.emplace("values", static_cast<double>(r.total_values));
+    it.emplace("min", r.min_seen);
+    it.emplace("max", r.max_seen);
+    json::Array counts;
+    for (std::uint64_t c : r.counts)
+      counts.push_back(static_cast<double>(c));
+    it.emplace("counts", std::move(counts));
+    iterations.push_back(std::move(it));
+  }
+  out.emplace("iterations", std::move(iterations));
+  return out;
+}
+
+std::vector<std::byte> HistogramBackend::export_state() {
+  return pack(results_);
+}
+
+Status HistogramBackend::import_state(std::span<const std::byte> state) {
+  std::vector<Result> other;
+  try {
+    unpack(state, other);
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(std::string("histogram: bad state: ") +
+                                   e.what());
+  }
+  // Merge: results for the same iteration are identical on every member
+  // (allreduce), so keep whichever arrives; new iterations are appended.
+  for (auto& r : other) {
+    const bool known =
+        std::any_of(results_.begin(), results_.end(),
+                    [&](const Result& mine) { return mine.iteration == r.iteration; });
+    if (!known) results_.push_back(std::move(r));
+  }
+  std::sort(results_.begin(), results_.end(),
+            [](const Result& a, const Result& b) {
+              return a.iteration < b.iteration;
+            });
+  return Status::Ok();
+}
+
+}  // namespace colza

@@ -1,0 +1,321 @@
+#include "colza/server.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace colza {
+
+Server::Server(net::Process& proc, ServerConfig config,
+               ssg::Bootstrap* bootstrap)
+    : proc_(&proc),
+      config_(std::move(config)),
+      bootstrap_(bootstrap),
+      engine_(std::make_unique<rpc::Engine>(
+          proc, config_.profile, rpc::EngineConfig{config_.rpc_timeout})),
+      mona_(std::make_unique<mona::Instance>(proc, config_.profile)) {}
+
+Server::Server(net::Process& proc, ServerConfig config,
+               std::vector<net::ProcId> initial_group,
+               ssg::Bootstrap* bootstrap)
+    : Server(proc, std::move(config), bootstrap) {
+  if (proc.sim().in_fiber()) proc.sim().charge(config_.init_cost);
+  group_ = std::make_unique<ssg::Group>(*engine_, config_.swim,
+                                        std::move(initial_group), bootstrap_);
+  install_handlers();
+  commit_view();
+}
+
+Expected<std::unique_ptr<Server>> Server::join(net::Process& proc,
+                                               ServerConfig config,
+                                               ssg::Bootstrap* bootstrap) {
+  auto server =
+      std::unique_ptr<Server>(new Server(proc, std::move(config), bootstrap));
+  if (proc.sim().in_fiber()) proc.sim().charge(server->config_.init_cost);
+  auto contacts = bootstrap->contacts();
+  auto g = ssg::Group::join(*server->engine_, server->config_.swim,
+                            std::move(contacts), bootstrap);
+  if (!g.has_value()) return g.status();
+  server->group_ = std::move(*g);
+  server->install_handlers();
+  server->commit_view();
+  return server;
+}
+
+Server::~Server() = default;
+
+// ---------------------------------------------------------------- pipelines
+
+Status Server::create_pipeline(const std::string& name,
+                               const std::string& type,
+                               const std::string& json_config) {
+  if (pipelines_.count(name) != 0)
+    return Status::AlreadyExists("pipeline '" + name + "' already exists");
+  Backend::Context ctx;
+  ctx.proc = proc_;
+  ctx.mona = mona_.get();
+  try {
+    ctx.config = json::parse(json_config);
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(std::string("bad pipeline config: ") +
+                                   e.what());
+  }
+  auto backend = BackendRegistry::create(type, std::move(ctx));
+  if (!backend.has_value()) return backend.status();
+  (*backend)->update_comm(service_comm_);
+  pipelines_.emplace(name,
+                     PipelineEntry{type, std::move(backend.value())});
+  // Loading a pipeline's shared library and constructing it is not free.
+  if (proc_->sim().in_fiber()) proc_->sim().charge(des::milliseconds(150));
+  return Status::Ok();
+}
+
+Status Server::destroy_pipeline(const std::string& name) {
+  if (pipelines_.erase(name) == 0)
+    return Status::NotFound("pipeline '" + name + "' does not exist");
+  return Status::Ok();
+}
+
+Backend* Server::pipeline(const std::string& name) {
+  auto it = pipelines_.find(name);
+  return it == pipelines_.end() ? nullptr : it->second.backend.get();
+}
+
+// ---------------------------------------------------------------- view
+
+void Server::commit_view() {
+  const std::uint64_t hash = group_->view_hash();
+  if (hash == service_view_hash_ && service_comm_ != nullptr) return;
+  service_view_ = group_->view();  // sorted
+  service_view_hash_ = hash;
+  service_comm_ = mona_->comm_create(service_view_);
+  for (auto& [name, entry] : pipelines_) {
+    entry.backend->update_comm(service_comm_);
+  }
+}
+
+void Server::leave() {
+  if (left_) return;
+  if (active_iterations_ > 0) {
+    // Frozen: the paper defers removals until deactivate (S II-B).
+    leave_pending_ = true;
+    return;
+  }
+  finish_leave();
+}
+
+void Server::finish_leave() {
+  left_ = true;
+  proc_->spawn(
+      "colza-shutdown",
+      [this] {
+        // Stateful pipelines migrate their accumulated state to a surviving
+        // peer before this daemon disappears (paper S VI future-work item 3:
+        // "state-full pipelines, for which shutting down a process requires
+        // data migration").
+        net::ProcId successor = net::kInvalidProc;
+        for (net::ProcId p : service_view_) {
+          if (p != proc_->id()) {
+            successor = p;
+            break;
+          }
+        }
+        if (successor != net::kInvalidProc) {
+          for (auto& [name, entry] : pipelines_) {
+            if (!entry.backend->stateful()) continue;
+            auto state = entry.backend->export_state();
+            auto r = engine_->call_raw(successor, "colza.migrate_state",
+                                       pack(name, state));
+            if (!r.has_value()) {
+              COLZA_LOG_WARN("colza", "state migration of '%s' failed: %s",
+                             name.c_str(), r.status().to_string().c_str());
+            }
+          }
+        }
+        group_->leave();
+        // Allow the departure gossip to leave this process, then die.
+        proc_->sim().sleep_for(des::milliseconds(50));
+        engine_->shutdown();
+        mona_->shutdown();
+        proc_->kill();
+      },
+      des::SpawnOptions{.daemon = true});
+}
+
+// ---------------------------------------------------------------- handlers
+
+void Server::install_handlers() {
+  // ---- fault tolerance ----------------------------------------------------
+  // When SSG reports a member failure, unblock any pipeline operation that
+  // waits on the failed peer, and -- if an iteration is active on the frozen
+  // view containing it -- revoke the service communicator (ULFM-style, the
+  // extension path the paper's S V points to). Pipelines then fail their
+  // execute() cleanly, and the client re-runs the iteration on the
+  // surviving view.
+  group_->on_change([this](net::ProcId p, ssg::MemberEvent e) {
+    if (e == ssg::MemberEvent::joined) return;
+    mona_->fail_pending(p);
+    if (active_iterations_ > 0 && service_comm_ != nullptr &&
+        std::find(service_view_.begin(), service_view_.end(), p) !=
+            service_view_.end()) {
+      service_comm_->revoke();
+    }
+  });
+
+  // ---- client protocol ---------------------------------------------------
+  engine_->define("colza.get_view", [this](const rpc::RequestInfo&, InArchive&,
+                                           OutArchive& out) {
+    if (left_) return Status::ShuttingDown();
+    out.save(group_->view());
+    out.save(group_->view_hash());
+    return Status::Ok();
+  });
+
+  engine_->define("colza.prepare", [this](const rpc::RequestInfo&,
+                                          InArchive& in, OutArchive& out) {
+    if (left_) return Status::ShuttingDown();
+    std::string pipeline;
+    std::uint64_t iteration = 0, client_hash = 0;
+    in.load(pipeline);
+    in.load(iteration);
+    in.load(client_hash);
+    if (pipelines_.count(pipeline) == 0)
+      return Status::NotFound("pipeline '" + pipeline + "'");
+    if (client_hash != group_->view_hash()) {
+      // Vote no; ship our view so the client can refresh in one round trip.
+      out.save(group_->view());
+      out.save(group_->view_hash());
+      return Status::Aborted("view mismatch");
+    }
+    prepared_ = true;
+    prepared_iteration_ = iteration;
+    return Status::Ok();
+  });
+
+  engine_->define("colza.commit", [this](const rpc::RequestInfo&,
+                                         InArchive& in, OutArchive&) {
+    if (left_) return Status::ShuttingDown();
+    std::string pipeline;
+    std::uint64_t iteration = 0;
+    in.load(pipeline);
+    in.load(iteration);
+    if (!prepared_ || prepared_iteration_ != iteration)
+      return Status::FailedPrecondition("commit without prepare");
+    prepared_ = false;
+    Backend* p = this->pipeline(pipeline);
+    if (p == nullptr) return Status::NotFound("pipeline '" + pipeline + "'");
+    ++active_iterations_;  // freeze membership application
+    commit_view();         // adopt the agreed view before activating
+    return p->activate(iteration);
+  });
+
+  engine_->define("colza.abort", [this](const rpc::RequestInfo&, InArchive&,
+                                        OutArchive&) {
+    prepared_ = false;
+    return Status::Ok();
+  });
+
+  engine_->define("colza.stage", [this](const rpc::RequestInfo& info,
+                                        InArchive& in, OutArchive&) {
+    if (left_) return Status::ShuttingDown();
+    StageMetadata meta;
+    in.load(meta);
+    Backend* p = this->pipeline(meta.pipeline);
+    if (p == nullptr)
+      return Status::NotFound("pipeline '" + meta.pipeline + "'");
+    // Pull the data from the simulation's memory via RDMA (paper S II-B).
+    StagedBlock block;
+    block.iteration = meta.iteration;
+    block.block_id = meta.block_id;
+    block.field_name = meta.field_name;
+    block.sender = info.caller;
+    block.data.resize(meta.data.size);
+    Status s = engine_->rdma_pull(meta.data, 0, block.data);
+    if (!s.ok()) return s;
+    return p->stage(std::move(block));
+  });
+
+  engine_->define("colza.execute", [this](const rpc::RequestInfo&,
+                                          InArchive& in, OutArchive&) {
+    if (left_) return Status::ShuttingDown();
+    std::string pipeline;
+    std::uint64_t iteration = 0;
+    in.load(pipeline);
+    in.load(iteration);
+    Backend* p = this->pipeline(pipeline);
+    if (p == nullptr) return Status::NotFound("pipeline '" + pipeline + "'");
+    return p->execute(iteration);
+  });
+
+  engine_->define("colza.deactivate", [this](const rpc::RequestInfo&,
+                                             InArchive& in, OutArchive&) {
+    if (left_) return Status::ShuttingDown();
+    std::string pipeline;
+    std::uint64_t iteration = 0;
+    in.load(pipeline);
+    in.load(iteration);
+    Backend* p = this->pipeline(pipeline);
+    if (p == nullptr) return Status::NotFound("pipeline '" + pipeline + "'");
+    Status s = p->deactivate(iteration);
+    if (active_iterations_ > 0) --active_iterations_;
+    if (active_iterations_ == 0 && leave_pending_) finish_leave();
+    return s;
+  });
+
+  // ---- admin protocol (paper S II-B: a separate library of RPCs) ---------
+  engine_->define("colza.admin.create_pipeline",
+                  [this](const rpc::RequestInfo&, InArchive& in, OutArchive&) {
+                    if (left_) return Status::ShuttingDown();
+                    std::string name, type, cfg;
+                    in.load(name);
+                    in.load(type);
+                    in.load(cfg);
+                    return create_pipeline(name, type, cfg);
+                  });
+
+  engine_->define("colza.admin.destroy_pipeline",
+                  [this](const rpc::RequestInfo&, InArchive& in, OutArchive&) {
+                    std::string name;
+                    in.load(name);
+                    return destroy_pipeline(name);
+                  });
+
+  engine_->define("colza.admin.leave", [this](const rpc::RequestInfo&,
+                                              InArchive&, OutArchive&) {
+    leave();
+    return Status::Ok();
+  });
+
+  engine_->define("colza.migrate_state", [this](const rpc::RequestInfo&,
+                                                InArchive& in, OutArchive&) {
+    if (left_) return Status::ShuttingDown();
+    std::string name;
+    std::vector<std::byte> state;
+    in.load(name);
+    in.load(state);
+    Backend* p = this->pipeline(name);
+    if (p == nullptr) return Status::NotFound("pipeline '" + name + "'");
+    return p->import_state(state);
+  });
+
+  engine_->define("colza.admin.stats", [this](const rpc::RequestInfo&,
+                                              InArchive& in, OutArchive& out) {
+    std::string name;
+    in.load(name);
+    Backend* p = this->pipeline(name);
+    if (p == nullptr) return Status::NotFound("pipeline '" + name + "'");
+    out.save(p->stats().dump());
+    return Status::Ok();
+  });
+
+  engine_->define("colza.admin.list_pipelines",
+                  [this](const rpc::RequestInfo&, InArchive&, OutArchive& out) {
+                    std::vector<std::string> names;
+                    for (const auto& [name, e] : pipelines_)
+                      names.push_back(name);
+                    out.save(names);
+                    return Status::Ok();
+                  });
+}
+
+}  // namespace colza

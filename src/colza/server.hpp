@@ -1,0 +1,112 @@
+// The Colza server daemon: one per staging-area process. Hosts a provider
+// that manages pipelines, participates in SSG group membership, answers the
+// client protocol (get_view / prepare / commit / abort / stage / execute /
+// deactivate) and the admin protocol (create_pipeline / destroy_pipeline /
+// leave / shutdown).
+//
+// Consistency (paper S II-E): SSG is only eventually consistent, so clients
+// and servers run a two-phase commit at activate() time. prepare() carries
+// the client's view hash; a server votes yes only if its own SSG view hash
+// matches. commit() freezes the membership -- SSG keeps gossiping underneath,
+// but the *service view* (and the MoNA communicator handed to pipelines) only
+// changes between iterations. Graceful leaves requested while frozen are
+// deferred until the last active iteration deactivates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "colza/backend.hpp"
+#include "net/network.hpp"
+#include "rpc/engine.hpp"
+#include "ssg/ssg.hpp"
+
+namespace colza {
+
+struct ServerConfig {
+  ssg::SwimConfig swim;
+  net::Profile profile = net::Profile::mona();
+  des::Duration rpc_timeout = des::seconds(5);
+  // Modeled one-time daemon initialization cost (library loading, Mercury
+  // init...) charged before the server becomes reachable.
+  des::Duration init_cost = des::milliseconds(800);
+};
+
+class Server {
+ public:
+  // Founding construction: all initial servers are created with the same
+  // member list. Must run inside a fiber of `proc` (use spawn_founding).
+  Server(net::Process& proc, ServerConfig config,
+         std::vector<net::ProcId> initial_group, ssg::Bootstrap* bootstrap);
+
+  // Elastic join (paper S II-F a): reads contacts from the bootstrap
+  // "connection file" and joins the running group. Must run inside a fiber.
+  static Expected<std::unique_ptr<Server>> join(net::Process& proc,
+                                                ServerConfig config,
+                                                ssg::Bootstrap* bootstrap);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] net::ProcId address() const noexcept {
+    return proc_->id();
+  }
+  [[nodiscard]] net::Process& process() noexcept { return *proc_; }
+  [[nodiscard]] ssg::Group& group() noexcept { return *group_; }
+  [[nodiscard]] rpc::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] bool alive() const noexcept {
+    return !left_ && proc_->alive();
+  }
+
+  // Local pipeline management (also reachable via the admin RPCs).
+  Status create_pipeline(const std::string& name, const std::string& type,
+                         const std::string& json_config);
+  Status destroy_pipeline(const std::string& name);
+  [[nodiscard]] Backend* pipeline(const std::string& name);
+
+  // The last committed (frozen) service view.
+  [[nodiscard]] const std::vector<net::ProcId>& service_view() const noexcept {
+    return service_view_;
+  }
+
+  // Leaves the group and stops serving (deferred while iterations are
+  // active). The underlying simulated process is killed once out.
+  void leave();
+
+ private:
+  Server(net::Process& proc, ServerConfig config, ssg::Bootstrap* bootstrap);
+
+  void install_handlers();
+  void commit_view();  // adopt the current SSG view as the service view
+  void finish_leave();
+
+  struct PipelineEntry {
+    std::string type;
+    std::unique_ptr<Backend> backend;
+  };
+
+  net::Process* proc_;
+  ServerConfig config_;
+  ssg::Bootstrap* bootstrap_;
+  std::unique_ptr<rpc::Engine> engine_;
+  std::unique_ptr<mona::Instance> mona_;
+  std::unique_ptr<ssg::Group> group_;
+  std::map<std::string, PipelineEntry> pipelines_;
+
+  std::vector<net::ProcId> service_view_;
+  std::uint64_t service_view_hash_ = 0;
+  std::shared_ptr<mona::Communicator> service_comm_;
+
+  // 2PC / freeze state.
+  bool prepared_ = false;
+  std::uint64_t prepared_iteration_ = 0;
+  int active_iterations_ = 0;
+  bool leave_pending_ = false;
+  bool left_ = false;
+};
+
+}  // namespace colza

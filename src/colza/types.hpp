@@ -1,0 +1,38 @@
+// Shared wire types of the Colza protocol.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace colza {
+
+// Metadata sent with a stage() RPC. The data itself does NOT travel in the
+// RPC: the server pulls it from the simulation's memory via RDMA using
+// `data` (paper S II-B: "the stage function does not send data directly...
+// it sends a memory handle along with some metadata").
+struct StageMetadata {
+  std::string pipeline;
+  std::uint64_t iteration = 0;
+  std::uint64_t block_id = 0;
+  std::string field_name;  // descriptive; pipelines may use it for routing
+  net::BulkRef data;
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar & pipeline & iteration & block_id & field_name & data;
+  }
+};
+
+// A block after the server pulled it: what Backend::stage receives.
+struct StagedBlock {
+  std::uint64_t iteration = 0;
+  std::uint64_t block_id = 0;
+  std::string field_name;
+  net::ProcId sender = net::kInvalidProc;
+  std::vector<std::byte> data;  // typically a serialized vis::DataSet
+};
+
+}  // namespace colza

@@ -1,0 +1,66 @@
+// Minimal JSON value + parser, used for the pipeline configuration strings
+// that Colza's admin interface passes when creating a pipeline (paper §II-B).
+// Supports objects, arrays, strings, numbers, booleans, null; UTF-8 is passed
+// through verbatim ( \uXXXX escapes are not decoded, kept as-is ).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace colza::json {
+
+class Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}        // NOLINT
+  Value(bool b) : data_(b) {}                      // NOLINT
+  Value(double d) : data_(d) {}                    // NOLINT
+  Value(int i) : data_(static_cast<double>(i)) {}  // NOLINT
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}  // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}    // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}  // NOLINT
+  Value(Object o) : data_(std::move(o)) {}         // NOLINT
+  Value(Array a) : data_(std::move(a)) {}          // NOLINT
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(data_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(data_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(data_); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(data_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(data_); }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(data_); }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(data_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(data_); }
+
+  // Typed lookup with default, for config-style access.
+  [[nodiscard]] double number_or(const std::string& key, double dflt) const;
+  [[nodiscard]] std::string string_or(const std::string& key, std::string dflt) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool dflt) const;
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Object, Array> data_;
+};
+
+// Parses `text`; throws std::runtime_error with position info on malformed
+// input. An empty / whitespace-only string parses to null (convenient for the
+// "optional JSON-formatted configuration string" in the admin API).
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace colza::json

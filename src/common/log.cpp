@@ -1,0 +1,48 @@
+#include "common/log.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace colza::log {
+
+namespace {
+
+Level parse_env() noexcept {
+  const char* e = std::getenv("COLZA_LOG");
+  if (e == nullptr) return Level::warn;
+  if (std::strcmp(e, "trace") == 0) return Level::trace;
+  if (std::strcmp(e, "debug") == 0) return Level::debug;
+  if (std::strcmp(e, "info") == 0) return Level::info;
+  if (std::strcmp(e, "warn") == 0) return Level::warn;
+  if (std::strcmp(e, "error") == 0) return Level::error;
+  if (std::strcmp(e, "off") == 0) return Level::off;
+  return Level::warn;
+}
+
+Level g_level = parse_env();
+
+constexpr const char* level_name(Level lvl) noexcept {
+  switch (lvl) {
+    case Level::trace: return "TRACE";
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO";
+    case Level::warn: return "WARN";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() noexcept { return g_level; }
+void set_level(Level lvl) noexcept { g_level = lvl; }
+
+namespace detail {
+void emit(Level lvl, std::string_view tag, const std::string& msg) {
+  std::fprintf(stderr, "[%s] [%.*s] %s\n", level_name(lvl),
+               static_cast<int>(tag.size()), tag.data(), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace colza::log

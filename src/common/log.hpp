@@ -1,0 +1,46 @@
+// Minimal leveled logger. Single-threaded by design (the DES runs on one OS
+// thread); writes to stderr. Level settable via COLZA_LOG env var or API.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace colza::log {
+
+enum class Level { trace = 0, debug, info, warn, error, off };
+
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+
+namespace detail {
+void emit(Level lvl, std::string_view tag, const std::string& msg);
+}
+
+template <typename... Args>
+void logf(Level lvl, std::string_view tag, const char* fmt, Args&&... args) {
+  if (lvl < level()) return;
+  char buf[1024];
+  if constexpr (sizeof...(Args) == 0) {
+    detail::emit(lvl, tag, fmt);
+  } else {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+    std::snprintf(buf, sizeof(buf), fmt, std::forward<Args>(args)...);
+#pragma GCC diagnostic pop
+    detail::emit(lvl, tag, buf);
+  }
+}
+
+#define COLZA_LOG_TRACE(tag, ...) \
+  ::colza::log::logf(::colza::log::Level::trace, tag, __VA_ARGS__)
+#define COLZA_LOG_DEBUG(tag, ...) \
+  ::colza::log::logf(::colza::log::Level::debug, tag, __VA_ARGS__)
+#define COLZA_LOG_INFO(tag, ...) \
+  ::colza::log::logf(::colza::log::Level::info, tag, __VA_ARGS__)
+#define COLZA_LOG_WARN(tag, ...) \
+  ::colza::log::logf(::colza::log::Level::warn, tag, __VA_ARGS__)
+#define COLZA_LOG_ERROR(tag, ...) \
+  ::colza::log::logf(::colza::log::Level::error, tag, __VA_ARGS__)
+
+}  // namespace colza::log

@@ -1,0 +1,160 @@
+// Status codes and a small Expected<T> for protocol-level outcomes.
+//
+// Exceptions are reserved for programming errors (precondition violations,
+// corrupted archives). Outcomes that are *expected* at runtime in an elastic
+// system -- timeouts, RPCs to departed members, 2PC aborts -- are reported
+// through Status / Expected so callers are forced to handle them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace colza {
+
+enum class StatusCode {
+  ok = 0,
+  timeout,
+  unreachable,      // peer not found / departed
+  aborted,          // protocol abort (e.g. 2PC view mismatch)
+  not_found,        // named entity (pipeline, handler) does not exist
+  already_exists,
+  invalid_argument,
+  failed_precondition,
+  shutting_down,
+  unavailable,       // resource temporarily exhausted (e.g. no free nodes)
+  internal,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode c) noexcept {
+  switch (c) {
+    case StatusCode::ok: return "ok";
+    case StatusCode::timeout: return "timeout";
+    case StatusCode::unreachable: return "unreachable";
+    case StatusCode::aborted: return "aborted";
+    case StatusCode::not_found: return "not_found";
+    case StatusCode::already_exists: return "already_exists";
+    case StatusCode::invalid_argument: return "invalid_argument";
+    case StatusCode::failed_precondition: return "failed_precondition";
+    case StatusCode::shutting_down: return "shutting_down";
+    case StatusCode::unavailable: return "unavailable";
+    case StatusCode::internal: return "internal";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status Timeout(std::string m = "timeout") {
+    return {StatusCode::timeout, std::move(m)};
+  }
+  static Status Unreachable(std::string m) {
+    return {StatusCode::unreachable, std::move(m)};
+  }
+  static Status Aborted(std::string m) {
+    return {StatusCode::aborted, std::move(m)};
+  }
+  static Status NotFound(std::string m) {
+    return {StatusCode::not_found, std::move(m)};
+  }
+  static Status AlreadyExists(std::string m) {
+    return {StatusCode::already_exists, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::invalid_argument, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {StatusCode::failed_precondition, std::move(m)};
+  }
+  static Status ShuttingDown(std::string m = "shutting down") {
+    return {StatusCode::shutting_down, std::move(m)};
+  }
+  static Status Unavailable(std::string m) {
+    return {StatusCode::unavailable, std::move(m)};
+  }
+  static Status Internal(std::string m) {
+    return {StatusCode::internal, std::move(m)};
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::ok; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s{colza::to_string(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  // Throws std::runtime_error if not ok. For callers that treat failure as
+  // a programming error in their context (tests, examples).
+  void check() const {
+    if (!ok()) throw std::runtime_error(to_string());
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::ok;
+  std::string message_;
+};
+
+// Minimal expected-like wrapper: either a value or a non-ok Status.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Expected(Status status) : data_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(data_).ok())
+      throw std::logic_error("Expected constructed from ok Status");
+  }
+
+  [[nodiscard]] bool has_value() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    ensure();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    ensure();
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    ensure();
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] Status status() const {
+    return has_value() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  void ensure() const {
+    if (!has_value())
+      throw std::runtime_error("Expected has no value: " +
+                               std::get<Status>(data_).to_string());
+  }
+  std::variant<T, Status> data_;
+};
+
+}  // namespace colza

@@ -1,0 +1,36 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace colza {
+
+namespace {
+std::string format_scaled(double v, const char* unit) {
+  char buf[48];
+  if (v == static_cast<std::uint64_t>(v)) {
+    std::snprintf(buf, sizeof(buf), "%llu %s",
+                  static_cast<unsigned long long>(v), unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g %s", v, unit);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string format_size(std::uint64_t bytes) {
+  if (bytes >= GiB) return format_scaled(static_cast<double>(bytes) / GiB, "GiB");
+  if (bytes >= MiB) return format_scaled(static_cast<double>(bytes) / MiB, "MiB");
+  if (bytes >= KiB) return format_scaled(static_cast<double>(bytes) / KiB, "KiB");
+  return format_scaled(static_cast<double>(bytes), "B");
+}
+
+std::string format_duration_ns(std::uint64_t ns) {
+  if (ns >= 1000000000ULL)
+    return format_scaled(static_cast<double>(ns) / 1e9, "s");
+  if (ns >= 1000000ULL)
+    return format_scaled(static_cast<double>(ns) / 1e6, "ms");
+  if (ns >= 1000ULL) return format_scaled(static_cast<double>(ns) / 1e3, "us");
+  return format_scaled(static_cast<double>(ns), "ns");
+}
+
+}  // namespace colza

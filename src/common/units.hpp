@@ -1,0 +1,19 @@
+// Size and formatting helpers shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace colza {
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+// "8 B", "2 KiB", "1.5 MiB", ...
+[[nodiscard]] std::string format_size(std::uint64_t bytes);
+
+// "1.163 ms", "5 s", ... from nanoseconds.
+[[nodiscard]] std::string format_duration_ns(std::uint64_t ns);
+
+}  // namespace colza

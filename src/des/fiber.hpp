@@ -1,0 +1,81 @@
+// Cooperative fibers (ucontext-based), the simulated equivalent of Argobots
+// user-level threads. Fibers are created and scheduled exclusively by
+// des::Simulation; user code interacts with them through Simulation and the
+// primitives in des/sync.hpp.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace colza::des {
+
+class Simulation;
+
+enum class FiberState : std::uint8_t {
+  created,   // not yet started
+  ready,     // resume event scheduled
+  running,   // currently executing
+  blocked,   // waiting on a primitive; no resume event scheduled
+  finished,  // body returned (or threw)
+};
+
+class Fiber {
+ public:
+  Fiber(Simulation* sim, std::uint64_t id, std::string name,
+        std::function<void()> body, std::size_t stack_size, bool daemon,
+        std::uint64_t tag);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] FiberState state() const noexcept { return state_; }
+  [[nodiscard]] bool daemon() const noexcept { return daemon_; }
+  [[nodiscard]] std::uint64_t tag() const noexcept { return tag_; }
+  void set_tag(std::uint64_t tag) noexcept { tag_ = tag; }
+
+ private:
+  friend class Simulation;
+
+  static void trampoline();
+
+  Simulation* sim_;
+  std::uint64_t id_;
+  std::string name_;
+  std::function<void()> body_;
+  std::unique_ptr<char[]> stack_;
+  std::size_t stack_size_;
+  ucontext_t context_{};
+  FiberState state_ = FiberState::created;
+  bool started_ = false;  // context initialized (first resume happened)
+  bool daemon_ = false;
+  std::uint64_t tag_ = 0;  // user tag: owning simulated-process id
+  std::exception_ptr error_;
+  std::vector<std::uint64_t> joiners_;  // fiber ids blocked in join() on this
+  std::uint64_t wake_epoch_ = 0;  // increments at every block; guards timers
+  bool timed_out_ = false;        // set when the last block ended by timeout
+};
+
+// Value handle for a spawned fiber; identifies the fiber by id so it stays
+// safe to hold after the fiber finished and was reclaimed.
+class FiberHandle {
+ public:
+  FiberHandle() = default;
+  [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  friend class Simulation;
+  explicit FiberHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace colza::des

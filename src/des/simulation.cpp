@@ -1,0 +1,319 @@
+#include "des/simulation.hpp"
+
+#include <ctime>
+
+#include "common/log.hpp"
+
+namespace colza::des {
+
+namespace {
+// The fiber currently being started needs a way to find its Fiber object from
+// the makecontext trampoline (which takes no usable 64-bit argument portably).
+// The DES is single-OS-thread, so a file-local "starting fiber" slot works.
+Fiber* g_starting_fiber = nullptr;
+Simulation* g_current_sim = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fiber
+
+Fiber::Fiber(Simulation* sim, std::uint64_t id, std::string name,
+             std::function<void()> body, std::size_t stack_size, bool daemon,
+             std::uint64_t tag)
+    : sim_(sim),
+      id_(id),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      stack_(new char[stack_size]),
+      stack_size_(stack_size),
+      daemon_(daemon),
+      tag_(tag) {}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline() {
+  Fiber* self = g_starting_fiber;
+  g_starting_fiber = nullptr;
+  try {
+    self->body_();
+  } catch (...) {
+    self->error_ = std::current_exception();
+  }
+  self->sim_->fiber_finished(self);
+  // fiber_finished swaps back to the scheduler and never returns here.
+}
+
+// ---------------------------------------------------------------------------
+// Simulation
+
+Simulation::Simulation(SimConfig config)
+    : config_(config), rng_(config.seed) {}
+
+Simulation::~Simulation() { stop_trace(); }
+
+void Simulation::start_trace(const std::string& path) {
+  stop_trace();
+  trace_ = std::fopen(path.c_str(), "w");
+  if (trace_ == nullptr)
+    throw std::runtime_error("start_trace: cannot open " + path);
+  std::fputs("[\n", trace_);
+  trace_first_event_ = true;
+}
+
+void Simulation::stop_trace() {
+  if (trace_ == nullptr) return;
+  std::fputs("\n]\n", trace_);
+  std::fclose(trace_);
+  trace_ = nullptr;
+}
+
+Simulation* Simulation::current() noexcept { return g_current_sim; }
+
+std::uint64_t Simulation::wall_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t Simulation::current_tag() const noexcept {
+  return current_ != nullptr ? current_->tag() : 0;
+}
+
+std::uint64_t Simulation::current_fiber_id() const noexcept {
+  return current_ != nullptr ? current_->id() : 0;
+}
+
+FiberHandle Simulation::spawn(std::string name, std::function<void()> body,
+                              SpawnOptions opts) {
+  bool daemon = opts.daemon;
+  if (!daemon && opts.inherit_daemon && current_ != nullptr)
+    daemon = current_->daemon();
+  std::uint64_t tag = opts.tag;
+  if (tag == 0 && current_ != nullptr) tag = current_->tag();
+  const std::size_t stack =
+      opts.stack_size != 0 ? opts.stack_size : config_.default_stack_size;
+
+  const std::uint64_t id = next_fiber_id_++;
+  auto fiber = std::make_unique<Fiber>(this, id, std::move(name),
+                                       std::move(body), stack, daemon, tag);
+  Fiber* raw = fiber.get();
+  fibers_.emplace(id, std::move(fiber));
+  if (!daemon) ++nondaemon_fibers_;
+  schedule_resume(raw, now_);
+  return FiberHandle(id);
+}
+
+bool Simulation::finished(FiberHandle h) const noexcept {
+  return fibers_.find(h.id()) == fibers_.end();
+}
+
+void Simulation::join(FiberHandle h) {
+  if (current_ == nullptr)
+    throw std::logic_error("join() must be called from a fiber");
+  auto it = fibers_.find(h.id());
+  if (it == fibers_.end()) return;  // already finished and reclaimed
+  it->second->joiners_.push_back(current_->id());
+  block_current();
+}
+
+void Simulation::schedule_at(Time t, std::function<void()> fn) {
+  const bool daemon = current_ != nullptr && current_->daemon();
+  if (!daemon) ++nondaemon_events_;
+  queue_.push(Event{t, next_seq_++, daemon, nullptr, std::move(fn), 0});
+}
+
+void Simulation::schedule_after(Duration d, std::function<void()> fn) {
+  schedule_at(now_ + d, std::move(fn));
+}
+
+void Simulation::schedule_after(Duration d, std::function<void()> fn,
+                                bool daemon) {
+  if (!daemon) ++nondaemon_events_;
+  queue_.push(Event{now_ + d, next_seq_++, daemon, nullptr, std::move(fn), 0});
+}
+
+void Simulation::schedule_resume(Fiber* f, Time t) {
+  f->state_ = FiberState::ready;
+  // Resume events carry the fiber's own daemon-ness.
+  if (!f->daemon()) ++nondaemon_events_;
+  queue_.push(Event{t, next_seq_++, f->daemon(), f, nullptr, f->id()});
+}
+
+void Simulation::block_current() {
+  if (current_ == nullptr)
+    throw std::logic_error("block_current() must be called from a fiber");
+  Fiber* self = current_;
+  ++self->wake_epoch_;
+  self->timed_out_ = false;
+  self->state_ = FiberState::blocked;
+  current_ = nullptr;
+  swapcontext(&self->context_, &scheduler_context_);
+  // resumed
+  current_ = self;
+  self->state_ = FiberState::running;
+}
+
+bool Simulation::block_current_for(Duration timeout) {
+  if (current_ == nullptr)
+    throw std::logic_error("block_current_for() must be called from a fiber");
+  Fiber* self = current_;
+  const std::uint64_t id = self->id();
+  const std::uint64_t epoch = self->wake_epoch_ + 1;  // epoch of this block
+  // Timeout timers are always daemon: the blocked fiber itself (if
+  // non-daemon) is what keeps the simulation alive.
+  schedule_after(
+      timeout,
+      [this, id, epoch] {
+        auto it = fibers_.find(id);
+        if (it == fibers_.end()) return;
+        Fiber* f = it->second.get();
+        if (f->state() != FiberState::blocked || f->wake_epoch_ != epoch)
+          return;  // already woken (and possibly re-blocked) -- stale timer
+        f->timed_out_ = true;
+        schedule_resume(f, now_);
+      },
+      /*daemon=*/true);
+  block_current();
+  return self->timed_out_;
+}
+
+void Simulation::sleep_until(Time t) {
+  if (current_ == nullptr)
+    throw std::logic_error("sleep must be called from a fiber");
+  if (t < now_) t = now_;
+  schedule_resume(current_, t);
+  // schedule_resume set state to ready; block without re-registering.
+  Fiber* self = current_;
+  self->state_ = FiberState::ready;
+  current_ = nullptr;
+  swapcontext(&self->context_, &scheduler_context_);
+  current_ = self;
+  self->state_ = FiberState::running;
+}
+
+void Simulation::sleep_for(Duration d) { sleep_until(now_ + d); }
+
+void Simulation::charge(Duration d) {
+  if (trace_ != nullptr && current_ != nullptr && d > 0) {
+    if (!trace_first_event_) std::fputs(",\n", trace_);
+    trace_first_event_ = false;
+    std::fprintf(trace_,
+                 "{\"name\":\"%s [compute]\",\"cat\":\"compute\",\"ph\":\"X\","
+                 "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%llu,\"tid\":%llu}",
+                 current_->name().c_str(), to_micros(now_), to_micros(d),
+                 static_cast<unsigned long long>(current_->tag()),
+                 static_cast<unsigned long long>(current_->id()));
+  }
+  sleep_for(d);
+}
+
+void Simulation::yield() { sleep_until(now_); }
+
+void Simulation::switch_to(Fiber* f) {
+  current_ = f;
+  if (!f->started_) {
+    f->started_ = true;
+    getcontext(&f->context_);
+    f->context_.uc_stack.ss_sp = f->stack_.get();
+    f->context_.uc_stack.ss_size = f->stack_size_;
+    f->context_.uc_link = &scheduler_context_;
+    g_starting_fiber = f;
+    makecontext(&f->context_, &Fiber::trampoline, 0);
+  }
+  f->state_ = FiberState::running;
+  Simulation* prev_sim = g_current_sim;
+  g_current_sim = this;
+  swapcontext(&scheduler_context_, &f->context_);
+  g_current_sim = prev_sim;
+}
+
+void Simulation::fiber_finished(Fiber* f) {
+  f->state_ = FiberState::finished;
+  if (!f->daemon()) --nondaemon_fibers_;
+  if (f->error_ != nullptr && pending_error_ == nullptr)
+    pending_error_ = f->error_;
+  for (std::uint64_t joiner : f->joiners_) unblock_for_sync(*this, joiner);
+  f->joiners_.clear();
+  // Move ownership out of the live map; free after we're off this stack.
+  auto it = fibers_.find(f->id());
+  reap_.push_back(std::move(it->second));
+  fibers_.erase(it);
+  current_ = nullptr;
+  swapcontext(&f->context_, &scheduler_context_);
+  // never reached
+}
+
+bool Simulation::step() {
+  reap_.clear();
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  if (!ev.daemon) --nondaemon_events_;
+  now_ = ev.time;
+  if (ev.fiber != nullptr) {
+    // The fiber may have been woken by a sync primitive and already run (and
+    // even finished) before this timer fires; only resume if it is still the
+    // live fiber with this id and is ready.
+    auto it = fibers_.find(ev.fiber_id);
+    if (it == fibers_.end() || it->second.get() != ev.fiber) return true;
+    if (ev.fiber->state_ != FiberState::ready) return true;
+    switch_to(ev.fiber);
+  } else {
+    Simulation* prev_sim = g_current_sim;
+    g_current_sim = this;
+    ev.fn();
+    g_current_sim = prev_sim;
+  }
+  if (pending_error_ != nullptr) {
+    auto err = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+  return true;
+}
+
+void Simulation::check_deadlock() const {
+  if (nondaemon_fibers_ == 0) return;
+  std::string msg = "simulation deadlock: event queue empty but " +
+                    std::to_string(nondaemon_fibers_) +
+                    " non-daemon fiber(s) blocked:";
+  std::size_t listed = 0;
+  for (const auto& [id, f] : fibers_) {
+    if (f->daemon() || f->state() == FiberState::finished) continue;
+    if (listed++ == 8) {
+      msg += " ...";
+      break;
+    }
+    msg += " '" + f->name() + "'";
+  }
+  throw DeadlockError(msg);
+}
+
+void Simulation::run() {
+  while (nondaemon_fibers_ > 0 || nondaemon_events_ > 0) {
+    if (!step()) {
+      check_deadlock();
+      break;  // only daemon work pending
+    }
+  }
+  reap_.clear();
+}
+
+void Simulation::run_until(Time horizon) {
+  while (!queue_.empty() && queue_.top().time <= horizon) {
+    if (!step()) break;
+  }
+  if (now_ < horizon) now_ = horizon;
+  reap_.clear();
+}
+
+void unblock_for_sync(Simulation& sim, std::uint64_t fiber_id) {
+  auto it = sim.fibers_.find(fiber_id);
+  if (it == sim.fibers_.end()) return;
+  Fiber* f = it->second.get();
+  if (f->state() != FiberState::blocked) return;
+  sim.schedule_resume(f, sim.now());
+}
+
+}  // namespace colza::des

@@ -1,0 +1,201 @@
+// The discrete-event simulation engine.
+//
+// One Simulation owns a virtual clock, an event queue, and all fibers.
+// Simulated "processes" and "nodes" are layered on top by colza::net; at this
+// level there are only fibers (cooperative tasks) and timed events.
+//
+// Execution model
+//   * Single OS thread. Events fire in (time, sequence) order, so a fixed
+//     seed reproduces the timeline bit-for-bit.
+//   * A fiber blocks by returning control to the scheduler (sleep, or a
+//     primitive from des/sync.hpp). Blocking never spins.
+//   * Compute cost is *charged*: charge(d) advances the fiber's position in
+//     virtual time, exactly like sleep; charge_scoped() runs real code,
+//     measures its wall-clock duration, and charges that (scaled), which is
+//     how real filter/render computation lands on the owning rank's clock.
+//
+// Termination
+//   * Fibers and events are daemon or non-daemon (daemon-ness is inherited
+//     from the spawning/scheduling fiber unless overridden). run() returns
+//     when no non-daemon fiber is alive and no non-daemon event is pending --
+//     background gossip loops don't keep the simulation alive.
+//   * If the event queue drains while non-daemon fibers are still blocked,
+//     run() throws DeadlockError naming them.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "des/fiber.hpp"
+#include "des/time.hpp"
+
+namespace colza::des {
+
+struct SimConfig {
+  std::uint64_t seed = 42;
+  std::size_t default_stack_size = 512 * 1024;
+  // Multiplier applied by charge_scoped to measured wall time before
+  // charging, to model faster/slower simulated cores. 1.0 = host speed.
+  double compute_time_scale = 1.0;
+};
+
+struct SpawnOptions {
+  bool daemon = false;
+  bool inherit_daemon = true;  // if spawned from a daemon fiber, be daemon too
+  std::size_t stack_size = 0;  // 0 = simulation default
+  std::uint64_t tag = 0;       // 0 = inherit spawner's tag
+};
+
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimConfig config = {});
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // ---- observers -------------------------------------------------------
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool in_fiber() const noexcept { return current_ != nullptr; }
+  // Tag of the currently running fiber (0 when called from scheduler/timer
+  // context). colza::net uses tags to map fibers to simulated processes.
+  [[nodiscard]] std::uint64_t current_tag() const noexcept;
+  [[nodiscard]] std::uint64_t current_fiber_id() const noexcept;
+  [[nodiscard]] std::size_t live_fiber_count() const noexcept {
+    return fibers_.size();
+  }
+
+  // ---- fiber creation & control ----------------------------------------
+  FiberHandle spawn(std::string name, std::function<void()> body,
+                    SpawnOptions opts = {});
+
+  // Blocks the calling fiber until `h` finishes. Returns immediately if it
+  // already has. Must be called from a fiber.
+  void join(FiberHandle h);
+  [[nodiscard]] bool finished(FiberHandle h) const noexcept;
+
+  // ---- timed events (scheduler context callbacks) -----------------------
+  // The callback runs in scheduler context: it must not block. daemon-ness
+  // defaults to the scheduling fiber's (non-daemon from outside a fiber).
+  void schedule_at(Time t, std::function<void()> fn);
+  void schedule_after(Duration d, std::function<void()> fn);
+  void schedule_after(Duration d, std::function<void()> fn, bool daemon);
+
+  // ---- fiber-facing operations (must run inside a fiber) ----------------
+  void sleep_for(Duration d);
+  void sleep_until(Time t);
+  void yield();  // requeue at current time, after already-pending events
+
+  // Advance this fiber's virtual clock by a modeled compute cost.
+  // (Semantically sleep_for; separate so traces can label compute spans.)
+  void charge(Duration d);
+
+  // Run `work` for real, measure it, charge measured * compute_time_scale.
+  // Returns work's result. The measurement is clean because nothing else
+  // runs concurrently on the host thread.
+  template <typename F>
+  auto charge_scoped(F&& work) {
+    const std::uint64_t t0 = wall_ns();
+    if constexpr (std::is_void_v<std::invoke_result_t<F>>) {
+      work();
+      charge(scaled(wall_ns() - t0));
+    } else {
+      auto result = work();
+      charge(scaled(wall_ns() - t0));
+      return result;
+    }
+  }
+
+  // ---- main loop ---------------------------------------------------------
+  // Runs until no non-daemon work remains. Throws DeadlockError if
+  // non-daemon fibers are blocked with an empty event queue, and rethrows
+  // the first exception escaping any fiber body.
+  void run();
+  // Processes all events with time <= horizon, then sets now = horizon.
+  void run_until(Time horizon);
+
+  // The simulation running the currently-executing fiber, or nullptr.
+  static Simulation* current() noexcept;
+
+  // ---- primitives for des/sync.hpp (and other blocking abstractions) ----
+  // Block the current fiber until some agent calls unblock_for_sync on it.
+  void block_current();
+  // Same, with a timeout; returns true if the block ended by timeout.
+  bool block_current_for(Duration timeout);
+
+  // ---- tracing -----------------------------------------------------------
+  // Records every fiber's execution spans (resume -> yield/block/finish, in
+  // VIRTUAL time) into a Chrome trace-event JSON file, loadable in
+  // chrome://tracing / Perfetto. pid = the fiber's tag (simulated process),
+  // tid = fiber id. Call stop_trace() (or destroy the Simulation) to finish
+  // the file.
+  void start_trace(const std::string& path);
+  void stop_trace();
+  [[nodiscard]] bool tracing() const noexcept { return trace_ != nullptr; }
+
+ private:
+  friend class Fiber;
+
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    bool daemon;
+    Fiber* fiber;                // resume this fiber, or...
+    std::function<void()> fn;    // ...run this callback
+    std::uint64_t fiber_id = 0;  // guards against stale fiber pointers
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void schedule_resume(Fiber* f, Time t);
+  void switch_to(Fiber* f);
+  void fiber_finished(Fiber* f);
+  bool step();  // process one event; false if queue empty
+  void check_deadlock() const;
+  [[nodiscard]] Duration scaled(std::uint64_t wall) const noexcept {
+    return static_cast<Duration>(static_cast<double>(wall) *
+                                 config_.compute_time_scale);
+  }
+  static std::uint64_t wall_ns() noexcept;
+
+  SimConfig config_;
+  Rng rng_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_fiber_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::map<std::uint64_t, std::unique_ptr<Fiber>> fibers_;  // live fibers
+  std::vector<std::unique_ptr<Fiber>> reap_;  // finished, free on next step
+  Fiber* current_ = nullptr;
+  ucontext_t scheduler_context_{};
+  std::FILE* trace_ = nullptr;
+  bool trace_first_event_ = true;
+  std::size_t nondaemon_fibers_ = 0;
+  std::size_t nondaemon_events_ = 0;
+  std::exception_ptr pending_error_;
+
+  friend void unblock_for_sync(Simulation& sim, std::uint64_t fiber_id);
+};
+
+// Used by des/sync.hpp: wake a blocked fiber at the current time.
+void unblock_for_sync(Simulation& sim, std::uint64_t fiber_id);
+
+}  // namespace colza::des

@@ -1,0 +1,250 @@
+// Fiber-aware synchronization primitives (the simulated counterparts of
+// Argobots' ABT_mutex / ABT_cond / ABT_eventual / ABT_barrier).
+//
+// All primitives are tied to one Simulation and may only block from inside a
+// fiber of that simulation. notify()/set_value()/signal() may additionally be
+// called from scheduler-context callbacks (e.g. message-delivery events).
+// Wakeups are FIFO, which keeps the virtual timeline deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "des/simulation.hpp"
+#include "des/time.hpp"
+
+namespace colza::des {
+
+class Mutex {
+ public:
+  explicit Mutex(Simulation& sim) : sim_(&sim) {}
+
+  void lock() {
+    if (!locked_) {
+      locked_ = true;
+      return;
+    }
+    waiters_.push_back(sim_->current_fiber_id());
+    // Loop: we are woken holding nothing; the unlocker transfers the lock by
+    // setting locked_ = true on our behalf before waking us (baton passing),
+    // so a single wake suffices and FIFO order is preserved.
+    sim_->block_current();
+  }
+
+  [[nodiscard]] bool try_lock() {
+    if (locked_) return false;
+    locked_ = true;
+    return true;
+  }
+
+  void unlock() {
+    if (!locked_) throw std::logic_error("Mutex::unlock: not locked");
+    if (waiters_.empty()) {
+      locked_ = false;
+      return;
+    }
+    const std::uint64_t next = waiters_.front();
+    waiters_.pop_front();
+    // Baton passing: the mutex stays locked and ownership moves to `next`.
+    unblock_for_sync(*sim_, next);
+  }
+
+  [[nodiscard]] bool locked() const noexcept { return locked_; }
+
+ private:
+  Simulation* sim_;
+  bool locked_ = false;
+  std::deque<std::uint64_t> waiters_;
+};
+
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) : m_(&m) { m_->lock(); }
+  ~LockGuard() { m_->unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex* m_;
+};
+
+class CondVar {
+ public:
+  explicit CondVar(Simulation& sim) : sim_(&sim) {}
+
+  void wait(Mutex& m) {
+    waiters_.push_back(sim_->current_fiber_id());
+    m.unlock();
+    sim_->block_current();
+    m.lock();
+  }
+
+  // Returns true if the wait timed out (the waiter was then self-removed).
+  bool wait_for(Mutex& m, Duration timeout) {
+    const std::uint64_t self = sim_->current_fiber_id();
+    waiters_.push_back(self);
+    m.unlock();
+    const bool timed_out = sim_->block_current_for(timeout);
+    if (timed_out) remove_waiter(self);
+    m.lock();
+    return timed_out;
+  }
+
+  template <typename Pred>
+  void wait(Mutex& m, Pred pred) {
+    while (!pred()) wait(m);
+  }
+
+  // Returns false if the deadline passed with pred still false.
+  template <typename Pred>
+  bool wait_for(Mutex& m, Duration timeout, Pred pred) {
+    const Time deadline = sim_->now() + timeout;
+    while (!pred()) {
+      const Time now = sim_->now();
+      if (now >= deadline) return false;
+      if (wait_for(m, deadline - now) && !pred()) return false;
+    }
+    return true;
+  }
+
+  void notify_one() {
+    if (waiters_.empty()) return;
+    const std::uint64_t id = waiters_.front();
+    waiters_.pop_front();
+    unblock_for_sync(*sim_, id);
+  }
+
+  void notify_all() {
+    while (!waiters_.empty()) notify_one();
+  }
+
+ private:
+  void remove_waiter(std::uint64_t id) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == id) {
+        waiters_.erase(it);
+        return;
+      }
+    }
+  }
+
+  Simulation* sim_;
+  std::deque<std::uint64_t> waiters_;
+};
+
+// One-shot value slot: the simulated ABT_eventual. wait() blocks until some
+// agent calls set_value(); multiple fibers may wait on the same eventual.
+template <typename T>
+class Eventual {
+ public:
+  explicit Eventual(Simulation& sim) : sim_(&sim) {}
+
+  void set_value(T value) {
+    if (value_.has_value())
+      throw std::logic_error("Eventual: value set twice");
+    value_.emplace(std::move(value));
+    for (std::uint64_t id : waiters_) unblock_for_sync(*sim_, id);
+    waiters_.clear();
+  }
+
+  [[nodiscard]] bool ready() const noexcept { return value_.has_value(); }
+
+  T& wait() {
+    while (!value_.has_value()) {
+      waiters_.push_back(sim_->current_fiber_id());
+      sim_->block_current();
+    }
+    return *value_;
+  }
+
+  // Returns nullptr on timeout.
+  T* wait_for(Duration timeout) {
+    const Time deadline = sim_->now() + timeout;
+    while (!value_.has_value()) {
+      const Time now = sim_->now();
+      if (now >= deadline) return nullptr;
+      waiters_.push_back(sim_->current_fiber_id());
+      if (sim_->block_current_for(deadline - now)) {
+        remove_waiter(sim_->current_fiber_id());
+        if (!value_.has_value()) return nullptr;
+      }
+    }
+    return &*value_;
+  }
+
+ private:
+  void remove_waiter(std::uint64_t id) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == id) {
+        waiters_.erase(it);
+        return;
+      }
+    }
+  }
+
+  Simulation* sim_;
+  std::optional<T> value_;
+  std::deque<std::uint64_t> waiters_;
+};
+
+class Barrier {
+ public:
+  Barrier(Simulation& sim, std::size_t count) : sim_(&sim), count_(count) {
+    if (count == 0) throw std::invalid_argument("Barrier: count must be > 0");
+  }
+
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == count_) {
+      arrived_ = 0;
+      ++generation_;
+      auto waiters = std::move(waiters_);
+      waiters_.clear();
+      for (std::uint64_t id : waiters) unblock_for_sync(*sim_, id);
+      return;
+    }
+    waiters_.push_back(sim_->current_fiber_id());
+    while (generation_ == gen) sim_->block_current();
+  }
+
+ private:
+  Simulation* sim_;
+  std::size_t count_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::deque<std::uint64_t> waiters_;
+};
+
+class Semaphore {
+ public:
+  Semaphore(Simulation& sim, std::size_t initial) : sim_(&sim), count_(initial) {}
+
+  void acquire() {
+    while (count_ == 0) {
+      waiters_.push_back(sim_->current_fiber_id());
+      sim_->block_current();
+    }
+    --count_;
+  }
+
+  void release() {
+    ++count_;
+    if (!waiters_.empty()) {
+      const std::uint64_t id = waiters_.front();
+      waiters_.pop_front();
+      unblock_for_sync(*sim_, id);
+    }
+  }
+
+  [[nodiscard]] std::size_t available() const noexcept { return count_; }
+
+ private:
+  Simulation* sim_;
+  std::size_t count_;
+  std::deque<std::uint64_t> waiters_;
+};
+
+}  // namespace colza::des

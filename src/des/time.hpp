@@ -1,0 +1,42 @@
+// Virtual time for the discrete-event simulation. Integer nanoseconds so the
+// timeline is exact and deterministic (no floating-point drift).
+#pragma once
+
+#include <cstdint>
+
+namespace colza::des {
+
+using Time = std::uint64_t;      // nanoseconds since simulation start
+using Duration = std::uint64_t;  // nanoseconds
+
+inline constexpr Duration nanoseconds(std::uint64_t n) noexcept { return n; }
+inline constexpr Duration microseconds(std::uint64_t n) noexcept {
+  return n * 1000ULL;
+}
+inline constexpr Duration milliseconds(std::uint64_t n) noexcept {
+  return n * 1000000ULL;
+}
+inline constexpr Duration seconds(std::uint64_t n) noexcept {
+  return n * 1000000000ULL;
+}
+
+// Fractional helpers (rounded to nearest nanosecond).
+inline constexpr Duration from_seconds(double s) noexcept {
+  return static_cast<Duration>(s * 1e9 + 0.5);
+}
+inline constexpr Duration from_micros(double us) noexcept {
+  return static_cast<Duration>(us * 1e3 + 0.5);
+}
+inline constexpr double to_seconds(Duration d) noexcept {
+  return static_cast<double>(d) * 1e-9;
+}
+inline constexpr double to_millis(Duration d) noexcept {
+  return static_cast<double>(d) * 1e-6;
+}
+inline constexpr double to_micros(Duration d) noexcept {
+  return static_cast<double>(d) * 1e-3;
+}
+
+inline constexpr Time kTimeInfinity = ~Time{0};
+
+}  // namespace colza::des

@@ -1,0 +1,198 @@
+#include <cstring>
+
+#include "common/log.hpp"
+#include "mona/mona.hpp"
+#include "mona/tags.hpp"
+
+namespace colza::mona {
+
+namespace {
+constexpr const char* kMailbox = "mona";
+
+std::uint64_t hash_members(const std::vector<net::ProcId>& addrs) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (net::ProcId p : addrs) {
+    for (int i = 0; i < 4; ++i) {
+      h ^= (p >> (8 * i)) & 0xffU;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+}  // namespace
+
+Instance::Instance(net::Process& proc, net::Profile profile)
+    : proc_(&proc), profile_(std::move(profile)) {
+  proc_->spawn("mona-demux", [this] { demux_loop(); },
+               des::SpawnOptions{.daemon = true});
+}
+
+Instance::~Instance() { shutdown(); }
+
+void Instance::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  proc_->mailbox(kMailbox).close();
+  for (PostedRecv* p : posted_) {
+    p->status = Status::ShuttingDown();
+    p->done = true;
+    des::unblock_for_sync(sim(), p->fiber);
+  }
+  posted_.clear();
+}
+
+bool Instance::match_deliver(PostedRecv& p, net::Message& m) {
+  if ((p.source != net::kInvalidProc && p.source != m.source) ||
+      p.tag != m.tag)
+    return false;
+  p.matched_source = m.source;
+  if (m.payload.size() > p.out.size()) {
+    p.status = Status::InvalidArgument(
+        "mona::recv: message truncated (" + std::to_string(m.payload.size()) +
+        " > " + std::to_string(p.out.size()) + ")");
+  } else {
+    std::memcpy(p.out.data(), m.payload.data(), m.payload.size());
+    p.received = m.payload.size();
+    p.status = Status::Ok();
+  }
+  p.done = true;
+  des::unblock_for_sync(sim(), p.fiber);
+  return true;
+}
+
+void Instance::demux_loop() {
+  auto& box = proc_->mailbox(kMailbox);
+  while (!stopped_) {
+    auto msg = box.recv();
+    if (!msg.has_value()) return;
+    bool matched = false;
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (match_deliver(**it, *msg)) {
+        posted_.erase(it);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) unexpected_.push_back(std::move(*msg));
+  }
+}
+
+Status Instance::send(std::span<const std::byte> data, net::ProcId dest,
+                      std::uint64_t tag) {
+  if (stopped_) return Status::ShuttingDown();
+  std::vector<std::byte> payload(data.begin(), data.end());
+  proc_->network().transmit(*proc_, dest, kMailbox, profile_,
+                            net::Message{proc_->id(), tag, std::move(payload)});
+  return Status::Ok();
+}
+
+Status Instance::recv(std::span<std::byte> out, net::ProcId source,
+                      std::uint64_t tag, std::size_t* received) {
+  return recv_impl(out, source, tag, nullptr, received);
+}
+
+Status Instance::recv_any(std::span<std::byte> out, std::uint64_t tag,
+                          net::ProcId* source, std::size_t* received) {
+  return recv_impl(out, net::kInvalidProc, tag, source, received);
+}
+
+Status Instance::recv_impl(std::span<std::byte> out, net::ProcId source,
+                           std::uint64_t tag, net::ProcId* matched,
+                           std::size_t* received) {
+  if (stopped_) return Status::ShuttingDown();
+  // Check the unexpected queue first (FIFO per (source, tag) pair).
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if ((source != net::kInvalidProc && it->source != source) ||
+        it->tag != tag)
+      continue;
+    if (it->payload.size() > out.size())
+      return Status::InvalidArgument("mona::recv: message truncated");
+    std::memcpy(out.data(), it->payload.data(), it->payload.size());
+    if (received != nullptr) *received = it->payload.size();
+    if (matched != nullptr) *matched = it->source;
+    unexpected_.erase(it);
+    return Status::Ok();
+  }
+  PostedRecv post{source,
+                  tag,
+                  out,
+                  0,
+                  net::kInvalidProc,
+                  Status::Ok(),
+                  false,
+                  sim().current_fiber_id()};
+  posted_.push_back(&post);
+  while (!post.done) sim().block_current();
+  if (received != nullptr) *received = post.received;
+  if (matched != nullptr) *matched = post.matched_source;
+  return post.status;
+}
+
+void Instance::fail_pending(net::ProcId dead) {
+  for (auto it = posted_.begin(); it != posted_.end();) {
+    PostedRecv* p = *it;
+    if (p->source == dead) {
+      p->status = Status::Unreachable("mona: peer " + net::to_string(dead) +
+                                      " failed");
+      p->done = true;
+      des::unblock_for_sync(sim(), p->fiber);
+      it = posted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Instance::revoke_context(std::uint64_t context) {
+  if (!revoked_.insert(context).second) return;  // already revoked
+  for (auto it = posted_.begin(); it != posted_.end();) {
+    PostedRecv* p = *it;
+    if (tags::belongs_to(p->tag, context)) {
+      p->status = Status::Aborted("mona: communicator revoked");
+      p->done = true;
+      des::unblock_for_sync(sim(), p->fiber);
+      it = posted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::shared_ptr<Communicator> Instance::comm_create(
+    std::vector<net::ProcId> addrs) {
+  int rank = -1;
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if (addrs[i] == self()) {
+      rank = static_cast<int>(i);
+      break;
+    }
+  }
+  if (rank < 0) return nullptr;
+  const std::uint64_t h = hash_members(addrs);
+  const std::uint32_t count = comm_counter_[h]++;
+  const std::uint64_t context = h ^ (static_cast<std::uint64_t>(count) *
+                                     0x9e3779b97f4a7c15ULL);
+  return std::shared_ptr<Communicator>(
+      new Communicator(*this, std::move(addrs), rank, context));
+}
+
+// ------------------------------------------------------------- Request
+
+Status Request::wait() {
+  if (state_ == nullptr) return Status::Ok();  // empty request
+  if (!state_->done) sim_->join(fiber_);
+  return state_->status;
+}
+
+bool Request::test() const { return state_ == nullptr || state_->done; }
+
+Status Request::wait_all(std::span<Request> reqs) {
+  Status first;
+  for (Request& r : reqs) {
+    Status s = r.wait();
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+}  // namespace colza::mona

@@ -1,0 +1,39 @@
+// Internal wire-tag layout shared by the matching layer and the collective
+// algorithms (not part of the public API).
+//
+//   bit 63 set: collective traffic   [63][context:23][seq:24][kind:8]
+//   bit 62 set: communicator p2p     [62][context:23][user tag:32]
+//   otherwise : instance-level p2p   [raw user tag]
+#pragma once
+
+#include <cstdint>
+
+namespace colza::mona::tags {
+
+inline constexpr std::uint64_t kCollBit = 1ULL << 63;
+inline constexpr std::uint64_t kP2pBit = 1ULL << 62;
+inline constexpr std::uint64_t kContextMask = 0x7fffffULL;  // 23 bits
+
+[[nodiscard]] inline constexpr std::uint64_t coll_tag(std::uint64_t context,
+                                                      std::uint64_t seq,
+                                                      std::uint32_t kind) {
+  return kCollBit | ((context & kContextMask) << 40) |
+         ((seq & 0xffffffULL) << 8) | kind;
+}
+
+[[nodiscard]] inline constexpr std::uint64_t p2p_tag(std::uint64_t context,
+                                                     std::uint32_t user_tag) {
+  return kP2pBit | ((context & kContextMask) << 32) | user_tag;
+}
+
+// True if `tag` belongs to communicator `context` (either traffic class).
+[[nodiscard]] inline constexpr bool belongs_to(std::uint64_t tag,
+                                               std::uint64_t context) {
+  if ((tag & kCollBit) != 0)
+    return ((tag >> 40) & kContextMask) == (context & kContextMask);
+  if ((tag & kP2pBit) != 0)
+    return ((tag >> 32) & kContextMask) == (context & kContextMask);
+  return false;
+}
+
+}  // namespace colza::mona::tags

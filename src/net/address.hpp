@@ -1,0 +1,23 @@
+// Process and node identity for the simulated fabric.
+//
+// A ProcId plays the role of a Mercury address string ("na+ofi://..."): it is
+// small, serializable, and globally routable. NodeId identifies the physical
+// node a process runs on; processes on the same node communicate through the
+// shared-memory fast path and share the node's NIC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace colza::net {
+
+using ProcId = std::uint32_t;
+using NodeId = std::uint32_t;
+
+inline constexpr ProcId kInvalidProc = ~ProcId{0};
+
+[[nodiscard]] inline std::string to_string(ProcId p) {
+  return "sim://" + std::to_string(p);
+}
+
+}  // namespace colza::net

@@ -1,0 +1,295 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace colza::net {
+
+namespace {
+// Serialization time of `bytes` at `gbps` gigabytes per second, in ns.
+// 1 GB/s == 1 byte/ns, so ns = bytes / gbps.
+des::Duration bytes_over(double gbps, std::size_t bytes) {
+  return static_cast<des::Duration>(static_cast<double>(bytes) / gbps);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Mailbox
+
+void Mailbox::push(Message msg) {
+  if (closed_) return;
+  queue_.push_back(std::move(msg));
+  cv_.notify_one();
+}
+
+std::optional<Message> Mailbox::recv(std::optional<des::Duration> timeout) {
+  des::LockGuard g(mutex_);
+  auto ready = [this] { return !queue_.empty() || closed_; };
+  if (timeout.has_value()) {
+    if (!cv_.wait_for(mutex_, *timeout, ready)) return std::nullopt;
+  } else {
+    cv_.wait(mutex_, ready);
+  }
+  if (queue_.empty()) return std::nullopt;  // closed
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+std::optional<Message> Mailbox::try_recv() {
+  if (queue_.empty()) return std::nullopt;
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+void Mailbox::close() {
+  closed_ = true;
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------- Process
+
+Process::Process(Network& net, ProcId id, NodeId node)
+    : net_(&net), id_(id), node_(node) {}
+
+Process::~Process() = default;
+
+des::Simulation& Process::sim() noexcept { return net_->sim(); }
+
+des::FiberHandle Process::spawn(std::string name, std::function<void()> body,
+                                des::SpawnOptions opts) {
+  opts.tag = static_cast<std::uint64_t>(id_) + 1;
+  return sim().spawn(std::move(name), std::move(body), opts);
+}
+
+Mailbox& Process::mailbox(const std::string& name) {
+  auto it = mailboxes_.find(name);
+  if (it == mailboxes_.end()) {
+    it = mailboxes_.emplace(name, std::make_unique<Mailbox>(sim())).first;
+  }
+  return *it->second;
+}
+
+void Process::kill() {
+  if (!alive_) return;
+  alive_ = false;
+  regions_.clear();
+  for (auto& [name, box] : mailboxes_) box->close();
+}
+
+BulkRef Process::expose(std::span<const std::byte> region) {
+  const std::uint64_t id = next_region_++;
+  regions_.emplace(id, region);
+  return BulkRef{id_, id, region.size()};
+}
+
+void Process::unexpose(const BulkRef& ref) { regions_.erase(ref.region); }
+
+std::optional<std::span<const std::byte>> Process::lookup(
+    const BulkRef& ref) const {
+  auto it = regions_.find(ref.region);
+  if (it == regions_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------- Network
+
+Network::Network(des::Simulation& sim, NetworkConfig config)
+    : sim_(&sim),
+      config_(config),
+      loss_rng_(std::make_unique<Rng>(sim.rng().fork())) {}
+
+void Network::set_link_down(ProcId a, ProcId b, bool down) {
+  if (down) {
+    down_links_.insert({a, b});
+  } else {
+    down_links_.erase({a, b});
+  }
+}
+
+bool Network::link_down(ProcId a, ProcId b) const {
+  return down_links_.count({a, b}) != 0;
+}
+
+Network::~Network() = default;
+
+Process& Network::create_process(NodeId node) {
+  const ProcId id = next_proc_++;
+  auto proc = std::make_unique<Process>(*this, id, node);
+  Process& ref = *proc;
+  procs_.emplace(id, std::move(proc));
+  nodes_.try_emplace(node);
+  return ref;
+}
+
+Process* Network::find(ProcId id) noexcept {
+  auto it = procs_.find(id);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+std::size_t Network::alive_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [id, p] : procs_) n += p->alive() ? 1 : 0;
+  return n;
+}
+
+des::Time Network::reserve_nic(NodeId node, des::Time earliest,
+                               std::size_t bytes) {
+  Node& n = nodes_[node];
+  const des::Time start = std::max(earliest, n.nic_free);
+  const des::Time end = start + bytes_over(config_.nic_bandwidth_gbps, bytes);
+  n.nic_free = end;
+  return end;
+}
+
+des::Duration Network::message_delay(NodeId src, NodeId dst, std::size_t bytes,
+                                     const Profile& p) const {
+  des::Duration d = p.sw_latency + p.per_request_alloc;
+  if (src == dst && p.shm_enabled) {
+    return d + p.shm_latency + bytes_over(p.shm_bandwidth_gbps, bytes);
+  }
+  if (config_.nodes_per_group > 0 &&
+      src / config_.nodes_per_group != dst / config_.nodes_per_group) {
+    d += config_.inter_group_latency;  // extra hops through the global links
+  }
+  if (bytes <= p.eager_threshold) {
+    d += bytes_over(p.bandwidth_gbps, bytes);
+  } else if (p.large_uses_rdma) {
+    d += p.rdma_setup + bytes_over(p.rdma_bandwidth_gbps, bytes);
+  } else {
+    d += p.rendezvous_overhead +
+         static_cast<des::Duration>(
+             static_cast<double>(bytes_over(p.rdma_bandwidth_gbps, bytes)) *
+             p.rendezvous_byte_factor);
+  }
+  return d + config_.wire_latency;
+}
+
+void Network::transmit(Process& src, ProcId dst, const std::string& box,
+                       const Profile& profile, Message msg) {
+  if (!src.alive()) return;  // a dead process cannot put bytes on the wire
+  Process* target = find(dst);
+  if (target == nullptr || !target->alive()) return;  // dropped on the fabric
+  if (link_down(src.id(), dst)) return;               // injected link failure
+  if (config_.message_loss_probability > 0 && src.node() != target->node() &&
+      loss_rng_->uniform() < config_.message_loss_probability) {
+    return;  // injected random loss
+  }
+
+  const std::size_t bytes = msg.payload.size();
+  const des::Duration base =
+      message_delay(src.node(), target->node(), bytes, profile);
+  des::Time deliver_at = sim_->now() + base;
+  if (src.node() != target->node() && bytes > profile.eager_threshold &&
+      !profile.large_uses_rdma && profile.rendezvous_overhead > 0) {
+    // Receiver-side rendezvous serialization: the destination's progress
+    // engine handles one handshake at a time. The solo-message handshake
+    // cost is already part of `base`; only the queueing delay is added here.
+    des::Time& free_at = rndv_free_[dst];
+    const des::Time earliest = sim_->now() + profile.sw_latency;
+    const des::Time start = std::max(earliest, free_at);
+    const des::Time done = start + profile.rendezvous_overhead;
+    free_at = done;
+    deliver_at += done - (earliest + profile.rendezvous_overhead);
+  }
+  if (src.node() != target->node()) {
+    // Shared-NIC occupancy at both endpoints: a solo message is not delayed
+    // beyond `base` (whose bandwidth term already covers serialization), but
+    // concurrent transfers queue behind each other (incast contention).
+    const des::Duration ser = bytes_over(config_.nic_bandwidth_gbps, bytes);
+    {
+      Node& n = nodes_[src.node()];
+      const des::Time start = std::max(sim_->now(), n.nic_free);
+      n.nic_free = start + ser;
+      deliver_at = std::max(deliver_at, n.nic_free + config_.wire_latency);
+    }
+    {
+      Node& n = nodes_[target->node()];
+      const des::Time start = std::max(deliver_at - ser, n.nic_free);
+      n.nic_free = start + ser;
+      deliver_at = std::max(deliver_at, n.nic_free);
+    }
+  }
+
+  const ProcId dst_id = dst;
+  sim_->schedule_at(deliver_at, [this, dst_id, box,
+                                 msg = std::move(msg)]() mutable {
+    Process* t = find(dst_id);
+    if (t == nullptr || !t->alive()) return;  // died in flight
+    t->mailbox(box).push(std::move(msg));
+  });
+}
+
+des::Duration Network::rdma_delay(Process& self, ProcId owner,
+                                  std::size_t bytes, const Profile& p) {
+  Process* remote = find(owner);
+  const NodeId rnode = remote != nullptr ? remote->node() : self.node() + 1;
+  if (rnode == self.node() && p.shm_enabled) {
+    return p.rdma_setup / 4 + p.shm_latency +
+           bytes_over(p.shm_bandwidth_gbps, bytes);
+  }
+  const des::Duration base = p.rdma_setup + 2 * config_.wire_latency +
+                             bytes_over(p.rdma_bandwidth_gbps, bytes);
+  des::Time done_at = sim_->now() + base;
+  // NIC occupancy on both sides: queueing-only (a solo transfer completes in
+  // `base`; concurrent ones serialize on the shared NICs).
+  const des::Duration ser = bytes_over(config_.nic_bandwidth_gbps, bytes);
+  for (NodeId node : {rnode, self.node()}) {
+    Node& n = nodes_[node];
+    const des::Time start = std::max(done_at - ser, n.nic_free);
+    n.nic_free = start + ser;
+    done_at = std::max(done_at, n.nic_free);
+  }
+  return done_at - sim_->now();
+}
+
+Status Network::rdma_get(Process& self, const BulkRef& ref,
+                         std::uint64_t offset, std::span<std::byte> out,
+                         const Profile& profile) {
+  if (!self.alive()) return Status::Unreachable("rdma_get: self is dead");
+  if (link_down(self.id(), ref.owner) || link_down(ref.owner, self.id()))
+    return Status::Unreachable("rdma_get: link down");
+  if (offset + out.size() > ref.size)
+    return Status::InvalidArgument("rdma_get: range beyond exposed region");
+  const des::Duration delay = rdma_delay(self, ref.owner, out.size(), profile);
+  sim_->sleep_for(delay);
+  // Read remote memory at completion time (the exposer must keep it valid
+  // while exposed; Colza guarantees this between stage and deactivate).
+  Process* remote = find(ref.owner);
+  if (remote == nullptr || !remote->alive())
+    return Status::Unreachable("rdma_get: owner process is gone");
+  auto region = remote->lookup(ref);
+  if (!region.has_value())
+    return Status::NotFound("rdma_get: region not exposed");
+  if (offset + out.size() > region->size())
+    return Status::InvalidArgument("rdma_get: region shrank");
+  std::memcpy(out.data(), region->data() + offset, out.size());
+  return Status::Ok();
+}
+
+Status Network::rdma_put(Process& self, const BulkRef& ref,
+                         std::uint64_t offset, std::span<const std::byte> data,
+                         const Profile& profile) {
+  if (!self.alive()) return Status::Unreachable("rdma_put: self is dead");
+  if (offset + data.size() > ref.size)
+    return Status::InvalidArgument("rdma_put: range beyond exposed region");
+  const des::Duration delay = rdma_delay(self, ref.owner, data.size(), profile);
+  sim_->sleep_for(delay);
+  Process* remote = find(ref.owner);
+  if (remote == nullptr || !remote->alive())
+    return Status::Unreachable("rdma_put: owner process is gone");
+  auto region = remote->lookup(ref);
+  if (!region.has_value())
+    return Status::NotFound("rdma_put: region not exposed");
+  if (offset + data.size() > region->size())
+    return Status::InvalidArgument("rdma_put: region shrank");
+  // Exposed regions are registered as const spans; a put is a deliberate
+  // remote write into memory the owner handed out for that purpose.
+  std::memcpy(const_cast<std::byte*>(region->data()) + offset, data.data(),
+              data.size());
+  return Status::Ok();
+}
+
+}  // namespace colza::net

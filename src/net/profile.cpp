@@ -1,0 +1,75 @@
+#include "net/profile.hpp"
+
+namespace colza::net {
+
+using des::microseconds;
+using des::nanoseconds;
+
+// Constants below are fitted to the paper's Table I (time per send/recv op,
+// Cori Haswell + Aries) and produce Table II's collective shapes. The fit
+// procedure and side-by-side numbers are in EXPERIMENTS.md.
+
+Profile Profile::cray_mpich() {
+  Profile p;
+  p.name = "cray-mpich";
+  p.sw_latency = nanoseconds(1160);
+  p.bandwidth_gbps = 3.7;           // eager path (copy through mailboxes)
+  p.eager_threshold = 8192;
+  p.rendezvous_overhead = nanoseconds(2560);  // uGNI BTE handoff, cheap
+  p.rdma_bandwidth_gbps = 10.7;     // rendezvous payload goes over BTE
+  p.rdma_setup = nanoseconds(1800);
+  p.shm_latency = nanoseconds(250);
+  p.shm_bandwidth_gbps = 28.0;
+  return p;
+}
+
+Profile Profile::openmpi() {
+  Profile p;
+  p.name = "openmpi";
+  p.sw_latency = nanoseconds(1530);
+  p.bandwidth_gbps = 3.45;
+  p.eager_threshold = 4096;
+  // Generic (non-uGNI-tuned) rendezvous: request/ack/complete round trips
+  // through the progress engine; this is what makes 16 KiB cost ~61 us in
+  // Table I.
+  p.rendezvous_overhead = nanoseconds(57000);
+  p.rdma_bandwidth_gbps = 10.3;
+  p.rdma_setup = nanoseconds(2000);
+  p.shm_latency = nanoseconds(350);
+  p.shm_bandwidth_gbps = 20.0;
+  // Tuned collectives bail out to linear algorithms for large messages on
+  // this (modeled) fabric -- the source of Table II's 1800x collapse.
+  p.coll_linear_fallback = true;
+  p.coll_linear_threshold = 8192;
+  return p;
+}
+
+Profile Profile::mona() {
+  Profile p;
+  p.name = "mona";
+  p.sw_latency = nanoseconds(1924);  // Mercury NA + Argobots wakeup path
+  p.bandwidth_gbps = 2.6;
+  p.eager_threshold = 8192;
+  // MoNA switches to one-sided RDMA instead of a rendezvous protocol for
+  // large messages (paper S III-C1: "probably thanks to its switching to
+  // RDMA rather than a rendez-vous protocol").
+  p.large_uses_rdma = true;
+  p.rdma_setup = nanoseconds(10300);  // registration + exposure handshake
+  p.rdma_bandwidth_gbps = 9.0;
+  p.shm_latency = nanoseconds(220);   // MoNA's same-node advantage (S III-C4)
+  p.shm_bandwidth_gbps = 30.0;
+  return p;
+}
+
+Profile Profile::na() {
+  Profile p = mona();
+  p.name = "na";
+  // Raw NA allocates a fresh request + bounce buffer per operation; MoNA's
+  // caching removes this (paper S III-C1).
+  p.per_request_alloc = nanoseconds(180);
+  p.large_uses_rdma = false;  // bare NA benchmark has no RDMA path
+  p.rendezvous_overhead = nanoseconds(15000);
+  return p;
+}
+
+}  // namespace colza::net

@@ -1,0 +1,70 @@
+// Protocol cost profiles: the model of how a given communication library
+// behaves on the fabric. One Profile instance corresponds to one library
+// (Cray-mpich, OpenMPI, MoNA, raw NA); the parameters encode the documented
+// protocol differences that produce the paper's Table I/II shapes:
+//
+//  * eager vs. rendezvous: messages above `eager_threshold` pay a handshake.
+//    Cray-mpich's rendezvous over uGNI is nearly free; OpenMPI's generic
+//    rendezvous on this fabric is catastrophically expensive (paper Table I
+//    shows 61 us/op at 16 KiB vs Cray's 5 us); MoNA switches to RDMA instead
+//    of a rendezvous protocol, which is why it overtakes OpenMPI at >=16 KiB.
+//  * request/buffer caching: raw NA pays `per_request_alloc` on every
+//    operation; MoNA caches requests and buffers (paper S III-C1).
+//  * same-node transfers use a shared-memory path (paper S III-C4 footnote
+//    suspects exactly this for MoNA's small-scale advantage).
+//
+// Calibration: `calibrated to the paper` means the default constants were
+// chosen so the modeled Table I / Table II values land within ~20% of the
+// published numbers; see EXPERIMENTS.md for the side-by-side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "des/time.hpp"
+
+namespace colza::net {
+
+struct Profile {
+  std::string name;
+
+  // Per-message one-way software overhead (the alpha term).
+  des::Duration sw_latency = des::nanoseconds(500);
+  // Extra per-operation cost when the library does not cache requests and
+  // bounce buffers (raw NA).
+  des::Duration per_request_alloc = des::nanoseconds(0);
+
+  // Point-to-point path.
+  std::uint64_t eager_threshold = 8192;  // bytes
+  des::Duration rendezvous_overhead = des::nanoseconds(0);
+  // Extra per-byte cost factor (>= 1) applied to the payload of
+  // rendezvous-path messages; models intermediate-copy pipelines.
+  double rendezvous_byte_factor = 1.0;
+  double bandwidth_gbps = 8.0;  // GB/s through the library's p2p path
+
+  // Explicit one-sided path (RDMA get/put); used by MoNA for large messages
+  // and by the staging protocol's memory-handle pulls.
+  des::Duration rdma_setup = des::microseconds(2);
+  double rdma_bandwidth_gbps = 10.0;
+  bool large_uses_rdma = false;  // send/recv above eager goes via RDMA
+
+  // Same-node shared-memory fast path.
+  bool shm_enabled = true;
+  des::Duration shm_latency = des::nanoseconds(300);
+  double shm_bandwidth_gbps = 24.0;
+
+  // Collective algorithm selection pathology: when true, reduce/bcast fall
+  // back to linear (root-sequential) algorithms above `coll_linear_threshold`
+  // bytes -- the OpenMPI "tuned module gives up" behaviour that produces the
+  // 1800x collapse in Table II.
+  bool coll_linear_fallback = false;
+  std::uint64_t coll_linear_threshold = 8192;
+
+  // --- presets (calibrated to the paper; see EXPERIMENTS.md) --------------
+  static Profile cray_mpich();
+  static Profile openmpi();
+  static Profile mona();
+  static Profile na();
+};
+
+}  // namespace colza::net

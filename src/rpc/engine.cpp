@@ -1,0 +1,136 @@
+#include "rpc/engine.hpp"
+
+#include "common/log.hpp"
+
+namespace colza::rpc {
+
+namespace {
+constexpr std::uint8_t kRequest = 0;
+constexpr std::uint8_t kResponse = 1;
+constexpr const char* kMailbox = "rpc";
+}  // namespace
+
+Engine::Engine(net::Process& proc, net::Profile profile, EngineConfig config)
+    : proc_(&proc), profile_(std::move(profile)), config_(config) {
+  proc_->spawn("rpc-demux", [this] { demux_loop(); },
+               des::SpawnOptions{.daemon = true});
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::define(const std::string& name, Handler handler) {
+  handlers_[name] = std::move(handler);
+}
+
+void Engine::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  proc_->mailbox(kMailbox).close();
+  for (auto& [id, ev] : pending_) {
+    if (!ev->ready()) ev->set_value(Status::ShuttingDown());
+  }
+  pending_.clear();
+}
+
+void Engine::demux_loop() {
+  auto& box = proc_->mailbox(kMailbox);
+  while (!stopped_) {
+    auto msg = box.recv();
+    if (!msg.has_value()) return;  // mailbox closed (shutdown or kill)
+    InArchive in(msg->payload);
+    std::uint8_t kind = 0;
+    std::uint64_t id = 0;
+    in.load(kind);
+    in.load(id);
+    if (kind == kRequest) {
+      std::string name;
+      in.load(name);
+      std::vector<std::byte> body(in.remaining());
+      in.read_raw(body.data(), body.size());
+      handle_request(msg->source, id, std::move(name), std::move(body));
+    } else {
+      auto it = pending_.find(id);
+      if (it == pending_.end()) continue;  // late response after timeout
+      auto ev = it->second;
+      pending_.erase(it);
+      StatusCode code{};
+      std::string status_msg;
+      in.load(code);
+      in.load(status_msg);
+      if (code == StatusCode::ok) {
+        std::vector<std::byte> body(in.remaining());
+        in.read_raw(body.data(), body.size());
+        ev->set_value(std::move(body));
+      } else {
+        ev->set_value(Status(code, std::move(status_msg)));
+      }
+    }
+  }
+}
+
+void Engine::handle_request(net::ProcId caller, std::uint64_t id,
+                            std::string name, std::vector<std::byte> body) {
+  // Each request runs in its own fiber so handlers can block (collectives,
+  // RDMA, nested RPCs) without stalling the demux loop.
+  proc_->spawn(
+      "rpc:" + name,
+      [this, caller, id, name = std::move(name), body = std::move(body)] {
+        OutArchive reply;
+        Status st;
+        auto it = handlers_.find(name);
+        if (it == handlers_.end()) {
+          st = Status::NotFound("no handler for rpc '" + name + "'");
+        } else {
+          RequestInfo info{caller, name};
+          InArchive in(body);
+          try {
+            st = it->second(info, in, reply);
+          } catch (const std::exception& e) {
+            st = Status::Internal(std::string("handler threw: ") + e.what());
+          }
+        }
+        if (id == 0) return;  // notification: no response wanted
+        OutArchive out;
+        out.save(kResponse);
+        out.save(id);
+        out.save(st.code());
+        out.save(st.message());
+        out.write_raw(reply.bytes().data(), reply.size());
+        proc_->network().transmit(
+            *proc_, caller, kMailbox, profile_,
+            net::Message{proc_->id(), id, out.release()});
+      },
+      des::SpawnOptions{.daemon = true});
+}
+
+void Engine::send_request(net::ProcId dest, const std::string& name,
+                          std::vector<std::byte> args, std::uint64_t id) {
+  OutArchive out;
+  out.save(kRequest);
+  out.save(id);
+  out.save(name);
+  out.write_raw(args.data(), args.size());
+  proc_->network().transmit(*proc_, dest, kMailbox, profile_,
+                            net::Message{proc_->id(), id, out.release()});
+}
+
+Expected<std::vector<std::byte>> Engine::call_raw(net::ProcId dest,
+                                                  const std::string& name,
+                                                  std::vector<std::byte> args,
+                                                  des::Duration timeout) {
+  if (stopped_) return Status::ShuttingDown();
+  if (timeout == 0) timeout = config_.default_timeout;
+  const std::uint64_t id = next_id_++;
+  auto ev = std::make_shared<des::Eventual<Expected<std::vector<std::byte>>>>(
+      sim());
+  pending_.emplace(id, ev);
+  send_request(dest, name, std::move(args), id);
+  auto* result = ev->wait_for(timeout);
+  if (result == nullptr) {
+    pending_.erase(id);
+    return Status::Timeout("rpc '" + name + "' to " + net::to_string(dest));
+  }
+  return std::move(*result);
+}
+
+}  // namespace colza::rpc

@@ -1,0 +1,137 @@
+// RPC engine: the simulated equivalent of Margo (Mercury RPC + Argobots).
+//
+// One Engine per simulated process. Handlers are registered by name and run
+// each in their own fiber, so a handler may block on collectives, RDMA pulls,
+// or nested RPCs without stalling the progress loop -- the property of
+// Margo's Argobots binding that the paper relies on (S II-C).
+//
+// Wire format (over net::Mailbox "rpc"):
+//   request : [kind=0][id][name][args...]
+//   response: [kind=1][id][status_code][status_msg][body...]
+//
+// Failure model: requests to dead processes vanish on the fabric; the caller
+// observes a timeout. A handler throwing maps to StatusCode::internal at the
+// caller. Unknown RPC names map to StatusCode::not_found.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/archive.hpp"
+#include "common/status.hpp"
+#include "des/sync.hpp"
+#include "net/network.hpp"
+#include "net/profile.hpp"
+
+namespace colza::rpc {
+
+// Information about an in-flight request visible to the handler.
+struct RequestInfo {
+  net::ProcId caller = net::kInvalidProc;
+  std::string name;
+};
+
+// A handler consumes arguments from `in`, writes its reply into `out`, and
+// returns the status delivered to the caller.
+using Handler =
+    std::function<Status(const RequestInfo&, InArchive& in, OutArchive& out)>;
+
+struct EngineConfig {
+  des::Duration default_timeout = des::seconds(5);
+};
+
+class Engine {
+ public:
+  Engine(net::Process& proc, net::Profile profile, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] net::Process& process() noexcept { return *proc_; }
+  [[nodiscard]] net::ProcId self() const noexcept { return proc_->id(); }
+  [[nodiscard]] const net::Profile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] des::Simulation& sim() noexcept { return proc_->sim(); }
+
+  // Registers (or replaces) the handler for `name`.
+  void define(const std::string& name, Handler handler);
+
+  // ---- raw call ------------------------------------------------------------
+  // Blocks the calling fiber until the response arrives or the timeout hits.
+  Expected<std::vector<std::byte>> call_raw(net::ProcId dest,
+                                            const std::string& name,
+                                            std::vector<std::byte> args,
+                                            des::Duration timeout = 0);
+
+  // ---- typed convenience -----------------------------------------------------
+  // Packs `args`, calls, and deserializes the reply into Res (use e.g.
+  // rpc::None for empty replies).
+  template <typename Res, typename... Args>
+  Expected<Res> call(net::ProcId dest, const std::string& name,
+                     const Args&... args) {
+    auto reply = call_raw(dest, name, pack(args...));
+    if (!reply.has_value()) return reply.status();
+    Res res{};
+    InArchive in(reply.value());
+    in.load(res);
+    return res;
+  }
+
+  template <typename Res, typename... Args>
+  Expected<Res> call_timeout(net::ProcId dest, const std::string& name,
+                             des::Duration timeout, const Args&... args) {
+    auto reply = call_raw(dest, name, pack(args...), timeout);
+    if (!reply.has_value()) return reply.status();
+    Res res{};
+    InArchive in(reply.value());
+    in.load(res);
+    return res;
+  }
+
+  // One-way notification: no response expected, never blocks on the peer.
+  template <typename... Args>
+  void notify(net::ProcId dest, const std::string& name, const Args&... args) {
+    send_request(dest, name, pack(args...), /*id=*/0);  // id 0: no reply slot
+  }
+
+  // RDMA pull through this engine's protocol profile (the stage() data path).
+  Status rdma_pull(const net::BulkRef& ref, std::uint64_t offset,
+                   std::span<std::byte> out) {
+    return proc_->network().rdma_get(*proc_, ref, offset, out, profile_);
+  }
+
+  // Stops the demux loop and fails all pending calls with shutting_down.
+  void shutdown();
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+ private:
+  void demux_loop();
+  void send_request(net::ProcId dest, const std::string& name,
+                    std::vector<std::byte> args, std::uint64_t id);
+  void handle_request(net::ProcId caller, std::uint64_t id, std::string name,
+                      std::vector<std::byte> body);
+
+  net::Process* proc_;
+  net::Profile profile_;
+  EngineConfig config_;
+  std::map<std::string, Handler> handlers_;
+  std::map<std::uint64_t, std::shared_ptr<des::Eventual<Expected<std::vector<std::byte>>>>>
+      pending_;
+  std::uint64_t next_id_ = 1;
+  bool stopped_ = false;
+};
+
+// Empty reply/argument placeholder.
+struct None {
+  template <typename Ar>
+  void serialize(Ar&) {}
+};
+
+}  // namespace colza::rpc

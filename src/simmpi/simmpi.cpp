@@ -1,0 +1,49 @@
+#include "simmpi/simmpi.hpp"
+
+#include <stdexcept>
+
+namespace colza::simmpi {
+
+net::Profile vendor_profile(Vendor v) {
+  switch (v) {
+    case Vendor::cray_mpich: return net::Profile::cray_mpich();
+    case Vendor::openmpi: return net::Profile::openmpi();
+  }
+  throw std::invalid_argument("unknown vendor");
+}
+
+std::string to_string(Vendor v) {
+  return vendor_profile(v).name;
+}
+
+MpiJob::MpiJob(net::Network& net, int nprocs, int procs_per_node,
+               Vendor vendor, net::NodeId base_node)
+    : net_(&net), nprocs_(nprocs), vendor_(vendor) {
+  if (nprocs <= 0 || procs_per_node <= 0)
+    throw std::invalid_argument("MpiJob: sizes must be positive");
+  const net::Profile profile = vendor_profile(vendor);
+  for (int r = 0; r < nprocs; ++r) {
+    auto& p = net_->create_process(
+        base_node + static_cast<net::NodeId>(r / procs_per_node));
+    procs_.push_back(&p);
+    insts_.push_back(std::make_unique<mona::Instance>(p, profile));
+    addrs_.push_back(p.id());
+  }
+  for (int r = 0; r < nprocs; ++r) {
+    auto world = insts_[static_cast<std::size_t>(r)]->comm_create(addrs_);
+    world->policy.linear_fallback = profile.coll_linear_fallback;
+    world->policy.linear_threshold = profile.coll_linear_threshold;
+    worlds_.push_back(std::move(world));
+  }
+}
+
+void MpiJob::launch(
+    std::function<void(int rank, mona::Communicator& world)> main) {
+  for (int r = 0; r < nprocs_; ++r) {
+    procs_[static_cast<std::size_t>(r)]->spawn(
+        "mpi-rank" + std::to_string(r),
+        [this, r, main] { main(r, world(r)); });
+  }
+}
+
+}  // namespace colza::simmpi

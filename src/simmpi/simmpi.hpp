@@ -1,0 +1,63 @@
+// simmpi: a static MPI-like job, the baseline Colza is compared against.
+//
+// Semantically this reuses MoNA's matching and collective algorithms (the
+// paper notes MoNA's interface mirrors MPI); what makes it "MPI" in the
+// model is:
+//   * a fixed world fixed at construction -- no joins, no leaves, restart
+//     required to resize (this is what Fig 4's "static" curve measures);
+//   * a vendor protocol profile (cray-mpich or openmpi) driving per-message
+//     costs, collected in net::Profile;
+//   * OpenMPI's collective-fallback pathology wired into the collective
+//     policy (Table II's 1800x collapse).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mona/mona.hpp"
+#include "net/network.hpp"
+#include "net/profile.hpp"
+
+namespace colza::simmpi {
+
+enum class Vendor { cray_mpich, openmpi };
+
+[[nodiscard]] net::Profile vendor_profile(Vendor v);
+[[nodiscard]] std::string to_string(Vendor v);
+
+// A fixed-size MPI job: `nprocs` processes laid out `procs_per_node` to a
+// node starting at `base_node`. Each rank gets a communication instance and
+// a world communicator.
+class MpiJob {
+ public:
+  MpiJob(net::Network& net, int nprocs, int procs_per_node, Vendor vendor,
+         net::NodeId base_node = 0);
+
+  [[nodiscard]] int size() const noexcept { return nprocs_; }
+  [[nodiscard]] Vendor vendor() const noexcept { return vendor_; }
+  [[nodiscard]] net::Process& process(int rank) {
+    return *procs_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] mona::Communicator& world(int rank) {
+    return *worlds_.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] const std::vector<net::ProcId>& addresses() const noexcept {
+    return addrs_;
+  }
+
+  // Spawns `main` as the entry fiber of every rank (like mpiexec).
+  void launch(std::function<void(int rank, mona::Communicator& world)> main);
+
+ private:
+  net::Network* net_;
+  int nprocs_;
+  Vendor vendor_;
+  std::vector<net::Process*> procs_;
+  std::vector<std::unique_ptr<mona::Instance>> insts_;
+  std::vector<std::shared_ptr<mona::Communicator>> worlds_;
+  std::vector<net::ProcId> addrs_;
+};
+
+}  // namespace colza::simmpi

@@ -1,0 +1,45 @@
+#include "vis/data.hpp"
+
+namespace colza::vis {
+
+std::vector<std::byte> serialize_dataset(const DataSet& ds) {
+  OutArchive ar;
+  ar.save(static_cast<std::uint8_t>(ds.index()));
+  std::visit([&ar](const auto& v) { ar.save(v); }, ds);
+  return ar.release();
+}
+
+DataSet deserialize_dataset(std::span<const std::byte> bytes) {
+  InArchive ar(bytes);
+  std::uint8_t index = 0;
+  ar.load(index);
+  switch (index) {
+    case 0: {
+      UniformGrid g;
+      ar.load(g);
+      return g;
+    }
+    case 1: {
+      UnstructuredGrid g;
+      ar.load(g);
+      return g;
+    }
+    case 2: {
+      TriangleMesh m;
+      ar.load(m);
+      return m;
+    }
+    default:
+      throw std::runtime_error("deserialize_dataset: bad variant index");
+  }
+}
+
+std::size_t dataset_byte_size(const DataSet& ds) {
+  return std::visit([](const auto& v) { return v.byte_size(); }, ds);
+}
+
+Aabb dataset_bounds(const DataSet& ds) {
+  return std::visit([](const auto& v) { return v.bounds(); }, ds);
+}
+
+}  // namespace colza::vis

@@ -1,0 +1,117 @@
+// Small vector math for the visualization and rendering stack.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace colza::vis {
+
+struct Vec3 {
+  float x = 0, y = 0, z = 0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  [[nodiscard]] constexpr float dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] float norm() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] Vec3 normalized() const {
+    const float n = norm();
+    return n > 0 ? *this / n : Vec3{};
+  }
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar & x & y & z;
+  }
+};
+
+inline constexpr Vec3 operator*(float s, const Vec3& v) { return v * s; }
+
+inline constexpr Vec3 lerp(const Vec3& a, const Vec3& b, float t) {
+  return a + (b - a) * t;
+}
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<float>::max(),
+          std::numeric_limits<float>::max(),
+          std::numeric_limits<float>::max()};
+  Vec3 hi{std::numeric_limits<float>::lowest(),
+          std::numeric_limits<float>::lowest(),
+          std::numeric_limits<float>::lowest()};
+
+  void extend(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  void extend(const Aabb& b) {
+    extend(b.lo);
+    extend(b.hi);
+  }
+  [[nodiscard]] bool valid() const { return lo.x <= hi.x; }
+  [[nodiscard]] Vec3 center() const { return (lo + hi) * 0.5f; }
+  [[nodiscard]] Vec3 extent() const { return hi - lo; }
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar & lo & hi;
+  }
+};
+
+// Column-major 4x4 matrix, enough for the camera pipeline.
+struct Mat4 {
+  std::array<float, 16> m{};  // m[col*4 + row]
+
+  static Mat4 identity() {
+    Mat4 r;
+    r.m[0] = r.m[5] = r.m[10] = r.m[15] = 1;
+    return r;
+  }
+
+  [[nodiscard]] Mat4 operator*(const Mat4& o) const {
+    Mat4 r;
+    for (int c = 0; c < 4; ++c) {
+      for (int row = 0; row < 4; ++row) {
+        float s = 0;
+        for (int k = 0; k < 4; ++k) s += m[k * 4 + row] * o.m[c * 4 + k];
+        r.m[c * 4 + row] = s;
+      }
+    }
+    return r;
+  }
+
+  // Transforms (x,y,z,1); returns (x,y,z,w).
+  [[nodiscard]] std::array<float, 4> transform(const Vec3& v) const {
+    std::array<float, 4> r{};
+    for (int row = 0; row < 4; ++row) {
+      r[static_cast<std::size_t>(row)] = m[0 * 4 + row] * v.x +
+                                         m[1 * 4 + row] * v.y +
+                                         m[2 * 4 + row] * v.z + m[3 * 4 + row];
+    }
+    return r;
+  }
+};
+
+}  // namespace colza::vis

@@ -1,0 +1,242 @@
+// Unit tests for the common layer: Status/Expected, Archive, Rng, JSON, units.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/archive.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace colza {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::ok);
+  EXPECT_NO_THROW(s.check());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Timeout("rpc to node 3");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::timeout);
+  EXPECT_EQ(s.message(), "rpc to node 3");
+  EXPECT_EQ(s.to_string(), "timeout: rpc to node 3");
+  EXPECT_THROW(s.check(), std::runtime_error);
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::internal); ++c) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(c)), "unknown");
+  }
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_TRUE(e.status().ok());
+}
+
+TEST(Expected, HoldsStatus) {
+  Expected<int> e(Status::NotFound("pipeline x"));
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.status().code(), StatusCode::not_found);
+  EXPECT_THROW((void)e.value(), std::runtime_error);
+}
+
+TEST(Expected, RejectsOkStatus) {
+  EXPECT_THROW(Expected<int>{Status::Ok()}, std::logic_error);
+}
+
+// ---------------------------------------------------------------- Archive
+
+TEST(Archive, RoundTripScalars) {
+  auto bytes = pack(std::int32_t{-7}, 3.5, std::uint8_t{255}, true);
+  std::int32_t i = 0;
+  double d = 0;
+  std::uint8_t b = 0;
+  bool f = false;
+  unpack(bytes, i, d, b, f);
+  EXPECT_EQ(i, -7);
+  EXPECT_EQ(d, 3.5);
+  EXPECT_EQ(b, 255);
+  EXPECT_TRUE(f);
+}
+
+TEST(Archive, RoundTripStringsAndVectors) {
+  std::vector<double> v{1.0, 2.5, -3.0};
+  std::string s = "colza pipeline";
+  std::vector<std::string> names{"a", "", "long string with spaces"};
+  auto bytes = pack(v, s, names);
+  std::vector<double> v2;
+  std::string s2;
+  std::vector<std::string> names2;
+  unpack(bytes, v2, s2, names2);
+  EXPECT_EQ(v, v2);
+  EXPECT_EQ(s, s2);
+  EXPECT_EQ(names, names2);
+}
+
+TEST(Archive, RoundTripOptionalAndMap) {
+  std::optional<int> some{5};
+  std::optional<int> none;
+  std::map<std::string, std::uint64_t> m{{"x", 1}, {"y", 2}};
+  auto bytes = pack(some, none, m);
+  std::optional<int> some2;
+  std::optional<int> none2{99};
+  std::map<std::string, std::uint64_t> m2;
+  unpack(bytes, some2, none2, m2);
+  EXPECT_EQ(some2, some);
+  EXPECT_EQ(none2, none);
+  EXPECT_EQ(m2, m);
+}
+
+struct Point {
+  double x = 0, y = 0;
+  std::string label;
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar & x & y & label;
+  }
+  bool operator==(const Point&) const = default;
+};
+
+TEST(Archive, RoundTripUserType) {
+  Point p{1.5, -2.5, "origin"};
+  std::vector<Point> pts{p, {0, 0, ""}};
+  auto bytes = pack(p, pts);
+  Point q;
+  std::vector<Point> qs;
+  unpack(bytes, q, qs);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(qs, pts);
+}
+
+TEST(Archive, TruncatedInputThrows) {
+  auto bytes = pack(std::uint64_t{12345});
+  bytes.resize(3);
+  std::uint64_t out = 0;
+  EXPECT_THROW(unpack(bytes, out), std::runtime_error);
+}
+
+TEST(Archive, CorruptVectorSizeThrows) {
+  // A vector claiming 2^60 elements must not allocate; it must throw.
+  auto bytes = pack(std::uint64_t{1ULL << 60});
+  std::vector<double> v;
+  EXPECT_THROW(unpack(bytes, v), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+  EXPECT_EQ(r.below(0), 0u);
+  EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(5);
+  Rng child = a.fork();
+  Rng a2(5);
+  Rng child2 = a2.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child(), child2());
+}
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse("").is_null());
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(json::parse("\"hi\\n\"").as_string(), "hi\n");
+}
+
+TEST(Json, ParsesNested) {
+  auto v = json::parse(R"({"pipeline":"iso","levels":[0.1,0.2],"opts":{"clip":true}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.string_or("pipeline", ""), "iso");
+  ASSERT_TRUE(v.find("levels")->is_array());
+  EXPECT_EQ(v.find("levels")->as_array().size(), 2u);
+  EXPECT_TRUE(v.find("opts")->bool_or("clip", false));
+}
+
+TEST(Json, DefaultsOnMissingKeys) {
+  auto v = json::parse(R"({"a":1})");
+  EXPECT_DOUBLE_EQ(v.number_or("a", 0), 1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("b", 7.5), 7.5);
+  EXPECT_EQ(v.string_or("b", "dflt"), "dflt");
+  EXPECT_EQ(v.find("nope"), nullptr);
+}
+
+TEST(Json, DumpRoundTrips) {
+  const std::string src = R"({"arr":[1,2.5,"s",null,true],"n":-3})";
+  auto v = json::parse(src);
+  auto v2 = json::parse(v.dump());
+  EXPECT_EQ(v2.dump(), v.dump());
+}
+
+TEST(Json, MalformedThrows) {
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(json::parse("1 2"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, FormatSize) {
+  EXPECT_EQ(format_size(8), "8 B");
+  EXPECT_EQ(format_size(2 * KiB), "2 KiB");
+  EXPECT_EQ(format_size(512 * KiB), "512 KiB");
+  EXPECT_EQ(format_size(8 * MiB), "8 MiB");
+  EXPECT_EQ(format_size(3 * GiB), "3 GiB");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration_ns(500), "500 ns");
+  EXPECT_EQ(format_duration_ns(1500000), "1.5 ms");
+  EXPECT_EQ(format_duration_ns(2000000000ULL), "2 s");
+}
+
+}  // namespace
+}  // namespace colza

@@ -1,0 +1,539 @@
+// Unit tests for the discrete-event simulation core: fibers, virtual time,
+// daemon semantics, deadlock detection, and the sync primitives.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "des/sync.hpp"
+#include "des/time.hpp"
+
+namespace colza::des {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(microseconds(3), 3000u);
+  EXPECT_EQ(milliseconds(2), 2000000u);
+  EXPECT_EQ(seconds(1), 1000000000u);
+  EXPECT_EQ(from_seconds(1.5), 1500000000u);
+  EXPECT_EQ(from_micros(2.5), 2500u);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(4)), 4.0);
+  EXPECT_DOUBLE_EQ(to_millis(milliseconds(7)), 7.0);
+}
+
+TEST(Simulation, RunsSingleFiber) {
+  Simulation sim;
+  bool ran = false;
+  sim.spawn("f", [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(Simulation, SleepAdvancesVirtualTime) {
+  Simulation sim;
+  Time seen = 0;
+  sim.spawn("sleeper", [&] {
+    sim.sleep_for(milliseconds(5));
+    seen = sim.now();
+    sim.sleep_until(milliseconds(100));
+    EXPECT_EQ(sim.now(), milliseconds(100));
+  });
+  sim.run();
+  EXPECT_EQ(seen, milliseconds(5));
+  EXPECT_EQ(sim.now(), milliseconds(100));
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, TieBreakBySequence) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(milliseconds(1), [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ChargeModelsComputeCost) {
+  Simulation sim;
+  sim.spawn("worker", [&] {
+    sim.charge(microseconds(250));
+    EXPECT_EQ(sim.now(), microseconds(250));
+  });
+  sim.run();
+}
+
+TEST(Simulation, ChargeScopedRunsWorkAndAdvancesClock) {
+  Simulation sim;
+  int result = 0;
+  sim.spawn("worker", [&] {
+    result = sim.charge_scoped([] {
+      int acc = 0;
+      for (int i = 0; i < 100000; ++i) acc += i % 7;
+      return acc;
+    });
+    EXPECT_GT(sim.now(), 0u);  // real work took nonzero wall time
+  });
+  sim.run();
+  EXPECT_GT(result, 0);
+}
+
+TEST(Simulation, YieldInterleavesFibers) {
+  Simulation sim;
+  std::string trace;
+  sim.spawn("a", [&] {
+    trace += 'a';
+    sim.yield();
+    trace += 'A';
+  });
+  sim.spawn("b", [&] {
+    trace += 'b';
+    sim.yield();
+    trace += 'B';
+  });
+  sim.run();
+  EXPECT_EQ(trace, "abAB");
+}
+
+TEST(Simulation, JoinWaitsForChild) {
+  Simulation sim;
+  bool child_done = false;
+  sim.spawn("parent", [&] {
+    auto h = sim.spawn("child", [&] {
+      sim.sleep_for(seconds(2));
+      child_done = true;
+    });
+    sim.join(h);
+    EXPECT_TRUE(child_done);
+    EXPECT_EQ(sim.now(), seconds(2));
+  });
+  sim.run();
+  EXPECT_TRUE(child_done);
+}
+
+TEST(Simulation, JoinFinishedFiberReturnsImmediately) {
+  Simulation sim;
+  sim.spawn("parent", [&] {
+    auto h = sim.spawn("quick", [] {});
+    sim.sleep_for(seconds(1));
+    EXPECT_TRUE(sim.finished(h));
+    sim.join(h);  // must not block
+    EXPECT_EQ(sim.now(), seconds(1));
+  });
+  sim.run();
+}
+
+TEST(Simulation, DaemonFiberDoesNotKeepSimAlive) {
+  Simulation sim;
+  int beats = 0;
+  sim.spawn(
+      "heartbeat",
+      [&] {
+        while (true) {
+          sim.sleep_for(seconds(1));
+          ++beats;
+        }
+      },
+      SpawnOptions{.daemon = true});
+  sim.spawn("main", [&] { sim.sleep_for(from_seconds(3.5)); });
+  sim.run();
+  EXPECT_EQ(beats, 3);  // daemon ran while main was alive, then sim stopped
+}
+
+TEST(Simulation, DaemonnessInheritedBySpawnedChildren) {
+  Simulation sim;
+  int child_iters = 0;
+  sim.spawn(
+      "daemon-parent",
+      [&] {
+        sim.spawn("child", [&] {
+          while (true) {
+            sim.sleep_for(seconds(1));
+            ++child_iters;
+          }
+        });
+        sim.sleep_for(seconds(100));
+      },
+      SpawnOptions{.daemon = true});
+  sim.spawn("main", [&] { sim.sleep_for(seconds(2)); });
+  sim.run();
+  EXPECT_LE(child_iters, 2);
+}
+
+TEST(Simulation, DeadlockDetected) {
+  Simulation sim;
+  Mutex m(sim);
+  sim.spawn("stuck", [&] {
+    m.lock();
+    m.lock();  // self-deadlock
+  });
+  EXPECT_THROW(sim.run(), DeadlockError);
+}
+
+TEST(Simulation, FiberExceptionPropagates) {
+  Simulation sim;
+  sim.spawn("thrower", [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  int ticks = 0;
+  sim.spawn(
+      "ticker",
+      [&] {
+        while (true) {
+          sim.sleep_for(seconds(1));
+          ++ticks;
+        }
+      },
+      SpawnOptions{.daemon = true});
+  sim.run_until(from_seconds(5.5));
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.now(), from_seconds(5.5));
+  sim.run_until(from_seconds(7.5));
+  EXPECT_EQ(ticks, 7);
+}
+
+TEST(Simulation, TagInheritance) {
+  Simulation sim;
+  std::uint64_t child_tag = 0;
+  sim.spawn(
+      "proc",
+      [&] {
+        EXPECT_EQ(sim.current_tag(), 17u);
+        sim.spawn("child", [&] { child_tag = sim.current_tag(); });
+        sim.sleep_for(seconds(1));
+      },
+      SpawnOptions{.tag = 17});
+  sim.run();
+  EXPECT_EQ(child_tag, 17u);
+}
+
+TEST(Simulation, CurrentPointsToRunningSim) {
+  Simulation sim;
+  EXPECT_EQ(Simulation::current(), nullptr);
+  sim.spawn("f", [&] { EXPECT_EQ(Simulation::current(), &sim); });
+  sim.run();
+  EXPECT_EQ(Simulation::current(), nullptr);
+}
+
+TEST(Simulation, ManyFibersDeterministicSchedule) {
+  auto run_once = [] {
+    Simulation sim(SimConfig{.seed = 9});
+    std::vector<int> order;
+    for (int i = 0; i < 200; ++i) {
+      sim.spawn("f" + std::to_string(i), [&sim, &order, i] {
+        sim.sleep_for(microseconds(sim.rng().below(1000)));
+        order.push_back(i);
+      });
+    }
+    sim.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+
+TEST(Simulation, TraceWritesChromeEvents) {
+  const std::string path = "/tmp/colza_trace_test.json";
+  {
+    Simulation sim;
+    sim.start_trace(path);
+    sim.spawn("worker-a", [&] { sim.charge(milliseconds(3)); },
+              SpawnOptions{.tag = 7});
+    sim.spawn("worker-b", [&] {
+      sim.charge(milliseconds(1));
+      sim.charge(milliseconds(2));
+    });
+    sim.run();
+    sim.stop_trace();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string all;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) all += buf;
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(all.front(), '[');
+  EXPECT_NE(all.find("worker-a [compute]"), std::string::npos);
+  EXPECT_NE(all.find("worker-b [compute]"), std::string::npos);
+  EXPECT_NE(all.find("\"dur\":3000.000"), std::string::npos);  // 3 ms in us
+  EXPECT_NE(all.find("\"pid\":7"), std::string::npos);          // the tag
+  // Three charge events in total.
+  std::size_t count = 0, pos = 0;
+  while ((pos = all.find("[compute]", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Simulation, TraceDisabledByDefault) {
+  Simulation sim;
+  EXPECT_FALSE(sim.tracing());
+  sim.spawn("f", [&] { sim.charge(milliseconds(1)); });
+  sim.run();  // must not crash or write anything
+}
+
+// --------------------------------------------------------------- sync
+
+TEST(Sync, MutexMutualExclusion) {
+  Simulation sim;
+  Mutex m(sim);
+  int inside = 0, max_inside = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.spawn("w", [&] {
+      LockGuard g(m);
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      sim.sleep_for(milliseconds(1));
+      --inside;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(max_inside, 1);
+}
+
+TEST(Sync, MutexFifoFairness) {
+  Simulation sim;
+  Mutex m(sim);
+  std::vector<int> order;
+  sim.spawn("holder", [&] {
+    m.lock();
+    sim.sleep_for(milliseconds(10));
+    m.unlock();
+  });
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn("w" + std::to_string(i), [&, i] {
+      sim.sleep_for(milliseconds(i + 1));  // arrive in order
+      m.lock();
+      order.push_back(i);
+      m.unlock();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Sync, TryLock) {
+  Simulation sim;
+  Mutex m(sim);
+  sim.spawn("f", [&] {
+    EXPECT_TRUE(m.try_lock());
+    EXPECT_FALSE(m.try_lock());
+    m.unlock();
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+  });
+  sim.run();
+}
+
+TEST(Sync, CondVarNotifyOne) {
+  Simulation sim;
+  Mutex m(sim);
+  CondVar cv(sim);
+  bool flag = false;
+  Time woke_at = 0;
+  sim.spawn("waiter", [&] {
+    LockGuard g(m);
+    cv.wait(m, [&] { return flag; });
+    woke_at = sim.now();
+  });
+  sim.spawn("setter", [&] {
+    sim.sleep_for(seconds(3));
+    LockGuard g(m);
+    flag = true;
+    cv.notify_one();
+  });
+  sim.run();
+  EXPECT_EQ(woke_at, seconds(3));
+}
+
+TEST(Sync, CondVarNotifyAll) {
+  Simulation sim;
+  Mutex m(sim);
+  CondVar cv(sim);
+  bool go = false;
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn("waiter", [&] {
+      LockGuard g(m);
+      cv.wait(m, [&] { return go; });
+      ++woken;
+    });
+  }
+  sim.spawn("setter", [&] {
+    sim.sleep_for(milliseconds(1));
+    LockGuard g(m);
+    go = true;
+    cv.notify_all();
+  });
+  sim.run();
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(Sync, CondVarWaitForTimesOut) {
+  Simulation sim;
+  Mutex m(sim);
+  CondVar cv(sim);
+  bool timed_out = false;
+  sim.spawn("waiter", [&] {
+    LockGuard g(m);
+    timed_out = !cv.wait_for(m, seconds(2), [] { return false; });
+    EXPECT_EQ(sim.now(), seconds(2));
+  });
+  sim.run();
+  EXPECT_TRUE(timed_out);
+}
+
+TEST(Sync, CondVarWaitForSucceedsBeforeDeadline) {
+  Simulation sim;
+  Mutex m(sim);
+  CondVar cv(sim);
+  bool flag = false;
+  bool ok = false;
+  sim.spawn("waiter", [&] {
+    LockGuard g(m);
+    ok = cv.wait_for(m, seconds(10), [&] { return flag; });
+    EXPECT_EQ(sim.now(), seconds(1));
+  });
+  sim.spawn("setter", [&] {
+    sim.sleep_for(seconds(1));
+    LockGuard g(m);
+    flag = true;
+    cv.notify_all();
+  });
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Sync, StaleTimeoutDoesNotWakeLaterBlock) {
+  // A fiber that times out once and then blocks again must not be woken by
+  // the first (stale) timer.
+  Simulation sim;
+  Mutex m(sim);
+  CondVar cv(sim);
+  Time second_wake = 0;
+  sim.spawn("waiter", [&] {
+    LockGuard g(m);
+    cv.wait_for(m, milliseconds(10), [] { return false; });  // times out
+    cv.wait_for(m, seconds(5), [] { return false; });        // full wait
+    second_wake = sim.now();
+  });
+  sim.run();
+  EXPECT_EQ(second_wake, milliseconds(10) + seconds(5));
+}
+
+TEST(Sync, EventualDeliversToMultipleWaiters) {
+  Simulation sim;
+  Eventual<int> ev(sim);
+  int sum = 0;
+  for (int i = 0; i < 3; ++i)
+    sim.spawn("w", [&] { sum += ev.wait(); });
+  sim.spawn("setter", [&] {
+    sim.sleep_for(seconds(1));
+    ev.set_value(7);
+  });
+  sim.run();
+  EXPECT_EQ(sum, 21);
+}
+
+TEST(Sync, EventualWaitAfterSet) {
+  Simulation sim;
+  Eventual<std::string> ev(sim);
+  ev.set_value("ready");
+  std::string got;
+  sim.spawn("w", [&] { got = ev.wait(); });
+  sim.run();
+  EXPECT_EQ(got, "ready");
+}
+
+TEST(Sync, EventualDoubleSetThrows) {
+  Simulation sim;
+  Eventual<int> ev(sim);
+  ev.set_value(1);
+  EXPECT_THROW(ev.set_value(2), std::logic_error);
+}
+
+TEST(Sync, EventualWaitForTimeout) {
+  Simulation sim;
+  Eventual<int> ev(sim);
+  bool got_null = false;
+  sim.spawn("w", [&] {
+    got_null = (ev.wait_for(seconds(1)) == nullptr);
+    EXPECT_EQ(sim.now(), seconds(1));
+  });
+  sim.run();
+  EXPECT_TRUE(got_null);
+}
+
+TEST(Sync, BarrierReleasesAllTogether) {
+  Simulation sim;
+  Barrier bar(sim, 4);
+  std::vector<Time> release_times;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn("p" + std::to_string(i), [&, i] {
+      sim.sleep_for(seconds(static_cast<std::uint64_t>(i)));
+      bar.arrive_and_wait();
+      release_times.push_back(sim.now());
+    });
+  }
+  sim.run();
+  ASSERT_EQ(release_times.size(), 4u);
+  for (Time t : release_times) EXPECT_EQ(t, seconds(3));  // last arrival
+}
+
+TEST(Sync, BarrierReusableAcrossGenerations) {
+  Simulation sim;
+  Barrier bar(sim, 2);
+  int rounds_done = 0;
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn("p", [&] {
+      for (int r = 0; r < 3; ++r) {
+        sim.sleep_for(milliseconds(sim.rng().below(5) + 1));
+        bar.arrive_and_wait();
+      }
+      ++rounds_done;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(rounds_done, 2);
+}
+
+TEST(Sync, SemaphoreLimitsConcurrency) {
+  Simulation sim;
+  Semaphore sem(sim, 2);
+  int inside = 0, max_inside = 0;
+  for (int i = 0; i < 8; ++i) {
+    sim.spawn("w", [&] {
+      sem.acquire();
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      sim.sleep_for(milliseconds(1));
+      --inside;
+      sem.release();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(max_inside, 2);
+}
+
+TEST(Sync, BarrierZeroCountThrows) {
+  Simulation sim;
+  EXPECT_THROW(Barrier(sim, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace colza::des

@@ -1,0 +1,401 @@
+// Tests for the extension features (the paper's S VI future-work items):
+// ULFM-style failure handling in MoNA, crash recovery of whole iterations,
+// automatic resizing decisions, and stateful-pipeline migration on leave.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "colza/admin.hpp"
+#include "colza/autoscale.hpp"
+#include "colza/backend.hpp"
+#include "colza/client.hpp"
+#include "colza/deploy.hpp"
+#include "colza/fault.hpp"
+#include "colza/server.hpp"
+#include "des/simulation.hpp"
+#include "mona/mona.hpp"
+#include "net/network.hpp"
+
+namespace colza {
+namespace {
+
+using des::milliseconds;
+using des::seconds;
+
+// ------------------------------------------------- mona failure handling
+
+TEST(MonaFault, FailPendingUnblocksRecvFromDeadPeer) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pa = net.create_process(0);
+  auto& pb = net.create_process(1);
+  mona::Instance ia(pa), ib(pb);
+  StatusCode code = StatusCode::ok;
+  pa.spawn("recv", [&] {
+    std::vector<std::byte> buf(8);
+    code = ia.recv(buf, pb.id(), 7).code();
+  });
+  sim.schedule_at(seconds(1), [&] {
+    pb.kill();
+    ia.fail_pending(pb.id());  // what the SSG death callback does
+  });
+  sim.run();
+  EXPECT_EQ(code, StatusCode::unreachable);
+}
+
+TEST(MonaFault, RevokeFailsPendingAndFutureOps) {
+  des::Simulation sim;
+  net::Network net(sim);
+  std::vector<net::Process*> procs;
+  std::vector<std::unique_ptr<mona::Instance>> insts;
+  std::vector<net::ProcId> addrs;
+  for (int i = 0; i < 3; ++i) {
+    auto& p = net.create_process(static_cast<net::NodeId>(i));
+    procs.push_back(&p);
+    insts.push_back(std::make_unique<mona::Instance>(p));
+    addrs.push_back(p.id());
+  }
+  std::vector<std::shared_ptr<mona::Communicator>> comms;
+  for (int i = 0; i < 3; ++i)
+    comms.push_back(insts[static_cast<std::size_t>(i)]->comm_create(addrs));
+
+  StatusCode pending_code = StatusCode::ok;
+  StatusCode future_code = StatusCode::ok;
+  // Rank 0 blocks on a recv that will never be matched; revoke unblocks it.
+  procs[0]->spawn("blocked", [&] {
+    std::vector<std::byte> buf(8);
+    pending_code = comms[0]->recv(buf, 1, 5).code();
+    // After the revoke, new operations fail immediately.
+    future_code = comms[0]->barrier().code();
+  });
+  sim.schedule_at(seconds(2), [&] { comms[0]->revoke(); });
+  sim.run();
+  EXPECT_EQ(pending_code, StatusCode::aborted);
+  EXPECT_EQ(future_code, StatusCode::aborted);
+  EXPECT_TRUE(comms[0]->revoked());
+  EXPECT_FALSE(comms[1]->revoked());  // revocation is local
+}
+
+TEST(MonaFault, FreshCommunicatorAfterRevokeWorks) {
+  des::Simulation sim;
+  net::Network net(sim);
+  std::vector<net::Process*> procs;
+  std::vector<std::unique_ptr<mona::Instance>> insts;
+  std::vector<net::ProcId> addrs;
+  for (int i = 0; i < 2; ++i) {
+    auto& p = net.create_process(static_cast<net::NodeId>(i));
+    procs.push_back(&p);
+    insts.push_back(std::make_unique<mona::Instance>(p));
+    addrs.push_back(p.id());
+  }
+  auto c0 = insts[0]->comm_create(addrs);
+  auto c1 = insts[1]->comm_create(addrs);
+  c0->revoke();
+  c1->revoke();
+  bool ok = false;
+  for (int i = 0; i < 2; ++i) {
+    procs[static_cast<std::size_t>(i)]->spawn("rank", [&, i] {
+      auto fresh = insts[static_cast<std::size_t>(i)]->comm_create(addrs);
+      ASSERT_FALSE(fresh->revoked());
+      ASSERT_TRUE(fresh->barrier().ok());
+      if (i == 0) ok = true;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+// ------------------------------------------------- crash recovery (Colza)
+
+// A backend whose execute blocks on a barrier across the frozen view --
+// exactly what a real pipeline's collectives do.
+class BarrierBackend final : public Backend {
+ public:
+  explicit BarrierBackend(Context ctx) : Backend(std::move(ctx)) {}
+  Status activate(std::uint64_t) override { return Status::Ok(); }
+  Status stage(StagedBlock b) override {
+    bytes_staged += b.data.size();
+    return Status::Ok();
+  }
+  Status execute(std::uint64_t) override {
+    if (comm_ == nullptr) return Status::FailedPrecondition("no comm");
+    ++executes;
+    // Simulated rendering work, so crashes scheduled mid-iteration actually
+    // land inside execute.
+    ctx_.proc->sim().sleep_for(des::milliseconds(500));
+    return comm_->barrier();
+  }
+  Status deactivate(std::uint64_t) override { return Status::Ok(); }
+  std::size_t bytes_staged = 0;
+  int executes = 0;
+};
+
+struct FaultWorld {
+  explicit FaultWorld(int n) : sim(des::SimConfig{.seed = 21}), net(sim) {
+    ServerConfig scfg;
+    scfg.init_cost = milliseconds(10);
+    LaunchModel instant{milliseconds(10), 0.0, milliseconds(10)};
+    area = std::make_unique<StagingArea>(net, scfg, instant, 21);
+    area->launch_initial(n, 100);
+    sim.run_until(seconds(2));
+    for (const auto& s : area->servers()) {
+      s->create_pipeline("pipe", "barrier-backend", "").check();
+    }
+    client_proc = &net.create_process(0);
+    client = std::make_unique<Client>(*client_proc);
+  }
+
+  des::Simulation sim;
+  net::Network net;
+  std::unique_ptr<StagingArea> area;
+  net::Process* client_proc = nullptr;
+  std::unique_ptr<Client> client;
+};
+
+bool barrier_backend_registered = [] {
+  BackendRegistry::register_type("barrier-backend", [](Backend::Context ctx) {
+    return std::make_unique<BarrierBackend>(std::move(ctx));
+  });
+  return true;
+}();
+
+TEST(ColzaFault, ExecuteFailsInsteadOfHangingWhenServerCrashes) {
+  FaultWorld w(4);
+  StatusCode exec_code = StatusCode::ok;
+  w.client_proc->spawn("app", [&] {
+    auto h = DistributedPipelineHandle::lookup(
+        *w.client, w.area->bootstrap().contacts(), "pipe");
+    ASSERT_TRUE(h.has_value());
+    ASSERT_TRUE(h->activate(1).ok());
+    // Kill server 3 NOW; its peers block in the execute barrier until SWIM
+    // declares it dead and the comm is revoked.
+    w.area->servers()[3]->process().kill();
+    exec_code = h->execute(1).code();
+    (void)h->deactivate(1);
+  });
+  w.sim.run();
+  // The call must complete with an error (aborted / unreachable / timeout),
+  // not deadlock -- sim.run() returning at all proves no hang (the DES would
+  // have thrown DeadlockError).
+  EXPECT_NE(exec_code, StatusCode::ok);
+}
+
+TEST(ColzaFault, ResilientIterationSurvivesCrash) {
+  FaultWorld w(4);
+  bool done = false;
+  w.client_proc->spawn("app", [&] {
+    auto h = DistributedPipelineHandle::lookup(
+        *w.client, w.area->bootstrap().contacts(), "pipe");
+    ASSERT_TRUE(h.has_value());
+    std::vector<IterationBlock> blocks;
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      blocks.emplace_back(b, std::vector<std::byte>(1024));
+    }
+    // Schedule a crash shortly after the iteration starts.
+    w.sim.schedule_after(milliseconds(50), [&] {
+      w.area->servers()[2]->process().kill();
+    });
+    Status s = run_resilient_iteration(*h, 1, blocks);
+    ASSERT_TRUE(s.ok()) << s.to_string();
+    EXPECT_EQ(h->server_count(), 3u);  // recovered on the survivors
+    done = true;
+  });
+  w.sim.run();
+  EXPECT_TRUE(done);
+  // The survivors each completed exactly one successful execute, and all 8
+  // blocks were staged in the successful attempt.
+  std::size_t bytes = 0;
+  for (const auto& s : w.area->servers()) {
+    if (!s->alive()) continue;
+    auto* b = dynamic_cast<BarrierBackend*>(s->pipeline("pipe"));
+    ASSERT_NE(b, nullptr);
+    bytes += b->bytes_staged;
+  }
+  EXPECT_GE(bytes, 8 * 1024u);  // all 8 blocks on survivors (failed attempt
+                                // may have staged extra copies on top)
+}
+
+TEST(ColzaFault, ResilientIterationNoFailureIsPlainIteration) {
+  FaultWorld w(3);
+  bool done = false;
+  w.client_proc->spawn("app", [&] {
+    auto h = DistributedPipelineHandle::lookup(
+        *w.client, w.area->bootstrap().contacts(), "pipe");
+    ASSERT_TRUE(h.has_value());
+    std::vector<IterationBlock> blocks{{0, std::vector<std::byte>(64)}};
+    ASSERT_TRUE(run_resilient_iteration(*h, 1, blocks).ok());
+    ASSERT_TRUE(run_resilient_iteration(*h, 2, blocks).ok());
+    done = true;
+  });
+  w.sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ColzaFault, CrashBetweenIterationsHandledByNextActivate) {
+  FaultWorld w(4);
+  bool done = false;
+  w.client_proc->spawn("app", [&] {
+    auto h = DistributedPipelineHandle::lookup(
+        *w.client, w.area->bootstrap().contacts(), "pipe");
+    ASSERT_TRUE(h.has_value());
+    std::vector<IterationBlock> blocks{{0, std::vector<std::byte>(64)}};
+    ASSERT_TRUE(run_resilient_iteration(*h, 1, blocks).ok());
+    // Crash while idle; SWIM cleans it up.
+    w.area->servers()[1]->process().kill();
+    w.sim.sleep_for(seconds(10));
+    ASSERT_TRUE(run_resilient_iteration(*h, 2, blocks).ok());
+    EXPECT_EQ(h->server_count(), 3u);
+    done = true;
+  });
+  w.sim.run();
+  EXPECT_TRUE(done);
+}
+
+// ------------------------------------------------------------- autoscaler
+
+TEST(AutoScale, ScalesUpWhenOverTarget) {
+  AutoScalePolicy policy;
+  policy.target_execute = seconds(10);
+  policy.window = 3;
+  policy.cooldown_iterations = 2;
+  AutoScaler scaler(policy);
+  EXPECT_EQ(scaler.observe(seconds(15), 4), ScaleDecision::hold);  // filling
+  EXPECT_EQ(scaler.observe(seconds(16), 4), ScaleDecision::hold);
+  EXPECT_EQ(scaler.observe(seconds(17), 4), ScaleDecision::up);
+  // Cooldown: the post-join init spike must not trigger another resize.
+  EXPECT_EQ(scaler.observe(seconds(40), 5), ScaleDecision::hold);
+  EXPECT_EQ(scaler.observe(seconds(12), 5), ScaleDecision::hold);
+}
+
+TEST(AutoScale, ScalesDownWhenWellUnderTarget) {
+  AutoScalePolicy policy;
+  policy.target_execute = seconds(10);
+  policy.window = 3;
+  policy.cooldown_iterations = 0;
+  AutoScaler scaler(policy);
+  for (int i = 0; i < 2; ++i) (void)scaler.observe(seconds(2), 8);
+  EXPECT_EQ(scaler.observe(seconds(2), 8), ScaleDecision::down);
+}
+
+TEST(AutoScale, RespectsMinAndMaxServers) {
+  AutoScalePolicy policy;
+  policy.target_execute = seconds(10);
+  policy.window = 1;
+  policy.cooldown_iterations = 0;
+  policy.min_servers = 2;
+  policy.max_servers = 4;
+  AutoScaler scaler(policy);
+  EXPECT_EQ(scaler.observe(seconds(100), 4), ScaleDecision::hold);  // at max
+  EXPECT_EQ(scaler.observe(seconds(1), 2), ScaleDecision::hold);    // at min
+  EXPECT_EQ(scaler.observe(seconds(100), 3), ScaleDecision::up);
+}
+
+TEST(AutoScale, MedianIgnoresSingleSpike) {
+  AutoScalePolicy policy;
+  policy.target_execute = seconds(10);
+  policy.window = 3;
+  policy.cooldown_iterations = 0;
+  AutoScaler scaler(policy);
+  (void)scaler.observe(seconds(5), 4);
+  (void)scaler.observe(seconds(60), 4);  // a one-off spike
+  EXPECT_EQ(scaler.observe(seconds(6), 4), ScaleDecision::hold);
+}
+
+// ------------------------------------------------- stateful migration
+
+class CountingBackend final : public Backend {
+ public:
+  explicit CountingBackend(Context ctx) : Backend(std::move(ctx)) {}
+  Status activate(std::uint64_t) override { return Status::Ok(); }
+  Status stage(StagedBlock) override {
+    ++count;
+    return Status::Ok();
+  }
+  Status execute(std::uint64_t) override { return Status::Ok(); }
+  Status deactivate(std::uint64_t) override { return Status::Ok(); }
+
+  [[nodiscard]] bool stateful() const override { return true; }
+  [[nodiscard]] std::vector<std::byte> export_state() override {
+    return pack(count);
+  }
+  Status import_state(std::span<const std::byte> state) override {
+    std::uint64_t other = 0;
+    unpack(state, other);
+    count += other;  // merge
+    return Status::Ok();
+  }
+
+  std::uint64_t count = 0;
+};
+
+bool counting_backend_registered = [] {
+  BackendRegistry::register_type("counting-backend", [](Backend::Context ctx) {
+    return std::make_unique<CountingBackend>(std::move(ctx));
+  });
+  return true;
+}();
+
+TEST(StatefulMigration, LeaveShipsStateToSurvivor) {
+  des::Simulation sim(des::SimConfig{.seed = 31});
+  net::Network net(sim);
+  ServerConfig scfg;
+  scfg.init_cost = milliseconds(10);
+  LaunchModel instant{milliseconds(10), 0.0, milliseconds(10)};
+  StagingArea area(net, scfg, instant, 31);
+  area.launch_initial(3, 100);
+  sim.run_until(seconds(2));
+  for (const auto& s : area.servers()) {
+    s->create_pipeline("counter", "counting-backend", "").check();
+  }
+  // Put some state on every server.
+  for (const auto& s : area.servers()) {
+    auto* b = dynamic_cast<CountingBackend*>(s->pipeline("counter"));
+    ASSERT_NE(b, nullptr);
+    b->count = 10;
+  }
+
+  auto& client_proc = net.create_process(0);
+  rpc::Engine tool(client_proc, net::Profile::mona());
+  const net::ProcId victim = area.servers()[2]->address();
+  client_proc.spawn("admin", [&] {
+    Admin admin(tool);
+    ASSERT_TRUE(admin.request_leave(victim).ok());
+  });
+  sim.run();
+  sim.run_until(sim.now() + seconds(15));
+
+  // The leaver's count (10) migrated to exactly one survivor.
+  std::uint64_t total = 0;
+  for (const auto& s : area.servers()) {
+    if (!s->alive()) continue;
+    total += dynamic_cast<CountingBackend*>(s->pipeline("counter"))->count;
+  }
+  EXPECT_EQ(total, 30u);  // 10 + 10 + migrated 10
+}
+
+TEST(StatefulMigration, StatelessBackendsDoNotMigrate) {
+  des::Simulation sim(des::SimConfig{.seed = 32});
+  net::Network net(sim);
+  ServerConfig scfg;
+  scfg.init_cost = milliseconds(10);
+  LaunchModel instant{milliseconds(10), 0.0, milliseconds(10)};
+  StagingArea area(net, scfg, instant, 32);
+  area.launch_initial(2, 100);
+  sim.run_until(seconds(2));
+  for (const auto& s : area.servers()) {
+    s->create_pipeline("pipe", "barrier-backend", "").check();
+  }
+  auto& client_proc = net.create_process(0);
+  rpc::Engine tool(client_proc, net::Profile::mona());
+  client_proc.spawn("admin", [&] {
+    Admin admin(tool);
+    ASSERT_TRUE(admin.request_leave(area.servers()[1]->address()).ok());
+  });
+  sim.run();
+  sim.run_until(sim.now() + seconds(10));
+  EXPECT_EQ(area.alive_count(), 1u);  // leave completed without migration
+}
+
+}  // namespace
+}  // namespace colza

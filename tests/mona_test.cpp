@@ -1,0 +1,694 @@
+// Unit and property tests for MoNA: matched p2p, communicators, and every
+// collective across a sweep of communicator sizes (including non powers of
+// two), plus non-blocking requests and elastic communicator re-creation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "mona/mona.hpp"
+#include "net/network.hpp"
+
+namespace colza::mona {
+namespace {
+
+using des::seconds;
+
+std::span<const std::byte> as_bytes_of(const std::vector<std::int64_t>& v) {
+  return {reinterpret_cast<const std::byte*>(v.data()),
+          v.size() * sizeof(std::int64_t)};
+}
+std::span<std::byte> as_writable(std::vector<std::int64_t>& v) {
+  return {reinterpret_cast<std::byte*>(v.data()),
+          v.size() * sizeof(std::int64_t)};
+}
+
+// Test harness: N processes (4 per node), each with a MoNA instance; `body`
+// runs as the "main" fiber of each rank with a ready communicator.
+class MonaWorld {
+ public:
+  explicit MonaWorld(int n, std::uint64_t seed = 1)
+      : sim(des::SimConfig{.seed = seed}), net(sim) {
+    std::vector<net::ProcId> addrs;
+    for (int i = 0; i < n; ++i) {
+      auto& p = net.create_process(static_cast<net::NodeId>(i / 4));
+      procs.push_back(&p);
+      insts.push_back(std::make_unique<Instance>(p));
+      addrs.push_back(p.id());
+    }
+    for (int i = 0; i < n; ++i) comms.push_back(insts[i]->comm_create(addrs));
+  }
+
+  void run(std::function<void(int, Communicator&)> body) {
+    for (std::size_t i = 0; i < comms.size(); ++i) {
+      procs[i]->spawn("rank" + std::to_string(i), [this, i, body] {
+        body(static_cast<int>(i), *comms[i]);
+      });
+    }
+    sim.run();
+  }
+
+  des::Simulation sim;
+  net::Network net;
+  std::vector<net::Process*> procs;
+  std::vector<std::unique_ptr<Instance>> insts;
+  std::vector<std::shared_ptr<Communicator>> comms;
+};
+
+// --------------------------------------------------------------- p2p
+
+TEST(MonaP2p, SendRecvByAddress) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pa = net.create_process(0);
+  auto& pb = net.create_process(1);
+  Instance ia(pa), ib(pb);
+  std::string got;
+  pb.spawn("recv", [&] {
+    std::vector<std::byte> buf(64);
+    std::size_t n = 0;
+    ASSERT_TRUE(ib.recv(buf, pa.id(), 42, &n).ok());
+    got.assign(reinterpret_cast<char*>(buf.data()), n);
+  });
+  pa.spawn("send", [&] {
+    const char msg[] = "mona says hi";
+    ASSERT_TRUE(
+        ia.send({reinterpret_cast<const std::byte*>(msg), sizeof(msg) - 1},
+                pb.id(), 42)
+            .ok());
+  });
+  sim.run();
+  EXPECT_EQ(got, "mona says hi");
+}
+
+TEST(MonaP2p, TagMatchingSelectsRightMessage) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pa = net.create_process(0);
+  auto& pb = net.create_process(1);
+  Instance ia(pa), ib(pb);
+  pb.spawn("recv", [&] {
+    // Receive tag 2 first even though tag 1 arrives first.
+    std::int32_t v = 0;
+    std::span<std::byte> buf{reinterpret_cast<std::byte*>(&v), sizeof(v)};
+    sim.sleep_for(seconds(1));  // both messages are already queued
+    ASSERT_TRUE(ib.recv(buf, pa.id(), 2).ok());
+    EXPECT_EQ(v, 222);
+    ASSERT_TRUE(ib.recv(buf, pa.id(), 1).ok());
+    EXPECT_EQ(v, 111);
+  });
+  pa.spawn("send", [&] {
+    std::int32_t a = 111, b = 222;
+    ASSERT_TRUE(
+        ia.send({reinterpret_cast<std::byte*>(&a), sizeof(a)}, pb.id(), 1)
+            .ok());
+    ASSERT_TRUE(
+        ia.send({reinterpret_cast<std::byte*>(&b), sizeof(b)}, pb.id(), 2)
+            .ok());
+  });
+  sim.run();
+}
+
+TEST(MonaP2p, TruncationIsAnError) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pa = net.create_process(0);
+  auto& pb = net.create_process(1);
+  Instance ia(pa), ib(pb);
+  pb.spawn("recv", [&] {
+    std::vector<std::byte> tiny(4);
+    EXPECT_EQ(ib.recv(tiny, pa.id(), 0).code(), StatusCode::invalid_argument);
+  });
+  pa.spawn("send", [&] {
+    std::vector<std::byte> big(128);
+    ASSERT_TRUE(ia.send(big, pb.id(), 0).ok());
+  });
+  sim.run();
+}
+
+TEST(MonaP2p, CommRankedSendRecv) {
+  MonaWorld w(4);
+  w.run([&](int rank, Communicator& comm) {
+    if (rank == 0) {
+      std::int32_t v = 99;
+      ASSERT_TRUE(
+          comm.send({reinterpret_cast<std::byte*>(&v), sizeof(v)}, 3, 5).ok());
+    } else if (rank == 3) {
+      std::int32_t v = 0;
+      ASSERT_TRUE(
+          comm.recv({reinterpret_cast<std::byte*>(&v), sizeof(v)}, 0, 5).ok());
+      EXPECT_EQ(v, 99);
+    }
+  });
+}
+
+TEST(MonaP2p, IsendIrecvOverlap) {
+  MonaWorld w(2);
+  w.run([&](int rank, Communicator& comm) {
+    std::int64_t out = rank == 0 ? 7 : 13;
+    std::int64_t in = 0;
+    auto sreq = comm.isend({reinterpret_cast<std::byte*>(&out), sizeof(out)},
+                           1 - rank, 0);
+    auto rreq = comm.irecv({reinterpret_cast<std::byte*>(&in), sizeof(in)},
+                           1 - rank, 0);
+    ASSERT_TRUE(sreq.wait().ok());
+    ASSERT_TRUE(rreq.wait().ok());
+    EXPECT_EQ(in, rank == 0 ? 13 : 7);
+  });
+}
+
+// --------------------------------------------------- collectives sweep
+
+class MonaCollectives : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MonaCollectives,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 24),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST_P(MonaCollectives, Barrier) {
+  const int n = GetParam();
+  MonaWorld w(n);
+  std::vector<des::Time> done(static_cast<std::size_t>(n));
+  w.run([&](int rank, Communicator& comm) {
+    w.sim.sleep_for(seconds(static_cast<std::uint64_t>(rank)));
+    ASSERT_TRUE(comm.barrier().ok());
+    done[static_cast<std::size_t>(rank)] = w.sim.now();
+  });
+  // Nobody may leave the barrier before the last arrival (rank n-1).
+  for (int r = 0; r < n; ++r)
+    EXPECT_GE(done[static_cast<std::size_t>(r)],
+              seconds(static_cast<std::uint64_t>(n - 1)));
+}
+
+TEST_P(MonaCollectives, Bcast) {
+  const int n = GetParam();
+  for (int root = 0; root < n; root += std::max(1, n / 3)) {
+    MonaWorld w(n);
+    w.run([&](int rank, Communicator& comm) {
+      std::vector<std::int64_t> data(
+          17, rank == root ? 4242 : 0);
+      ASSERT_TRUE(comm.bcast(as_writable(data), root).ok());
+      for (auto v : data) EXPECT_EQ(v, 4242) << "rank " << rank;
+    });
+  }
+}
+
+TEST_P(MonaCollectives, ReduceSum) {
+  const int n = GetParam();
+  const int root = (n - 1) / 2;
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::int64_t> mine(8);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      mine[i] = rank + static_cast<int>(i);
+    std::vector<std::int64_t> out(8, -1);
+    ASSERT_TRUE(comm.reduce(as_bytes_of(mine), as_writable(out), 8,
+                            op_sum<std::int64_t>(), root)
+                    .ok());
+    if (rank == root) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        const std::int64_t expected =
+            static_cast<std::int64_t>(n) * (n - 1) / 2 +
+            static_cast<std::int64_t>(n) * static_cast<std::int64_t>(i);
+        EXPECT_EQ(out[i], expected);
+      }
+    }
+  });
+}
+
+TEST_P(MonaCollectives, ReduceBxorSelfInverse) {
+  // Property: reducing the same data twice with bxor across an even number
+  // of identical contributions gives zero; with distinct contributions the
+  // result equals the xor-fold.
+  const int n = GetParam();
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::int64_t> mine(4, std::int64_t{1} << (rank % 60));
+    std::vector<std::int64_t> out(4, -1);
+    ASSERT_TRUE(comm.reduce(as_bytes_of(mine), as_writable(out), 4,
+                            op_bxor<std::int64_t>(), 0)
+                    .ok());
+    if (rank == 0) {
+      std::int64_t expected = 0;
+      for (int r = 0; r < n; ++r) expected ^= std::int64_t{1} << (r % 60);
+      for (auto v : out) EXPECT_EQ(v, expected);
+    }
+  });
+}
+
+TEST_P(MonaCollectives, AllreduceMax) {
+  const int n = GetParam();
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::int64_t> mine{static_cast<std::int64_t>(rank * 3 % n),
+                                   static_cast<std::int64_t>(-rank)};
+    std::vector<std::int64_t> out(2, -999);
+    ASSERT_TRUE(comm.allreduce(as_bytes_of(mine), as_writable(out), 2,
+                               op_max<std::int64_t>())
+                    .ok());
+    std::int64_t m0 = 0, m1 = 0;
+    for (int r = 0; r < n; ++r) {
+      m0 = std::max<std::int64_t>(m0, r * 3 % n);
+      m1 = std::max<std::int64_t>(m1, -r);
+    }
+    EXPECT_EQ(out[0], m0) << "rank " << rank;
+    EXPECT_EQ(out[1], m1) << "rank " << rank;
+  });
+}
+
+TEST_P(MonaCollectives, AllreduceSumMatchesReducePlusBcast) {
+  const int n = GetParam();
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::int64_t> mine(3, rank + 1);
+    std::vector<std::int64_t> a(3), b(3, 0);
+    ASSERT_TRUE(
+        comm.allreduce(as_bytes_of(mine), as_writable(a), 3,
+                       op_sum<std::int64_t>())
+            .ok());
+    if (rank == 0) b = mine;
+    std::vector<std::int64_t> tmp(3);
+    ASSERT_TRUE(comm.reduce(as_bytes_of(mine), as_writable(tmp), 3,
+                            op_sum<std::int64_t>(), 0)
+                    .ok());
+    if (rank == 0) b = tmp;
+    ASSERT_TRUE(comm.bcast(as_writable(b), 0).ok());
+    EXPECT_EQ(a, b) << "rank " << rank;
+  });
+}
+
+TEST_P(MonaCollectives, Gather) {
+  const int n = GetParam();
+  const int root = n - 1;
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::int64_t> mine{rank * 10LL, rank * 10LL + 1};
+    std::vector<std::int64_t> all(static_cast<std::size_t>(2 * n), -1);
+    ASSERT_TRUE(
+        comm.gather(as_bytes_of(mine), as_writable(all), root).ok());
+    if (rank == root) {
+      for (int r = 0; r < n; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r * 10LL);
+        EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r * 10LL + 1);
+      }
+    }
+  });
+}
+
+TEST_P(MonaCollectives, GathervVariableSizes) {
+  const int n = GetParam();
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    // Rank r contributes r+1 bytes of value (r+1).
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n));
+    std::size_t total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] = static_cast<std::size_t>(r) + 1;
+      total += static_cast<std::size_t>(r) + 1;
+    }
+    std::vector<std::byte> mine(static_cast<std::size_t>(rank) + 1,
+                                std::byte(rank + 1));
+    std::vector<std::byte> all(total);
+    ASSERT_TRUE(comm.gatherv(mine, all, counts, 0).ok());
+    if (rank == 0) {
+      std::size_t off = 0;
+      for (int r = 0; r < n; ++r) {
+        for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i)
+          EXPECT_EQ(all[off + i], std::byte(r + 1));
+        off += counts[static_cast<std::size_t>(r)];
+      }
+    }
+  });
+}
+
+TEST_P(MonaCollectives, ScatterInverseOfGather) {
+  const int n = GetParam();
+  const int root = n / 2;
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::int64_t> all;
+    if (rank == root) {
+      all.resize(static_cast<std::size_t>(3 * n));
+      std::iota(all.begin(), all.end(), 1000);
+    }
+    std::vector<std::int64_t> mine(3, -1);
+    ASSERT_TRUE(
+        comm.scatter(as_bytes_of(all), as_writable(mine), root).ok());
+    for (int i = 0; i < 3; ++i)
+      EXPECT_EQ(mine[static_cast<std::size_t>(i)], 1000 + 3 * rank + i)
+          << "rank " << rank;
+  });
+}
+
+TEST_P(MonaCollectives, Allgather) {
+  const int n = GetParam();
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::int64_t> mine{static_cast<std::int64_t>(rank * rank)};
+    std::vector<std::int64_t> all(static_cast<std::size_t>(n), -1);
+    ASSERT_TRUE(comm.allgather(as_bytes_of(mine), as_writable(all)).ok());
+    for (int r = 0; r < n; ++r)
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r * r) << "rank " << rank;
+  });
+}
+
+TEST_P(MonaCollectives, Alltoall) {
+  const int n = GetParam();
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    // Block I send to rank d contains value rank*100 + d.
+    std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d)
+      out[static_cast<std::size_t>(d)] = rank * 100 + d;
+    std::vector<std::int64_t> in(static_cast<std::size_t>(n), -1);
+    ASSERT_TRUE(
+        comm.alltoall(as_bytes_of(out), as_writable(in), sizeof(std::int64_t))
+            .ok());
+    for (int s = 0; s < n; ++s)
+      EXPECT_EQ(in[static_cast<std::size_t>(s)], s * 100 + rank)
+          << "rank " << rank;
+  });
+}
+
+TEST_P(MonaCollectives, InclusiveScan) {
+  const int n = GetParam();
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::int64_t> mine{rank + 1LL};
+    std::vector<std::int64_t> out{-1};
+    ASSERT_TRUE(comm.scan(as_bytes_of(mine), as_writable(out), 1,
+                          op_sum<std::int64_t>())
+                    .ok());
+    EXPECT_EQ(out[0], (rank + 1LL) * (rank + 2) / 2) << "rank " << rank;
+  });
+}
+
+TEST_P(MonaCollectives, LinearFallbackReduceSameResult) {
+  const int n = GetParam();
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    comm.policy.linear_fallback = true;
+    comm.policy.linear_threshold = 0;  // always linear
+    std::vector<std::int64_t> mine(5, rank);
+    std::vector<std::int64_t> out(5, -1);
+    ASSERT_TRUE(comm.reduce(as_bytes_of(mine), as_writable(out), 5,
+                            op_sum<std::int64_t>(), 0)
+                    .ok());
+    if (rank == 0) {
+      for (auto v : out) {
+        EXPECT_EQ(v, static_cast<std::int64_t>(n) * (n - 1) / 2);
+      }
+    }
+  });
+}
+
+
+TEST_P(MonaCollectives, Exscan) {
+  const int n = GetParam();
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::int64_t> mine{rank + 1LL};
+    std::vector<std::int64_t> out{-1};
+    ASSERT_TRUE(comm.exscan(as_bytes_of(mine), as_writable(out), 1,
+                            op_sum<std::int64_t>())
+                    .ok());
+    // Exclusive prefix: rank r gets sum of 1..r (= r(r+1)/2); rank 0 gets 0.
+    EXPECT_EQ(out[0], static_cast<std::int64_t>(rank) * (rank + 1) / 2)
+        << "rank " << rank;
+  });
+}
+
+TEST_P(MonaCollectives, Allgatherv) {
+  const int n = GetParam();
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n));
+    std::size_t total = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          (static_cast<std::size_t>(r) % 3 + 1) * sizeof(std::int64_t);
+      total += counts[static_cast<std::size_t>(r)];
+    }
+    const std::size_t mine_n = static_cast<std::size_t>(rank) % 3 + 1;
+    std::vector<std::int64_t> mine(mine_n, rank);
+    std::vector<std::byte> all(total);
+    ASSERT_TRUE(comm.allgatherv(as_bytes_of(mine), all, counts).ok());
+    std::size_t off = 0;
+    for (int r = 0; r < n; ++r) {
+      const auto cnt = counts[static_cast<std::size_t>(r)] / sizeof(std::int64_t);
+      const auto* vals = reinterpret_cast<const std::int64_t*>(all.data() + off);
+      for (std::size_t i = 0; i < cnt; ++i)
+        ASSERT_EQ(vals[i], r) << "rank " << rank << " block " << r;
+      off += counts[static_cast<std::size_t>(r)];
+    }
+  });
+}
+
+TEST_P(MonaCollectives, ReduceScatterBlock) {
+  const int n = GetParam();
+  MonaWorld w(n);
+  w.run([&](int rank, Communicator& comm) {
+    // Each rank contributes vector [rank, rank, ...] of length 2n; rank r
+    // receives the reduced block r = 2 elements each equal to sum of ranks.
+    std::vector<std::int64_t> mine(static_cast<std::size_t>(2 * n), rank);
+    std::vector<std::int64_t> out(2, -1);
+    ASSERT_TRUE(comm.reduce_scatter_block(as_bytes_of(mine), as_writable(out),
+                                          2, op_sum<std::int64_t>())
+                    .ok());
+    const std::int64_t expected = static_cast<std::int64_t>(n) * (n - 1) / 2;
+    EXPECT_EQ(out[0], expected) << "rank " << rank;
+    EXPECT_EQ(out[1], expected) << "rank " << rank;
+  });
+}
+
+TEST(MonaComm, SendrecvExchanges) {
+  MonaWorld w(4);
+  w.run([&](int rank, Communicator& comm) {
+    // Ring exchange: send to the right, receive from the left.
+    std::int64_t out = rank * 11;
+    std::int64_t in = -1;
+    const int right = (rank + 1) % 4;
+    const int left = (rank + 3) % 4;
+    ASSERT_TRUE(comm.sendrecv(
+                        {reinterpret_cast<std::byte*>(&out), sizeof(out)},
+                        right, 3,
+                        {reinterpret_cast<std::byte*>(&in), sizeof(in)}, left,
+                        3)
+                    .ok());
+    EXPECT_EQ(in, left * 11);
+  });
+}
+
+// ------------------------------------------------------- other behaviour
+
+TEST(MonaComm, NonBlockingCollectivesComplete) {
+  MonaWorld w(8);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::int64_t> v(4, rank);
+    std::vector<std::int64_t> out(4);
+    auto r1 = comm.iallreduce(as_bytes_of(v), as_writable(out), 4,
+                              op_sum<std::int64_t>());
+    auto r2 = comm.ibarrier();
+    ASSERT_TRUE(r1.wait().ok());
+    ASSERT_TRUE(r2.wait().ok());
+    for (auto x : out) EXPECT_EQ(x, 28);  // 0+..+7
+  });
+}
+
+TEST(MonaComm, TwoCommunicatorsDontCrossTalk) {
+  MonaWorld w(4);
+  // Build a second communicator over the same members (dup) and run a
+  // different collective on each concurrently.
+  w.run([&](int rank, Communicator& comm) {
+    auto comm2 = comm.dup();
+    ASSERT_NE(comm2, nullptr);
+    std::vector<std::int64_t> a{rank + 0LL}, outa(1);
+    std::vector<std::int64_t> b{rank * 100LL}, outb(1);
+    auto r1 = comm.iallreduce(as_bytes_of(a), as_writable(outa), 1,
+                              op_sum<std::int64_t>());
+    auto r2 = comm2->iallreduce(as_bytes_of(b), as_writable(outb), 1,
+                                op_sum<std::int64_t>());
+    ASSERT_TRUE(r1.wait().ok());
+    ASSERT_TRUE(r2.wait().ok());
+    EXPECT_EQ(outa[0], 6);    // 0+1+2+3
+    EXPECT_EQ(outb[0], 600);  // (0+1+2+3)*100
+  });
+}
+
+TEST(MonaComm, SubsetCommunicator) {
+  MonaWorld w(6);
+  w.run([&](int rank, Communicator& comm) {
+    if (rank % 2 != 0) return;  // only even ranks participate
+    auto sub = comm.subset({0, 2, 4});
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->size(), 3);
+    EXPECT_EQ(sub->rank(), rank / 2);
+    std::vector<std::int64_t> v{1};
+    std::vector<std::int64_t> out(1);
+    ASSERT_TRUE(sub->allreduce(as_bytes_of(v), as_writable(out), 1,
+                               op_sum<std::int64_t>())
+                    .ok());
+    EXPECT_EQ(out[0], 3);
+  });
+}
+
+TEST(MonaComm, SubsetReturnsNullForNonMembers) {
+  MonaWorld w(3);
+  w.run([&](int rank, Communicator& comm) {
+    if (rank == 2) {
+      EXPECT_EQ(comm.instance().comm_create({w.procs[0]->id(),
+                                             w.procs[1]->id()}),
+                nullptr);
+    }
+  });
+}
+
+TEST(MonaComm, ElasticRecreateAfterJoin) {
+  // The Colza pattern: a 3-member group runs a collective; a 4th process
+  // appears; everyone builds a fresh communicator from the new address list
+  // and the collective now spans 4 members. No world communicator anywhere.
+  des::Simulation sim;
+  net::Network net(sim);
+  std::vector<net::Process*> procs;
+  std::vector<std::unique_ptr<Instance>> insts;
+  for (int i = 0; i < 3; ++i) {
+    auto& p = net.create_process(static_cast<net::NodeId>(i));
+    procs.push_back(&p);
+    insts.push_back(std::make_unique<Instance>(p));
+  }
+  std::vector<net::ProcId> view{procs[0]->id(), procs[1]->id(),
+                                procs[2]->id()};
+
+  // Late joiner created at t=1s.
+  sim.schedule_at(seconds(1), [&] {
+    auto& p = net.create_process(3);
+    procs.push_back(&p);
+    insts.push_back(std::make_unique<Instance>(p));
+  });
+
+  std::vector<std::int64_t> sums;
+  auto round = [&](int nmembers) {
+    std::vector<net::ProcId> addrs;
+    for (int i = 0; i < nmembers; ++i) addrs.push_back(procs[i]->id());
+    for (int i = 0; i < nmembers; ++i) {
+      procs[i]->spawn("round", [&, i, addrs] {
+        auto comm = insts[i]->comm_create(addrs);
+        ASSERT_NE(comm, nullptr);
+        std::vector<std::int64_t> v{1};
+        std::vector<std::int64_t> out(1);
+        ASSERT_TRUE(comm->allreduce(as_bytes_of(v), as_writable(out), 1,
+                                    op_sum<std::int64_t>())
+                        .ok());
+        if (i == 0) sums.push_back(out[0]);
+      });
+    }
+  };
+
+  round(3);
+  sim.run();
+  sim.schedule_at(seconds(2), [&] { round(4); });
+  sim.run();
+  EXPECT_EQ(sums, (std::vector<std::int64_t>{3, 4}));
+}
+
+TEST(MonaComm, BcastLargeMessage) {
+  MonaWorld w(8);
+  w.run([&](int rank, Communicator& comm) {
+    std::vector<std::int64_t> data(1 << 16);  // 512 KiB
+    if (rank == 0)
+      for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::int64_t>(i * 7);
+    ASSERT_TRUE(comm.bcast(as_writable(data), 0).ok());
+    for (std::size_t i = 0; i < data.size(); i += 997)
+      ASSERT_EQ(data[i], static_cast<std::int64_t>(i * 7)) << "rank " << rank;
+  });
+}
+
+TEST(MonaComm, ReduceTakesLongerWithLinearFallback) {
+  auto run = [](bool linear) {
+    MonaWorld w(16);
+    des::Time elapsed = 0;
+    w.run([&](int rank, Communicator& comm) {
+      comm.policy.linear_fallback = linear;
+      comm.policy.linear_threshold = 0;
+      std::vector<std::int64_t> v(4096, rank);  // 32 KiB
+      std::vector<std::int64_t> out(4096);
+      const des::Time t0 = w.sim.now();
+      ASSERT_TRUE(comm.reduce(as_bytes_of(v), as_writable(out), 4096,
+                              op_sum<std::int64_t>(), 0)
+                      .ok());
+      if (rank == 0) elapsed = w.sim.now() - t0;
+    });
+    return elapsed;
+  };
+  const des::Time tree = run(false);
+  const des::Time linear = run(true);
+  EXPECT_GT(linear, tree);
+}
+
+
+TEST(MonaP2p, RecvAnySourceMatchesFirstArrival) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pa = net.create_process(0);
+  auto& pb = net.create_process(1);
+  auto& pc = net.create_process(2);
+  Instance ia(pa), ib(pb), ic(pc);
+  pa.spawn("recv", [&] {
+    std::int32_t v = 0;
+    std::span<std::byte> buf{reinterpret_cast<std::byte*>(&v), sizeof(v)};
+    net::ProcId who = net::kInvalidProc;
+    // Two any-source receives: must see both senders, nearest-first.
+    ASSERT_TRUE(ia.recv_any(buf, 9, &who).ok());
+    EXPECT_TRUE(who == pb.id() || who == pc.id());
+    const net::ProcId first = who;
+    ASSERT_TRUE(ia.recv_any(buf, 9, &who).ok());
+    EXPECT_NE(who, first);
+  });
+  pb.spawn("send", [&] {
+    std::int32_t v = 1;
+    ASSERT_TRUE(
+        ib.send({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pa.id(), 9)
+            .ok());
+  });
+  pc.spawn("send", [&] {
+    std::int32_t v = 2;
+    ASSERT_TRUE(
+        ic.send({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pa.id(), 9)
+            .ok());
+  });
+  sim.run();
+}
+
+TEST(MonaP2p, RecvAnyFromUnexpectedQueue) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pa = net.create_process(0);
+  auto& pb = net.create_process(1);
+  Instance ia(pa), ib(pb);
+  pa.spawn("recv", [&] {
+    sim.sleep_for(seconds(1));  // message already queued as unexpected
+    std::int32_t v = 0;
+    std::span<std::byte> buf{reinterpret_cast<std::byte*>(&v), sizeof(v)};
+    net::ProcId who = net::kInvalidProc;
+    ASSERT_TRUE(ia.recv_any(buf, 4, &who).ok());
+    EXPECT_EQ(who, pb.id());
+    EXPECT_EQ(v, 77);
+  });
+  pb.spawn("send", [&] {
+    std::int32_t v = 77;
+    ASSERT_TRUE(
+        ib.send({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pa.id(), 4)
+            .ok());
+  });
+  sim.run();
+}
+
+}  // namespace
+}  // namespace colza::mona

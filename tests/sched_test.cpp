@@ -1,0 +1,177 @@
+// Tests for the resize-capable job scheduler (paper S IV-A) and its
+// integration with the elastic staging area.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "colza/client.hpp"
+#include "colza/deploy.hpp"
+#include "des/simulation.hpp"
+#include "net/network.hpp"
+#include "sched/scheduler.hpp"
+
+namespace colza::sched {
+namespace {
+
+using des::seconds;
+
+TEST(Scheduler, SubmitGrowShrinkAccounting) {
+  des::Simulation sim;
+  Scheduler sched(sim, SchedulerConfig{.total_nodes = 10});
+  EXPECT_EQ(sched.free_nodes(), 10u);
+
+  auto job = sched.submit(4);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(sched.free_nodes(), 6u);
+  ASSERT_NE(sched.nodes_of(*job), nullptr);
+  EXPECT_EQ(sched.nodes_of(*job)->size(), 4u);
+
+  auto grown = sched.grow(*job, 3);
+  ASSERT_TRUE(grown.has_value());
+  EXPECT_EQ(grown->size(), 3u);
+  EXPECT_EQ(sched.free_nodes(), 3u);
+  EXPECT_EQ(sched.nodes_of(*job)->size(), 7u);
+
+  ASSERT_TRUE(sched.shrink(*job, {grown->front()}).ok());
+  EXPECT_EQ(sched.free_nodes(), 4u);
+  EXPECT_EQ(sched.nodes_of(*job)->size(), 6u);
+
+  ASSERT_TRUE(sched.complete(*job).ok());
+  EXPECT_EQ(sched.free_nodes(), 10u);
+  EXPECT_EQ(sched.nodes_of(*job), nullptr);
+}
+
+TEST(Scheduler, DeniesWhenExhausted) {
+  des::Simulation sim;
+  Scheduler sched(sim, SchedulerConfig{.total_nodes = 4});
+  auto a = sched.submit(3);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(sched.submit(2).status().code(), StatusCode::unavailable);
+  EXPECT_EQ(sched.grow(*a, 2).status().code(), StatusCode::unavailable);
+  ASSERT_TRUE(sched.grow(*a, 1).has_value());  // exactly the last node
+  EXPECT_EQ(sched.free_nodes(), 0u);
+}
+
+TEST(Scheduler, ValidatesArguments) {
+  des::Simulation sim;
+  Scheduler sched(sim, SchedulerConfig{.total_nodes = 4});
+  EXPECT_EQ(sched.submit(0).status().code(), StatusCode::invalid_argument);
+  EXPECT_EQ(sched.grow(999, 1).status().code(), StatusCode::not_found);
+  EXPECT_EQ(sched.shrink(999, {}).code(), StatusCode::not_found);
+  EXPECT_EQ(sched.complete(999).code(), StatusCode::not_found);
+  auto job = sched.submit(1);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(sched.shrink(*job, {static_cast<net::NodeId>(99)}).code(),
+            StatusCode::invalid_argument);
+}
+
+TEST(Scheduler, BackgroundTenantsHoldUtilization) {
+  des::Simulation sim;
+  SchedulerConfig cfg;
+  cfg.total_nodes = 40;
+  cfg.background_utilization = 0.5;
+  Scheduler sched(sim, cfg);
+  // Immediately after construction the tenants occupy ~half the cluster.
+  EXPECT_LE(sched.free_nodes(), 25u);
+  EXPECT_GE(sched.free_nodes(), 10u);
+  // Churn keeps it around the target over time.
+  sim.run_until(seconds(200));
+  EXPECT_LE(sched.free_nodes(), 28u);
+  EXPECT_GE(sched.free_nodes(), 8u);
+}
+
+TEST(Scheduler, ChurnIsDeterministic) {
+  auto run = [] {
+    des::Simulation sim;
+    SchedulerConfig cfg;
+    cfg.total_nodes = 32;
+    cfg.background_utilization = 0.6;
+    cfg.seed = 9;
+    Scheduler sched(sim, cfg);
+    sim.run_until(seconds(100));
+    return sched.free_nodes();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ------------------------------------------------- staging-area integration
+
+TEST(SchedulerIntegration, ScheduledGrowLaunchesDaemonOnGrantedNode) {
+  des::Simulation sim;
+  net::Network net(sim);
+  Scheduler sched(sim, SchedulerConfig{.total_nodes = 8});
+  auto job = sched.submit(2);
+  ASSERT_TRUE(job.has_value());
+
+  ServerConfig scfg;
+  scfg.init_cost = des::milliseconds(10);
+  LaunchModel instant{des::milliseconds(10), 0.0, des::milliseconds(10)};
+  StagingArea area(net, scfg, instant, 5);
+  area.attach_scheduler(sched, *job);
+  const auto& held = *sched.nodes_of(*job);
+  area.launch_initial(2, held[0]);  // founding daemons on the job's nodes
+  sim.run_until(seconds(2));
+  ASSERT_EQ(area.alive_count(), 2u);
+
+  bool joined = false;
+  net::NodeId new_node = 0;
+  ASSERT_TRUE(area.launch_one_scheduled([&](Server& s) {
+                    joined = true;
+                    new_node = s.process().node();
+                  })
+                  .ok());
+  sim.run_until(seconds(20));
+  ASSERT_TRUE(joined);
+  EXPECT_EQ(area.alive_count(), 3u);
+  EXPECT_EQ(sched.nodes_of(*job)->size(), 3u);
+  EXPECT_EQ(sched.free_nodes(), 5u);
+  // The daemon really runs on a node the scheduler granted.
+  const auto& nodes = *sched.nodes_of(*job);
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(), new_node), nodes.end());
+}
+
+TEST(SchedulerIntegration, GrowDeniedUnderScarcity) {
+  des::Simulation sim;
+  net::Network net(sim);
+  Scheduler sched(sim, SchedulerConfig{.total_nodes = 2});
+  auto job = sched.submit(2);  // the whole cluster
+  ASSERT_TRUE(job.has_value());
+  StagingArea area(net, ServerConfig{}, LaunchModel{}, 5);
+  area.attach_scheduler(sched, *job);
+  EXPECT_EQ(area.launch_one_scheduled().code(), StatusCode::unavailable);
+}
+
+TEST(SchedulerIntegration, ReleaseReturnsNodeAfterLeave) {
+  des::Simulation sim;
+  net::Network net(sim);
+  Scheduler sched(sim, SchedulerConfig{.total_nodes = 8});
+  auto job = sched.submit(3);
+  ASSERT_TRUE(job.has_value());
+
+  ServerConfig scfg;
+  scfg.init_cost = des::milliseconds(10);
+  LaunchModel instant{des::milliseconds(10), 0.0, des::milliseconds(10)};
+  StagingArea area(net, scfg, instant, 6);
+  area.attach_scheduler(sched, *job);
+  area.launch_initial(3, sched.nodes_of(*job)->front());
+  sim.run_until(seconds(2));
+  ASSERT_EQ(area.alive_count(), 3u);
+  EXPECT_EQ(sched.free_nodes(), 5u);
+
+  auto& tool_proc = net.create_process(100);
+  rpc::Engine tool(tool_proc, net::Profile::mona());
+  bool released = false;
+  tool_proc.spawn("admin", [&] {
+    Server& victim = *area.servers().back();
+    ASSERT_TRUE(area.release_scheduled(tool, victim).ok());
+    released = true;
+  });
+  sim.run_until(seconds(30));
+  ASSERT_TRUE(released);
+  EXPECT_EQ(area.alive_count(), 2u);
+  EXPECT_EQ(sched.free_nodes(), 6u);  // the node came back
+  EXPECT_EQ(sched.nodes_of(*job)->size(), 2u);
+}
+
+}  // namespace
+}  // namespace colza::sched

@@ -1,0 +1,145 @@
+// Tests for the static MPI-like baseline: world construction, vendor
+// profiles, collective correctness, and the modeled vendor differences
+// (Cray faster than OpenMPI; OpenMPI's large-message collective collapse).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "net/network.hpp"
+#include "simmpi/simmpi.hpp"
+
+namespace colza::simmpi {
+namespace {
+
+std::span<const std::byte> as_bytes_of(const std::vector<std::int64_t>& v) {
+  return {reinterpret_cast<const std::byte*>(v.data()),
+          v.size() * sizeof(std::int64_t)};
+}
+std::span<std::byte> as_writable(std::vector<std::int64_t>& v) {
+  return {reinterpret_cast<std::byte*>(v.data()),
+          v.size() * sizeof(std::int64_t)};
+}
+
+TEST(SimMpi, WorldHasContiguousRanks) {
+  des::Simulation sim;
+  net::Network net(sim);
+  MpiJob job(net, 8, 4, Vendor::cray_mpich);
+  EXPECT_EQ(job.size(), 8);
+  int count = 0;
+  job.launch([&](int rank, mona::Communicator& world) {
+    EXPECT_EQ(world.rank(), rank);
+    EXPECT_EQ(world.size(), 8);
+    ++count;
+  });
+  sim.run();
+  EXPECT_EQ(count, 8);
+}
+
+TEST(SimMpi, ProcessesPackedOntoNodes) {
+  des::Simulation sim;
+  net::Network net(sim);
+  MpiJob job(net, 8, 4, Vendor::cray_mpich, /*base_node=*/10);
+  EXPECT_EQ(job.process(0).node(), 10u);
+  EXPECT_EQ(job.process(3).node(), 10u);
+  EXPECT_EQ(job.process(4).node(), 11u);
+  EXPECT_EQ(job.process(7).node(), 11u);
+}
+
+TEST(SimMpi, AllreduceCorrectBothVendors) {
+  for (Vendor v : {Vendor::cray_mpich, Vendor::openmpi}) {
+    des::Simulation sim;
+    net::Network net(sim);
+    MpiJob job(net, 12, 4, v);
+    job.launch([&](int rank, mona::Communicator& world) {
+      std::vector<std::int64_t> in{rank + 1LL};
+      std::vector<std::int64_t> out(1);
+      ASSERT_TRUE(world
+                      .allreduce(as_bytes_of(in), as_writable(out), 1,
+                                 mona::op_sum<std::int64_t>())
+                      .ok());
+      EXPECT_EQ(out[0], 78);  // 1+..+12
+    });
+    sim.run();
+  }
+}
+
+TEST(SimMpi, OpenMpiInheritsLinearFallbackPolicy) {
+  des::Simulation sim;
+  net::Network net(sim);
+  MpiJob cray(net, 2, 2, Vendor::cray_mpich);
+  MpiJob omp(net, 2, 2, Vendor::openmpi, /*base_node=*/4);
+  EXPECT_FALSE(cray.world(0).policy.linear_fallback);
+  EXPECT_TRUE(omp.world(0).policy.linear_fallback);
+}
+
+TEST(SimMpi, CrayPingPongFasterThanOpenMpi) {
+  auto pingpong = [](Vendor v, std::size_t bytes) {
+    des::Simulation sim;
+    net::Network net(sim);
+    MpiJob job(net, 2, 1, v);
+    des::Duration elapsed = 0;
+    job.launch([&](int rank, mona::Communicator& world) {
+      std::vector<std::byte> buf(bytes);
+      const des::Time t0 = sim.now();
+      for (int i = 0; i < 10; ++i) {
+        if (rank == 0) {
+          ASSERT_TRUE(world.send(buf, 1, 0).ok());
+          ASSERT_TRUE(world.recv(buf, 1, 0).ok());
+        } else {
+          ASSERT_TRUE(world.recv(buf, 0, 0).ok());
+          ASSERT_TRUE(world.send(buf, 0, 0).ok());
+        }
+      }
+      if (rank == 0) elapsed = sim.now() - t0;
+    });
+    sim.run();
+    return elapsed;
+  };
+  for (std::size_t bytes : {8u, 2048u, 16384u, 524288u}) {
+    EXPECT_LT(pingpong(Vendor::cray_mpich, bytes),
+              pingpong(Vendor::openmpi, bytes))
+        << bytes;
+  }
+}
+
+TEST(SimMpi, OpenMpiLargeReduceCollapses) {
+  // Table II shape: at 32 KiB payloads OpenMPI's reduce must be at least two
+  // orders of magnitude slower than Cray-mpich's.
+  auto reduce_time = [](Vendor v) {
+    des::Simulation sim;
+    net::Network net(sim);
+    MpiJob job(net, 32, 8, v);
+    des::Duration elapsed = 0;
+    job.launch([&](int rank, mona::Communicator& world) {
+      std::vector<std::int64_t> in(4096, rank), out(4096);  // 32 KiB
+      const des::Time t0 = sim.now();
+      ASSERT_TRUE(world
+                      .reduce(as_bytes_of(in), as_writable(out), 4096,
+                              mona::op_bxor<std::int64_t>(), 0)
+                      .ok());
+      ASSERT_TRUE(world.barrier().ok());
+      if (rank == 0) elapsed = sim.now() - t0;
+    });
+    sim.run();
+    return elapsed;
+  };
+  const auto cray = reduce_time(Vendor::cray_mpich);
+  const auto omp = reduce_time(Vendor::openmpi);
+  EXPECT_GT(omp, 20 * cray);  // grows to ~3 orders of magnitude at 512 procs
+}
+
+TEST(SimMpi, VendorNames) {
+  EXPECT_EQ(to_string(Vendor::cray_mpich), "cray-mpich");
+  EXPECT_EQ(to_string(Vendor::openmpi), "openmpi");
+}
+
+TEST(SimMpi, InvalidSizesThrow) {
+  des::Simulation sim;
+  net::Network net(sim);
+  EXPECT_THROW(MpiJob(net, 0, 1, Vendor::cray_mpich), std::invalid_argument);
+  EXPECT_THROW(MpiJob(net, 4, 0, Vendor::cray_mpich), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace colza::simmpi

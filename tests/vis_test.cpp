@@ -1,0 +1,406 @@
+// Tests for the visualization data model and filters: arrays, grids,
+// serialization round trips, isosurface properties, clipping, thresholding,
+// merging, and resampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "vis/data.hpp"
+#include "vis/filters.hpp"
+#include "vis/vtk_writer.hpp"
+
+namespace colza::vis {
+namespace {
+
+// Builds a uniform grid with a radial distance field ||p - c||.
+UniformGrid sphere_grid(std::uint32_t n, Vec3 center, float spacing = 1.0f) {
+  UniformGrid g;
+  g.dims = {n, n, n};
+  g.origin = {0, 0, 0};
+  g.spacing = {spacing, spacing, spacing};
+  std::vector<float> f(g.point_count());
+  for (std::uint32_t k = 0; k < n; ++k) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        f[g.point_index(i, j, k)] = (g.point(i, j, k) - center).norm();
+      }
+    }
+  }
+  g.point_data.add(DataArray::make<float>("dist", f));
+  return g;
+}
+
+// ----------------------------------------------------------------- arrays
+
+TEST(DataArray, TypedAccess) {
+  std::vector<float> v{1.0f, 2.0f, 3.0f};
+  auto a = DataArray::make<float>("temp", v);
+  EXPECT_EQ(a.name(), "temp");
+  EXPECT_EQ(a.type(), DataType::f32);
+  EXPECT_EQ(a.value_count(), 3u);
+  EXPECT_EQ(a.tuple_count(), 3u);
+  EXPECT_EQ(a.as<float>()[1], 2.0f);
+  EXPECT_THROW((void)a.as<double>(), std::runtime_error);
+}
+
+TEST(DataArray, MultiComponent) {
+  std::vector<double> v(12);
+  auto a = DataArray::make<double>("velocity", v, 3);
+  EXPECT_EQ(a.value_count(), 12u);
+  EXPECT_EQ(a.tuple_count(), 4u);
+}
+
+TEST(FieldData, FindByName) {
+  FieldData fd;
+  fd.add(DataArray::make<float>("a", std::vector<float>{1}));
+  fd.add(DataArray::make<float>("b", std::vector<float>{2}));
+  ASSERT_NE(fd.find("b"), nullptr);
+  EXPECT_EQ(fd.find("b")->as<float>()[0], 2.0f);
+  EXPECT_EQ(fd.find("c"), nullptr);
+}
+
+// ------------------------------------------------------------------ grids
+
+TEST(UniformGrid, CountsAndIndexing) {
+  UniformGrid g;
+  g.dims = {4, 3, 2};
+  EXPECT_EQ(g.point_count(), 24u);
+  EXPECT_EQ(g.cell_count(), 6u);
+  EXPECT_EQ(g.point_index(0, 0, 0), 0u);
+  EXPECT_EQ(g.point_index(3, 2, 1), 23u);
+}
+
+TEST(UniformGrid, PointPositionsAndBounds) {
+  UniformGrid g;
+  g.dims = {3, 3, 3};
+  g.origin = {1, 2, 3};
+  g.spacing = {0.5f, 1.0f, 2.0f};
+  EXPECT_EQ(g.point(2, 2, 2), (Vec3{2.0f, 4.0f, 7.0f}));
+  const Aabb b = g.bounds();
+  EXPECT_EQ(b.lo, (Vec3{1, 2, 3}));
+  EXPECT_EQ(b.hi, (Vec3{2, 4, 7}));
+}
+
+TEST(UnstructuredGrid, AddAndAccessCells) {
+  UnstructuredGrid g;
+  g.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const std::uint32_t tet[] = {0, 1, 2, 3};
+  g.add_cell(CellType::tetra, tet);
+  EXPECT_EQ(g.cell_count(), 1u);
+  EXPECT_EQ(g.cell(0).size(), 4u);
+  EXPECT_EQ(g.cell(0)[3], 3u);
+}
+
+TEST(DataSet, SerializationRoundTrip) {
+  UniformGrid g = sphere_grid(5, {2, 2, 2});
+  auto bytes = serialize_dataset(g);
+  DataSet ds = deserialize_dataset(bytes);
+  ASSERT_TRUE(std::holds_alternative<UniformGrid>(ds));
+  const auto& g2 = std::get<UniformGrid>(ds);
+  EXPECT_EQ(g2.dims, g.dims);
+  EXPECT_EQ(g2.point_data.find("dist")->as<float>()[7],
+            g.point_data.find("dist")->as<float>()[7]);
+}
+
+TEST(DataSet, SerializeUnstructuredAndMesh) {
+  UnstructuredGrid u;
+  u.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const std::uint32_t tet[] = {0, 1, 2, 3};
+  u.add_cell(CellType::tetra, tet);
+  u.cell_data.add(DataArray::make<float>("v", std::vector<float>{3.5f}));
+  auto ds = deserialize_dataset(serialize_dataset(u));
+  ASSERT_TRUE(std::holds_alternative<UnstructuredGrid>(ds));
+  EXPECT_EQ(std::get<UnstructuredGrid>(ds).types[0], CellType::tetra);
+
+  TriangleMesh m;
+  m.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  m.triangles = {0, 1, 2};
+  auto ds2 = deserialize_dataset(serialize_dataset(m));
+  ASSERT_TRUE(std::holds_alternative<TriangleMesh>(ds2));
+  EXPECT_EQ(std::get<TriangleMesh>(ds2).triangle_count(), 1u);
+}
+
+// -------------------------------------------------------------- isosurface
+
+TEST(Isosurface, SphereVerticesLieOnIsoValue) {
+  const Vec3 c{8, 8, 8};
+  UniformGrid g = sphere_grid(17, c);
+  TriangleMesh m = isosurface(g, "dist", 5.0f);
+  ASSERT_GT(m.triangle_count(), 100u);
+  // Every generated vertex must sit (approximately) on the r=5 sphere.
+  for (const Vec3& p : m.points) {
+    EXPECT_NEAR((p - c).norm(), 5.0f, 0.35f);
+  }
+}
+
+TEST(Isosurface, SphereAreaMatchesAnalytic) {
+  const Vec3 c{10, 10, 10};
+  UniformGrid g = sphere_grid(21, c);
+  const float r = 6.0f;
+  TriangleMesh m = isosurface(g, "dist", r);
+  double area = 0;
+  for (std::size_t t = 0; t < m.triangle_count(); ++t) {
+    const Vec3 a = m.points[m.triangles[3 * t]];
+    const Vec3 b = m.points[m.triangles[3 * t + 1]];
+    const Vec3 d = m.points[m.triangles[3 * t + 2]];
+    area += 0.5 * static_cast<double>((b - a).cross(d - a).norm());
+  }
+  const double expected = 4.0 * M_PI * r * r;
+  EXPECT_NEAR(area, expected, expected * 0.1);
+}
+
+TEST(Isosurface, NormalsPointRadially) {
+  const Vec3 c{8, 8, 8};
+  UniformGrid g = sphere_grid(17, c);
+  TriangleMesh m = isosurface(g, "dist", 5.0f);
+  ASSERT_EQ(m.normals.size(), m.points.size());
+  // The gradient of ||p - c|| is the outward radial direction.
+  std::size_t good = 0;
+  for (std::size_t i = 0; i < m.points.size(); ++i) {
+    const Vec3 radial = (m.points[i] - c).normalized();
+    if (radial.dot(m.normals[i]) > 0.9f) ++good;
+  }
+  EXPECT_GT(good, m.points.size() * 9 / 10);
+}
+
+TEST(Isosurface, EmptyWhenIsoOutsideRange) {
+  UniformGrid g = sphere_grid(9, {4, 4, 4});
+  EXPECT_EQ(isosurface(g, "dist", 1000.0f).triangle_count(), 0u);
+  EXPECT_EQ(isosurface(g, "dist", -5.0f).triangle_count(), 0u);
+}
+
+TEST(Isosurface, ColorFieldInterpolated) {
+  UniformGrid g = sphere_grid(9, {4, 4, 4});
+  // Secondary field = x coordinate.
+  std::vector<float> xs(g.point_count());
+  for (std::uint32_t k = 0; k < 9; ++k)
+    for (std::uint32_t j = 0; j < 9; ++j)
+      for (std::uint32_t i = 0; i < 9; ++i)
+        xs[g.point_index(i, j, k)] = static_cast<float>(i);
+  g.point_data.add(DataArray::make<float>("x", xs));
+  TriangleMesh m = isosurface(g, "dist", 3.0f, "x");
+  ASSERT_FALSE(m.points.empty());
+  for (std::size_t i = 0; i < m.points.size(); ++i) {
+    EXPECT_NEAR(m.scalars[i], m.points[i].x, 0.51f);
+  }
+}
+
+TEST(Isosurface, MissingFieldThrows) {
+  UniformGrid g = sphere_grid(5, {2, 2, 2});
+  EXPECT_THROW(isosurface(g, "nope", 1.0f), std::runtime_error);
+}
+
+// ------------------------------------------------------------------ clip
+
+TEST(Clip, KeepsCorrectHalfSpace) {
+  UniformGrid g = sphere_grid(17, {8, 8, 8});
+  TriangleMesh m = isosurface(g, "dist", 5.0f);
+  TriangleMesh clipped = clip_by_plane(m, {8, 8, 8}, {1, 0, 0});
+  ASSERT_GT(clipped.triangle_count(), 0u);
+  ASSERT_LT(clipped.triangle_count(), m.triangle_count() * 0.7);
+  for (const Vec3& p : clipped.points) {
+    EXPECT_LE(p.x, 8.0f + 1e-3f);
+  }
+}
+
+TEST(Clip, PlaneMissingMeshKeepsEverything) {
+  UniformGrid g = sphere_grid(9, {4, 4, 4});
+  TriangleMesh m = isosurface(g, "dist", 2.0f);
+  TriangleMesh clipped = clip_by_plane(m, {100, 0, 0}, {1, 0, 0});
+  EXPECT_EQ(clipped.triangle_count(), m.triangle_count());
+  TriangleMesh gone = clip_by_plane(m, {-100, 0, 0}, {1, 0, 0});
+  EXPECT_EQ(gone.triangle_count(), 0u);
+}
+
+TEST(Clip, AreaApproximatelyHalved) {
+  UniformGrid g = sphere_grid(21, {10, 10, 10});
+  TriangleMesh m = isosurface(g, "dist", 6.0f);
+  auto area = [](const TriangleMesh& mesh) {
+    double a = 0;
+    for (std::size_t t = 0; t < mesh.triangle_count(); ++t) {
+      const Vec3 p0 = mesh.points[mesh.triangles[3 * t]];
+      const Vec3 p1 = mesh.points[mesh.triangles[3 * t + 1]];
+      const Vec3 p2 = mesh.points[mesh.triangles[3 * t + 2]];
+      a += 0.5 * static_cast<double>((p1 - p0).cross(p2 - p0).norm());
+    }
+    return a;
+  };
+  TriangleMesh clipped = clip_by_plane(m, {10, 10, 10}, {0, 0, 1});
+  EXPECT_NEAR(area(clipped), area(m) / 2, area(m) * 0.05);
+}
+
+// ------------------------------------------------------------- threshold
+
+TEST(Threshold, SelectsCellsInRange) {
+  UnstructuredGrid g;
+  g.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}};
+  const std::uint32_t t1[] = {0, 1, 2, 3};
+  const std::uint32_t t2[] = {1, 2, 3, 4};
+  const std::uint32_t t3[] = {0, 2, 3, 4};
+  g.add_cell(CellType::tetra, t1);
+  g.add_cell(CellType::tetra, t2);
+  g.add_cell(CellType::tetra, t3);
+  g.cell_data.add(
+      DataArray::make<float>("mass", std::vector<float>{1.0f, 5.0f, 9.0f}));
+  UnstructuredGrid out = threshold(g, "mass", 2.0, 8.0);
+  ASSERT_EQ(out.cell_count(), 1u);
+  EXPECT_EQ(out.cell(0)[0], 1u);
+  EXPECT_EQ(out.cell_data.find("mass")->as<float>()[0], 5.0f);
+}
+
+// ---------------------------------------------------------------- merge
+
+TEST(Merge, MeshesConcatenateWithIndexFixup) {
+  TriangleMesh a, b;
+  a.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  a.triangles = {0, 1, 2};
+  a.scalars = {1, 1, 1};
+  a.normals = {{0, 0, 1}, {0, 0, 1}, {0, 0, 1}};
+  b.points = {{5, 0, 0}, {6, 0, 0}, {5, 1, 0}};
+  b.triangles = {0, 1, 2};
+  b.scalars = {2, 2, 2};
+  b.normals = {{0, 0, 1}, {0, 0, 1}, {0, 0, 1}};
+  const TriangleMesh meshes[] = {a, b};
+  TriangleMesh m = merge_meshes(meshes);
+  ASSERT_EQ(m.triangle_count(), 2u);
+  EXPECT_EQ(m.triangles[3], 3u);
+  EXPECT_EQ(m.points[4], (Vec3{6, 0, 0}));
+  EXPECT_EQ(m.scalars[5], 2.0f);
+}
+
+TEST(Merge, GridsConcatenateCellsAndFields) {
+  UnstructuredGrid a, b;
+  a.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const std::uint32_t t[] = {0, 1, 2, 3};
+  a.add_cell(CellType::tetra, t);
+  a.cell_data.add(DataArray::make<float>("v", std::vector<float>{1.0f}));
+  b.points = {{9, 0, 0}, {10, 0, 0}, {9, 1, 0}, {9, 0, 1}};
+  b.add_cell(CellType::tetra, t);
+  b.cell_data.add(DataArray::make<float>("v", std::vector<float>{2.0f}));
+  const UnstructuredGrid grids[] = {a, b};
+  UnstructuredGrid m = merge_grids(grids);
+  ASSERT_EQ(m.cell_count(), 2u);
+  EXPECT_EQ(m.points.size(), 8u);
+  EXPECT_EQ(m.cell(1)[0], 4u);  // shifted by first block's point count
+  const auto v = m.cell_data.find("v")->as<float>();
+  EXPECT_EQ(v[0], 1.0f);
+  EXPECT_EQ(v[1], 2.0f);
+}
+
+// -------------------------------------------------------------- resample
+
+TEST(Resample, SplatsCellValuesOntoGrid) {
+  UnstructuredGrid g;
+  g.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const std::uint32_t t[] = {0, 1, 2, 3};
+  g.add_cell(CellType::tetra, t);
+  g.cell_data.add(DataArray::make<float>("v", std::vector<float>{8.0f}));
+  Aabb bounds;
+  bounds.extend({0, 0, 0});
+  bounds.extend({1, 1, 1});
+  UniformGrid img = resample_to_grid(g, "v", {4, 4, 4}, bounds);
+  const auto vals = img.point_data.find("v")->as<float>();
+  float sum = std::accumulate(vals.begin(), vals.end(), 0.0f);
+  EXPECT_EQ(sum, 8.0f);  // single splat, value preserved
+  EXPECT_EQ(img.point_count(), 64u);
+}
+
+
+
+// ------------------------------------------------------------------ slice
+
+TEST(Slice, CrossSectionLiesOnPlane) {
+  UniformGrid g = sphere_grid(13, {6, 6, 6});
+  TriangleMesh m = slice(g, "dist", {6, 6, 6}, {0, 0, 1});
+  ASSERT_GT(m.triangle_count(), 50u);
+  for (const Vec3& p : m.points) EXPECT_NEAR(p.z, 6.0f, 1e-3f);
+}
+
+TEST(Slice, ScalarsInterpolateTheField) {
+  UniformGrid g = sphere_grid(13, {6, 6, 6});
+  TriangleMesh m = slice(g, "dist", {6, 6, 6}, {0, 0, 1});
+  ASSERT_EQ(m.scalars.size(), m.points.size());
+  // On the z=6 plane through the center, dist == distance in the plane.
+  for (std::size_t i = 0; i < m.points.size(); ++i) {
+    const float expect = (m.points[i] - Vec3{6, 6, 6}).norm();
+    EXPECT_NEAR(m.scalars[i], expect, 0.3f) << i;
+  }
+}
+
+TEST(Slice, PlaneOutsideGridIsEmpty) {
+  UniformGrid g = sphere_grid(9, {4, 4, 4});
+  EXPECT_EQ(slice(g, "dist", {100, 0, 0}, {1, 0, 0}).triangle_count(), 0u);
+}
+
+TEST(Slice, MissingFieldThrows) {
+  UniformGrid g = sphere_grid(5, {2, 2, 2});
+  EXPECT_THROW(slice(g, "nope", {2, 2, 2}, {1, 0, 0}), std::runtime_error);
+}
+
+// -------------------------------------------------------------- vtk writer
+
+TEST(VtkWriter, UniformGridFile) {
+  UniformGrid g = sphere_grid(4, {2, 2, 2});
+  const std::string path = "/tmp/colza_vtk_ug.vtk";
+  ASSERT_TRUE(write_legacy_vtk(path, g).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[128];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_EQ(std::string(line), "# vtk DataFile Version 3.0\n");
+  std::string all;
+  while (std::fgets(line, sizeof(line), f) != nullptr) all += line;
+  std::fclose(f);
+  EXPECT_NE(all.find("DATASET STRUCTURED_POINTS"), std::string::npos);
+  EXPECT_NE(all.find("DIMENSIONS 4 4 4"), std::string::npos);
+  EXPECT_NE(all.find("SCALARS dist float 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(VtkWriter, UnstructuredGridFile) {
+  UnstructuredGrid g;
+  g.points = {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  const std::uint32_t tet[] = {0, 1, 2, 3};
+  g.add_cell(CellType::tetra, tet);
+  g.cell_data.add(DataArray::make<float>("v", std::vector<float>{2.5f}));
+  const std::string path = "/tmp/colza_vtk_unstructured.vtk";
+  ASSERT_TRUE(write_legacy_vtk(path, g).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string all;
+  char line[128];
+  while (std::fgets(line, sizeof(line), f) != nullptr) all += line;
+  std::fclose(f);
+  EXPECT_NE(all.find("DATASET UNSTRUCTURED_GRID"), std::string::npos);
+  EXPECT_NE(all.find("CELLS 1 5"), std::string::npos);
+  EXPECT_NE(all.find("CELL_TYPES 1"), std::string::npos);
+  EXPECT_NE(all.find("CELL_DATA 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(VtkWriter, TriangleMeshFile) {
+  UniformGrid g = sphere_grid(9, {4, 4, 4});
+  TriangleMesh m = isosurface(g, "dist", 2.5f);
+  const std::string path = "/tmp/colza_vtk_mesh.vtk";
+  ASSERT_TRUE(write_legacy_vtk(path, m).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string all;
+  char line[128];
+  while (std::fgets(line, sizeof(line), f) != nullptr) all += line;
+  std::fclose(f);
+  EXPECT_NE(all.find("DATASET POLYDATA"), std::string::npos);
+  EXPECT_NE(all.find("POLYGONS"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(VtkWriter, UnwritablePathFails) {
+  UniformGrid g = sphere_grid(3, {1, 1, 1});
+  EXPECT_FALSE(write_legacy_vtk("/no/such/dir/x.vtk", g).ok());
+}
+
+}  // namespace
+}  // namespace colza::vis
