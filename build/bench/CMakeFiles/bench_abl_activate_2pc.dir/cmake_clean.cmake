@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_activate_2pc.dir/bench_abl_activate_2pc.cpp.o"
+  "CMakeFiles/bench_abl_activate_2pc.dir/bench_abl_activate_2pc.cpp.o.d"
+  "bench_abl_activate_2pc"
+  "bench_abl_activate_2pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_activate_2pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

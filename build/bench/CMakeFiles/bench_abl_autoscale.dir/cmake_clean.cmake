@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_autoscale.dir/bench_abl_autoscale.cpp.o"
+  "CMakeFiles/bench_abl_autoscale.dir/bench_abl_autoscale.cpp.o.d"
+  "bench_abl_autoscale"
+  "bench_abl_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_compositing.dir/bench_abl_compositing.cpp.o"
+  "CMakeFiles/bench_abl_compositing.dir/bench_abl_compositing.cpp.o.d"
+  "bench_abl_compositing"
+  "bench_abl_compositing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_compositing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

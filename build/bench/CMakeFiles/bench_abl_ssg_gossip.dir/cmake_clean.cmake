@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ssg_gossip.dir/bench_abl_ssg_gossip.cpp.o"
+  "CMakeFiles/bench_abl_ssg_gossip.dir/bench_abl_ssg_gossip.cpp.o.d"
+  "bench_abl_ssg_gossip"
+  "bench_abl_ssg_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ssg_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_dwi_dataset.dir/bench_fig01_dwi_dataset.cpp.o"
+  "CMakeFiles/bench_fig01_dwi_dataset.dir/bench_fig01_dwi_dataset.cpp.o.d"
+  "bench_fig01_dwi_dataset"
+  "bench_fig01_dwi_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_dwi_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

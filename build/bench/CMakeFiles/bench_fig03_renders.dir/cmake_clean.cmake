@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_renders.dir/bench_fig03_renders.cpp.o"
+  "CMakeFiles/bench_fig03_renders.dir/bench_fig03_renders.cpp.o.d"
+  "bench_fig03_renders"
+  "bench_fig03_renders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_renders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

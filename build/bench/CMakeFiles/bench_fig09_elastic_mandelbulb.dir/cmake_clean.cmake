@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_elastic_mandelbulb.dir/bench_fig09_elastic_mandelbulb.cpp.o"
+  "CMakeFiles/bench_fig09_elastic_mandelbulb.dir/bench_fig09_elastic_mandelbulb.cpp.o.d"
+  "bench_fig09_elastic_mandelbulb"
+  "bench_fig09_elastic_mandelbulb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_elastic_mandelbulb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_elastic_dwi.dir/bench_fig10_elastic_dwi.cpp.o"
+  "CMakeFiles/bench_fig10_elastic_dwi.dir/bench_fig10_elastic_dwi.cpp.o.d"
+  "bench_fig10_elastic_dwi"
+  "bench_fig10_elastic_dwi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_elastic_dwi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

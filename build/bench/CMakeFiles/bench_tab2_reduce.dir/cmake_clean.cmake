@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_reduce.dir/bench_tab2_reduce.cpp.o"
+  "CMakeFiles/bench_tab2_reduce.dir/bench_tab2_reduce.cpp.o.d"
+  "bench_tab2_reduce"
+  "bench_tab2_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

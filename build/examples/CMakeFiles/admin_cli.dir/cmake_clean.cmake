@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_cli.dir/admin_cli.cpp.o"
+  "CMakeFiles/admin_cli.dir/admin_cli.cpp.o.d"
+  "admin_cli"
+  "admin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

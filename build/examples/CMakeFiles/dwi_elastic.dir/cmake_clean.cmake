@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwi_elastic.dir/dwi_elastic.cpp.o"
+  "CMakeFiles/dwi_elastic.dir/dwi_elastic.cpp.o.d"
+  "dwi_elastic"
+  "dwi_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwi_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

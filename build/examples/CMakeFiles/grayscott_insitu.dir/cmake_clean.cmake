@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grayscott_insitu.dir/grayscott_insitu.cpp.o"
+  "CMakeFiles/grayscott_insitu.dir/grayscott_insitu.cpp.o.d"
+  "grayscott_insitu"
+  "grayscott_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grayscott_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

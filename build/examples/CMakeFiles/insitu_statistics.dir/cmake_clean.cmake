@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_statistics.dir/insitu_statistics.cpp.o"
+  "CMakeFiles/insitu_statistics.dir/insitu_statistics.cpp.o.d"
+  "insitu_statistics"
+  "insitu_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

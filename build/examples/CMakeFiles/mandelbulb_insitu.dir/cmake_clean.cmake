@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandelbulb_insitu.dir/mandelbulb_insitu.cpp.o"
+  "CMakeFiles/mandelbulb_insitu.dir/mandelbulb_insitu.cpp.o.d"
+  "mandelbulb_insitu"
+  "mandelbulb_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandelbulb_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_insitu.dir/resilient_insitu.cpp.o"
+  "CMakeFiles/resilient_insitu.dir/resilient_insitu.cpp.o.d"
+  "resilient_insitu"
+  "resilient_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

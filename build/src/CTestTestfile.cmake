@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("des")
+subdirs("net")
+subdirs("sched")
+subdirs("rpc")
+subdirs("ssg")
+subdirs("mona")
+subdirs("simmpi")
+subdirs("vis")
+subdirs("render")
+subdirs("icet")
+subdirs("catalyst")
+subdirs("colza")
+subdirs("baselines")
+subdirs("apps")

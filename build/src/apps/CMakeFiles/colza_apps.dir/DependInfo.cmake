@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dwi_proxy.cpp" "src/apps/CMakeFiles/colza_apps.dir/dwi_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/colza_apps.dir/dwi_proxy.cpp.o.d"
+  "/root/repo/src/apps/gray_scott.cpp" "src/apps/CMakeFiles/colza_apps.dir/gray_scott.cpp.o" "gcc" "src/apps/CMakeFiles/colza_apps.dir/gray_scott.cpp.o.d"
+  "/root/repo/src/apps/gray_scott3d.cpp" "src/apps/CMakeFiles/colza_apps.dir/gray_scott3d.cpp.o" "gcc" "src/apps/CMakeFiles/colza_apps.dir/gray_scott3d.cpp.o.d"
+  "/root/repo/src/apps/mandelbulb.cpp" "src/apps/CMakeFiles/colza_apps.dir/mandelbulb.cpp.o" "gcc" "src/apps/CMakeFiles/colza_apps.dir/mandelbulb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vis/CMakeFiles/colza_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mona/CMakeFiles/colza_mona.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/colza_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/colza_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colza_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_apps.dir/dwi_proxy.cpp.o"
+  "CMakeFiles/colza_apps.dir/dwi_proxy.cpp.o.d"
+  "CMakeFiles/colza_apps.dir/gray_scott.cpp.o"
+  "CMakeFiles/colza_apps.dir/gray_scott.cpp.o.d"
+  "CMakeFiles/colza_apps.dir/gray_scott3d.cpp.o"
+  "CMakeFiles/colza_apps.dir/gray_scott3d.cpp.o.d"
+  "CMakeFiles/colza_apps.dir/mandelbulb.cpp.o"
+  "CMakeFiles/colza_apps.dir/mandelbulb.cpp.o.d"
+  "libcolza_apps.a"
+  "libcolza_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

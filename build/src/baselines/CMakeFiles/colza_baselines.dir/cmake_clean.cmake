@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_baselines.dir/damaris.cpp.o"
+  "CMakeFiles/colza_baselines.dir/damaris.cpp.o.d"
+  "CMakeFiles/colza_baselines.dir/dataspaces.cpp.o"
+  "CMakeFiles/colza_baselines.dir/dataspaces.cpp.o.d"
+  "libcolza_baselines.a"
+  "libcolza_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

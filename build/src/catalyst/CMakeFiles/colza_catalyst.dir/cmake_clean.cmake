@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_catalyst.dir/catalyst.cpp.o"
+  "CMakeFiles/colza_catalyst.dir/catalyst.cpp.o.d"
+  "libcolza_catalyst.a"
+  "libcolza_catalyst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_catalyst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

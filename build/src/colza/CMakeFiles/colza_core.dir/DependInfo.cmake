@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/colza/autoscale.cpp" "src/colza/CMakeFiles/colza_core.dir/autoscale.cpp.o" "gcc" "src/colza/CMakeFiles/colza_core.dir/autoscale.cpp.o.d"
+  "/root/repo/src/colza/backend.cpp" "src/colza/CMakeFiles/colza_core.dir/backend.cpp.o" "gcc" "src/colza/CMakeFiles/colza_core.dir/backend.cpp.o.d"
+  "/root/repo/src/colza/catalyst_backend.cpp" "src/colza/CMakeFiles/colza_core.dir/catalyst_backend.cpp.o" "gcc" "src/colza/CMakeFiles/colza_core.dir/catalyst_backend.cpp.o.d"
+  "/root/repo/src/colza/client.cpp" "src/colza/CMakeFiles/colza_core.dir/client.cpp.o" "gcc" "src/colza/CMakeFiles/colza_core.dir/client.cpp.o.d"
+  "/root/repo/src/colza/deploy.cpp" "src/colza/CMakeFiles/colza_core.dir/deploy.cpp.o" "gcc" "src/colza/CMakeFiles/colza_core.dir/deploy.cpp.o.d"
+  "/root/repo/src/colza/fault.cpp" "src/colza/CMakeFiles/colza_core.dir/fault.cpp.o" "gcc" "src/colza/CMakeFiles/colza_core.dir/fault.cpp.o.d"
+  "/root/repo/src/colza/histogram_backend.cpp" "src/colza/CMakeFiles/colza_core.dir/histogram_backend.cpp.o" "gcc" "src/colza/CMakeFiles/colza_core.dir/histogram_backend.cpp.o.d"
+  "/root/repo/src/colza/server.cpp" "src/colza/CMakeFiles/colza_core.dir/server.cpp.o" "gcc" "src/colza/CMakeFiles/colza_core.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalyst/CMakeFiles/colza_catalyst.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/colza_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssg/CMakeFiles/colza_ssg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/colza_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mona/CMakeFiles/colza_mona.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/colza_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colza_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/icet/CMakeFiles/colza_icet.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/colza_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/vis/CMakeFiles/colza_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/colza_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_core.dir/autoscale.cpp.o"
+  "CMakeFiles/colza_core.dir/autoscale.cpp.o.d"
+  "CMakeFiles/colza_core.dir/backend.cpp.o"
+  "CMakeFiles/colza_core.dir/backend.cpp.o.d"
+  "CMakeFiles/colza_core.dir/catalyst_backend.cpp.o"
+  "CMakeFiles/colza_core.dir/catalyst_backend.cpp.o.d"
+  "CMakeFiles/colza_core.dir/client.cpp.o"
+  "CMakeFiles/colza_core.dir/client.cpp.o.d"
+  "CMakeFiles/colza_core.dir/deploy.cpp.o"
+  "CMakeFiles/colza_core.dir/deploy.cpp.o.d"
+  "CMakeFiles/colza_core.dir/fault.cpp.o"
+  "CMakeFiles/colza_core.dir/fault.cpp.o.d"
+  "CMakeFiles/colza_core.dir/histogram_backend.cpp.o"
+  "CMakeFiles/colza_core.dir/histogram_backend.cpp.o.d"
+  "CMakeFiles/colza_core.dir/server.cpp.o"
+  "CMakeFiles/colza_core.dir/server.cpp.o.d"
+  "libcolza_core.a"
+  "libcolza_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_common.dir/json.cpp.o"
+  "CMakeFiles/colza_common.dir/json.cpp.o.d"
+  "CMakeFiles/colza_common.dir/log.cpp.o"
+  "CMakeFiles/colza_common.dir/log.cpp.o.d"
+  "CMakeFiles/colza_common.dir/units.cpp.o"
+  "CMakeFiles/colza_common.dir/units.cpp.o.d"
+  "libcolza_common.a"
+  "libcolza_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

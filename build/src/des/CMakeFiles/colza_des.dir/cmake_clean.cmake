@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_des.dir/simulation.cpp.o"
+  "CMakeFiles/colza_des.dir/simulation.cpp.o.d"
+  "libcolza_des.a"
+  "libcolza_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_icet.dir/icet.cpp.o"
+  "CMakeFiles/colza_icet.dir/icet.cpp.o.d"
+  "libcolza_icet.a"
+  "libcolza_icet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_icet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_mona.dir/communicator.cpp.o"
+  "CMakeFiles/colza_mona.dir/communicator.cpp.o.d"
+  "CMakeFiles/colza_mona.dir/instance.cpp.o"
+  "CMakeFiles/colza_mona.dir/instance.cpp.o.d"
+  "libcolza_mona.a"
+  "libcolza_mona.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_mona.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

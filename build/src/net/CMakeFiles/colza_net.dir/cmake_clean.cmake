@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_net.dir/network.cpp.o"
+  "CMakeFiles/colza_net.dir/network.cpp.o.d"
+  "CMakeFiles/colza_net.dir/profile.cpp.o"
+  "CMakeFiles/colza_net.dir/profile.cpp.o.d"
+  "libcolza_net.a"
+  "libcolza_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_render.dir/render.cpp.o"
+  "CMakeFiles/colza_render.dir/render.cpp.o.d"
+  "libcolza_render.a"
+  "libcolza_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_rpc.dir/engine.cpp.o"
+  "CMakeFiles/colza_rpc.dir/engine.cpp.o.d"
+  "libcolza_rpc.a"
+  "libcolza_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

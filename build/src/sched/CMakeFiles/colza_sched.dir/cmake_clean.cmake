@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/colza_sched.dir/scheduler.cpp.o.d"
+  "libcolza_sched.a"
+  "libcolza_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

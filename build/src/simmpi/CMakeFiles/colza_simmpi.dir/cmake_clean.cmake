@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_simmpi.dir/simmpi.cpp.o"
+  "CMakeFiles/colza_simmpi.dir/simmpi.cpp.o.d"
+  "libcolza_simmpi.a"
+  "libcolza_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

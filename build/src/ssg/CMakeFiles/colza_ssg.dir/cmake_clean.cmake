@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_ssg.dir/ssg.cpp.o"
+  "CMakeFiles/colza_ssg.dir/ssg.cpp.o.d"
+  "libcolza_ssg.a"
+  "libcolza_ssg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_ssg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

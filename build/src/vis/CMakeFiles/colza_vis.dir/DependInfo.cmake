@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vis/data.cpp" "src/vis/CMakeFiles/colza_vis.dir/data.cpp.o" "gcc" "src/vis/CMakeFiles/colza_vis.dir/data.cpp.o.d"
+  "/root/repo/src/vis/filters.cpp" "src/vis/CMakeFiles/colza_vis.dir/filters.cpp.o" "gcc" "src/vis/CMakeFiles/colza_vis.dir/filters.cpp.o.d"
+  "/root/repo/src/vis/vtk_writer.cpp" "src/vis/CMakeFiles/colza_vis.dir/vtk_writer.cpp.o" "gcc" "src/vis/CMakeFiles/colza_vis.dir/vtk_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mona/CMakeFiles/colza_mona.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colza_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/colza_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/colza_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

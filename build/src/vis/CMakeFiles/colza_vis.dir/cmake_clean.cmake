@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_vis.dir/data.cpp.o"
+  "CMakeFiles/colza_vis.dir/data.cpp.o.d"
+  "CMakeFiles/colza_vis.dir/filters.cpp.o"
+  "CMakeFiles/colza_vis.dir/filters.cpp.o.d"
+  "CMakeFiles/colza_vis.dir/vtk_writer.cpp.o"
+  "CMakeFiles/colza_vis.dir/vtk_writer.cpp.o.d"
+  "libcolza_vis.a"
+  "libcolza_vis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_test.dir/catalyst_test.cpp.o"
+  "CMakeFiles/catalyst_test.dir/catalyst_test.cpp.o.d"
+  "catalyst_test"
+  "catalyst_test.pdb"
+  "catalyst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

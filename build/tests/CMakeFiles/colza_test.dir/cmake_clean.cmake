@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colza_test.dir/colza_test.cpp.o"
+  "CMakeFiles/colza_test.dir/colza_test.cpp.o.d"
+  "colza_test"
+  "colza_test.pdb"
+  "colza_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colza_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

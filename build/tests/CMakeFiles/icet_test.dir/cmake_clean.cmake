@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icet_test.dir/icet_test.cpp.o"
+  "CMakeFiles/icet_test.dir/icet_test.cpp.o.d"
+  "icet_test"
+  "icet_test.pdb"
+  "icet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mona_test.dir/mona_test.cpp.o"
+  "CMakeFiles/mona_test.dir/mona_test.cpp.o.d"
+  "mona_test"
+  "mona_test.pdb"
+  "mona_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mona_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simmpi_test.cpp" "tests/CMakeFiles/simmpi_test.dir/simmpi_test.cpp.o" "gcc" "tests/CMakeFiles/simmpi_test.dir/simmpi_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/colza_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mona/CMakeFiles/colza_mona.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/colza_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/colza_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/colza_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssg_test.dir/ssg_test.cpp.o"
+  "CMakeFiles/ssg_test.dir/ssg_test.cpp.o.d"
+  "ssg_test"
+  "ssg_test.pdb"
+  "ssg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
