@@ -105,20 +105,37 @@ Status GrayScott3D::exchange_halos(mona::Communicator* comm) {
                                      {1, +1, 113}, {2, -1, 114}, {2, +1, 115}};
   const std::uint32_t ext[3] = {lx_, ly_, lz_};
 
-  // Gathers face `f` of field `field` (owned boundary layer when
-  // `boundary`, ghost layer otherwise is written by scatter).
+  // Face gather/scatter walk only the face plane itself (strided rows for
+  // an x face, contiguous rows otherwise) -- the element order matches the
+  // naive whole-volume scan restricted to the plane, so payloads are
+  // byte-identical to the original implementation.
+  const std::size_t sy = lx_ + 2;                  // +1 in j
+  const std::size_t sz = sy * (ly_ + 2);           // +1 in k
   auto pack_face = [&](const std::vector<double>& field, const Face& f,
                        std::vector<double>& buf) {
     const std::uint32_t a = f.axis;
     const std::uint32_t fixed = f.dir < 0 ? 1 : ext[a];  // owned layer
-    buf.clear();
-    for (std::uint32_t k = 1; k <= lz_; ++k) {
+    const double* src = field.data();
+    std::size_t w = 0;
+    if (a == 0) {
+      buf.resize(static_cast<std::size_t>(ly_) * lz_);
+      for (std::uint32_t k = 1; k <= lz_; ++k) {
+        const double* col = src + k * sz + sy + fixed;  // (fixed, 1, k)
+        for (std::uint32_t j = 0; j < ly_; ++j) buf[w++] = col[j * sy];
+      }
+    } else if (a == 1) {
+      buf.resize(static_cast<std::size_t>(lx_) * lz_);
+      for (std::uint32_t k = 1; k <= lz_; ++k) {
+        const double* row = src + k * sz + fixed * sy + 1;  // (1, fixed, k)
+        std::copy_n(row, lx_, buf.data() + w);
+        w += lx_;
+      }
+    } else {
+      buf.resize(static_cast<std::size_t>(lx_) * ly_);
       for (std::uint32_t j = 1; j <= ly_; ++j) {
-        for (std::uint32_t i = 1; i <= lx_; ++i) {
-          const std::uint32_t c[3] = {i, j, k};
-          if (c[a] != fixed) continue;
-          buf.push_back(field[idx(i, j, k)]);
-        }
+        const double* row = src + fixed * sz + j * sy + 1;  // (1, j, fixed)
+        std::copy_n(row, lx_, buf.data() + w);
+        w += lx_;
       }
     }
   };
@@ -126,15 +143,22 @@ Status GrayScott3D::exchange_halos(mona::Communicator* comm) {
                          const std::vector<double>& buf) {
     const std::uint32_t a = f.axis;
     const std::uint32_t ghost = f.dir < 0 ? 0 : ext[a] + 1;
+    double* dst = field.data();
     std::size_t cursor = 0;
-    for (std::uint32_t k = (a == 2 ? ghost : 1);
-         k <= (a == 2 ? ghost : lz_); ++k) {
-      for (std::uint32_t j = (a == 1 ? ghost : 1);
-           j <= (a == 1 ? ghost : ly_); ++j) {
-        for (std::uint32_t i = (a == 0 ? ghost : 1);
-             i <= (a == 0 ? ghost : lx_); ++i) {
-          field[idx(i, j, k)] = buf[cursor++];
-        }
+    if (a == 0) {
+      for (std::uint32_t k = 1; k <= lz_; ++k) {
+        double* col = dst + k * sz + sy + ghost;
+        for (std::uint32_t j = 0; j < ly_; ++j) col[j * sy] = buf[cursor++];
+      }
+    } else if (a == 1) {
+      for (std::uint32_t k = 1; k <= lz_; ++k) {
+        std::copy_n(buf.data() + cursor, lx_, dst + k * sz + ghost * sy + 1);
+        cursor += lx_;
+      }
+    } else {
+      for (std::uint32_t j = 1; j <= ly_; ++j) {
+        std::copy_n(buf.data() + cursor, lx_, dst + ghost * sz + j * sy + 1);
+        cursor += lx_;
       }
     }
   };
@@ -205,21 +229,28 @@ Status GrayScott3D::exchange_halos(mona::Communicator* comm) {
 void GrayScott3D::apply_stencil() {
   const double du = params_.du, dv = params_.dv, f = params_.feed,
                k = params_.kill, dt = params_.dt;
+  // Incremental indexing: the six neighbours of cell p sit at fixed strides
+  // (ghost layers on every axis make this uniform), so the inner loop does
+  // pointer walks instead of six idx() multiplications per cell. The
+  // floating-point evaluation order is unchanged -- results stay
+  // bit-identical to the naive indexing.
+  const std::size_t sy = lx_ + 2;
+  const std::size_t sz = sy * (ly_ + 2);
+  const double* u = u_.data();
+  const double* v = v_.data();
+  double* u2 = u2_.data();
+  double* v2 = v2_.data();
   for (std::uint32_t kz = 1; kz <= lz_; ++kz) {
     for (std::uint32_t j = 1; j <= ly_; ++j) {
-      for (std::uint32_t i = 1; i <= lx_; ++i) {
-        const std::size_t p = idx(i, j, kz);
-        const double lap_u = u_[idx(i - 1, j, kz)] + u_[idx(i + 1, j, kz)] +
-                             u_[idx(i, j - 1, kz)] + u_[idx(i, j + 1, kz)] +
-                             u_[idx(i, j, kz - 1)] + u_[idx(i, j, kz + 1)] -
-                             6.0 * u_[p];
-        const double lap_v = v_[idx(i - 1, j, kz)] + v_[idx(i + 1, j, kz)] +
-                             v_[idx(i, j - 1, kz)] + v_[idx(i, j + 1, kz)] +
-                             v_[idx(i, j, kz - 1)] + v_[idx(i, j, kz + 1)] -
-                             6.0 * v_[p];
-        const double uvv = u_[p] * v_[p] * v_[p];
-        u2_[p] = u_[p] + dt * (du * lap_u - uvv + f * (1.0 - u_[p]));
-        v2_[p] = v_[p] + dt * (dv * lap_v + uvv - (f + k) * v_[p]);
+      std::size_t p = kz * sz + j * sy + 1;
+      for (std::uint32_t i = 1; i <= lx_; ++i, ++p) {
+        const double lap_u = u[p - 1] + u[p + 1] + u[p - sy] + u[p + sy] +
+                             u[p - sz] + u[p + sz] - 6.0 * u[p];
+        const double lap_v = v[p - 1] + v[p + 1] + v[p - sy] + v[p + sy] +
+                             v[p - sz] + v[p + sz] - 6.0 * v[p];
+        const double uvv = u[p] * v[p] * v[p];
+        u2[p] = u[p] + dt * (du * lap_u - uvv + f * (1.0 - u[p]));
+        v2[p] = v[p] + dt * (dv * lap_v + uvv - (f + k) * v[p]);
       }
     }
   }

@@ -1,0 +1,10 @@
+#include "common/buffer_pool.hpp"
+
+namespace colza::common {
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool;
+  return pool;
+}
+
+}  // namespace colza::common

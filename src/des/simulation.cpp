@@ -8,23 +8,54 @@ namespace colza::des {
 
 namespace {
 // The fiber currently being started needs a way to find its Fiber object from
-// the makecontext trampoline (which takes no usable 64-bit argument portably).
+// the entry trampoline (which takes no usable 64-bit argument portably).
 // The DES is single-OS-thread, so a file-local "starting fiber" slot works.
 Fiber* g_starting_fiber = nullptr;
 Simulation* g_current_sim = nullptr;
 }  // namespace
 
+#if COLZA_FAST_CONTEXT
+
+// Minimal System V x86-64 context switch: saves the six callee-saved
+// registers and the stack pointer, loads the target's, and returns on the
+// target stack. No signal-mask syscall, unlike swapcontext().
+extern "C" void colza_ctx_switch(void** save_sp, void* load_sp);
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl colza_ctx_switch\n"
+    ".type colza_ctx_switch,@function\n"
+    "colza_ctx_switch:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  retq\n"
+    ".size colza_ctx_switch,.-colza_ctx_switch\n");
+
+#endif  // COLZA_FAST_CONTEXT
+
 // ---------------------------------------------------------------------------
 // Fiber
 
 Fiber::Fiber(Simulation* sim, std::uint64_t id, std::string name,
-             std::function<void()> body, std::size_t stack_size, bool daemon,
-             std::uint64_t tag)
+             std::function<void()> body, std::unique_ptr<char[]> stack,
+             std::size_t stack_size, bool daemon, std::uint64_t tag)
     : sim_(sim),
       id_(id),
       name_(std::move(name)),
       body_(std::move(body)),
-      stack_(new char[stack_size]),
+      stack_(std::move(stack)),
       stack_size_(stack_size),
       daemon_(daemon),
       tag_(tag) {}
@@ -49,7 +80,54 @@ void Fiber::trampoline() {
 Simulation::Simulation(SimConfig config)
     : config_(config), rng_(config.seed) {}
 
-Simulation::~Simulation() { stop_trace(); }
+Simulation::~Simulation() {
+  stop_trace();
+  // Destroy callback state still sitting in the queue, then the freelist.
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (ev.fiber == nullptr && ev.cb != nullptr) {
+      ev.cb->destroy(*ev.cb);
+      delete ev.cb;
+    }
+  }
+  while (free_nodes_ != nullptr) {
+    CallbackNode* n = free_nodes_;
+    free_nodes_ = n->next;
+    delete n;
+  }
+}
+
+bool Simulation::current_daemon() const noexcept {
+  return current_ != nullptr && current_->daemon();
+}
+
+Simulation::CallbackNode* Simulation::acquire_node() {
+  if (free_nodes_ != nullptr) {
+    CallbackNode* n = free_nodes_;
+    free_nodes_ = n->next;
+    n->next = nullptr;
+    return n;
+  }
+  return new CallbackNode;
+}
+
+void Simulation::release_node(CallbackNode* n) noexcept {
+  n->invoke = nullptr;
+  n->destroy = nullptr;
+  n->next = free_nodes_;
+  free_nodes_ = n;
+}
+
+void Simulation::push_callback_event(Time t, bool daemon, CallbackNode* n) {
+  if (!daemon) ++nondaemon_events_;
+  Event ev;
+  ev.time = t;
+  ev.seq = next_seq_++ | (daemon ? kDaemonBit : 0);
+  ev.fiber = nullptr;
+  ev.cb = n;
+  queue_.push(ev);
+}
 
 void Simulation::start_trace(const std::string& path) {
   stop_trace();
@@ -94,9 +172,17 @@ FiberHandle Simulation::spawn(std::string name, std::function<void()> body,
   const std::size_t stack =
       opts.stack_size != 0 ? opts.stack_size : config_.default_stack_size;
 
+  std::unique_ptr<char[]> stack_mem;
+  if (stack == config_.default_stack_size && !stack_pool_.empty()) {
+    stack_mem = std::move(stack_pool_.back());
+    stack_pool_.pop_back();
+  } else {
+    stack_mem.reset(new char[stack]);
+  }
   const std::uint64_t id = next_fiber_id_++;
-  auto fiber = std::make_unique<Fiber>(this, id, std::move(name),
-                                       std::move(body), stack, daemon, tag);
+  auto fiber =
+      std::make_unique<Fiber>(this, id, std::move(name), std::move(body),
+                              std::move(stack_mem), stack, daemon, tag);
   Fiber* raw = fiber.get();
   fibers_.emplace(id, std::move(fiber));
   if (!daemon) ++nondaemon_fibers_;
@@ -117,27 +203,16 @@ void Simulation::join(FiberHandle h) {
   block_current();
 }
 
-void Simulation::schedule_at(Time t, std::function<void()> fn) {
-  const bool daemon = current_ != nullptr && current_->daemon();
-  if (!daemon) ++nondaemon_events_;
-  queue_.push(Event{t, next_seq_++, daemon, nullptr, std::move(fn), 0});
-}
-
-void Simulation::schedule_after(Duration d, std::function<void()> fn) {
-  schedule_at(now_ + d, std::move(fn));
-}
-
-void Simulation::schedule_after(Duration d, std::function<void()> fn,
-                                bool daemon) {
-  if (!daemon) ++nondaemon_events_;
-  queue_.push(Event{now_ + d, next_seq_++, daemon, nullptr, std::move(fn), 0});
-}
-
 void Simulation::schedule_resume(Fiber* f, Time t) {
   f->state_ = FiberState::ready;
   // Resume events carry the fiber's own daemon-ness.
   if (!f->daemon()) ++nondaemon_events_;
-  queue_.push(Event{t, next_seq_++, f->daemon(), f, nullptr, f->id()});
+  Event ev;
+  ev.time = t;
+  ev.seq = next_seq_++ | (f->daemon() ? kDaemonBit : 0);
+  ev.fiber = f;
+  ev.fiber_id = f->id();
+  queue_.push(ev);
 }
 
 void Simulation::block_current() {
@@ -148,7 +223,11 @@ void Simulation::block_current() {
   self->timed_out_ = false;
   self->state_ = FiberState::blocked;
   current_ = nullptr;
+#if COLZA_FAST_CONTEXT
+  colza_ctx_switch(&self->sp_, scheduler_sp_);
+#else
   swapcontext(&self->context_, &scheduler_context_);
+#endif
   // resumed
   current_ = self;
   self->state_ = FiberState::running;
@@ -187,7 +266,11 @@ void Simulation::sleep_until(Time t) {
   Fiber* self = current_;
   self->state_ = FiberState::ready;
   current_ = nullptr;
+#if COLZA_FAST_CONTEXT
+  colza_ctx_switch(&self->sp_, scheduler_sp_);
+#else
   swapcontext(&self->context_, &scheduler_context_);
+#endif
   current_ = self;
   self->state_ = FiberState::running;
 }
@@ -214,17 +297,37 @@ void Simulation::switch_to(Fiber* f) {
   current_ = f;
   if (!f->started_) {
     f->started_ = true;
+#if COLZA_FAST_CONTEXT
+    // Boot frame, from the low address up: six zeroed callee-saved register
+    // slots (popped by colza_ctx_switch), the trampoline as the return
+    // address, and a null "caller" slot that terminates unwinding. The frame
+    // base is 16-byte aligned, so after the switch's ret the trampoline sees
+    // the ABI-mandated rsp % 16 == 8 entry alignment.
+    auto top =
+        reinterpret_cast<std::uintptr_t>(f->stack_.get() + f->stack_size_) &
+        ~std::uintptr_t{15};
+    auto** frame = reinterpret_cast<void**>(top) - 8;
+    for (int i = 0; i < 6; ++i) frame[i] = nullptr;
+    frame[6] = reinterpret_cast<void*>(&Fiber::trampoline);
+    frame[7] = nullptr;
+    f->sp_ = frame;
+#else
     getcontext(&f->context_);
     f->context_.uc_stack.ss_sp = f->stack_.get();
     f->context_.uc_stack.ss_size = f->stack_size_;
     f->context_.uc_link = &scheduler_context_;
-    g_starting_fiber = f;
     makecontext(&f->context_, &Fiber::trampoline, 0);
+#endif
+    g_starting_fiber = f;
   }
   f->state_ = FiberState::running;
   Simulation* prev_sim = g_current_sim;
   g_current_sim = this;
+#if COLZA_FAST_CONTEXT
+  colza_ctx_switch(&scheduler_sp_, f->sp_);
+#else
   swapcontext(&scheduler_context_, &f->context_);
+#endif
   g_current_sim = prev_sim;
 }
 
@@ -240,17 +343,22 @@ void Simulation::fiber_finished(Fiber* f) {
   reap_.push_back(std::move(it->second));
   fibers_.erase(it);
   current_ = nullptr;
+#if COLZA_FAST_CONTEXT
+  colza_ctx_switch(&f->sp_, scheduler_sp_);
+#else
   swapcontext(&f->context_, &scheduler_context_);
+#endif
   // never reached
 }
 
 bool Simulation::step() {
-  reap_.clear();
+  drain_reap();
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
+  const Event ev = queue_.top();
   queue_.pop();
-  if (!ev.daemon) --nondaemon_events_;
+  if ((ev.seq & kDaemonBit) == 0) --nondaemon_events_;
   now_ = ev.time;
+  ++events_processed_;
   if (ev.fiber != nullptr) {
     // The fiber may have been woken by a sync primitive and already run (and
     // even finished) before this timer fires; only resume if it is still the
@@ -260,10 +368,13 @@ bool Simulation::step() {
     if (ev.fiber->state_ != FiberState::ready) return true;
     switch_to(ev.fiber);
   } else {
+    CallbackNode* n = ev.cb;
     Simulation* prev_sim = g_current_sim;
     g_current_sim = this;
-    ev.fn();
+    n->invoke(*n);
     g_current_sim = prev_sim;
+    n->destroy(*n);
+    release_node(n);
   }
   if (pending_error_ != nullptr) {
     auto err = pending_error_;
@@ -290,6 +401,16 @@ void Simulation::check_deadlock() const {
   throw DeadlockError(msg);
 }
 
+void Simulation::drain_reap() {
+  for (auto& f : reap_) {
+    if (f->stack_size_ == config_.default_stack_size &&
+        stack_pool_.size() < kMaxPooledStacks) {
+      stack_pool_.push_back(std::move(f->stack_));
+    }
+  }
+  reap_.clear();
+}
+
 void Simulation::run() {
   while (nondaemon_fibers_ > 0 || nondaemon_events_ > 0) {
     if (!step()) {
@@ -297,7 +418,7 @@ void Simulation::run() {
       break;  // only daemon work pending
     }
   }
-  reap_.clear();
+  drain_reap();
 }
 
 void Simulation::run_until(Time horizon) {
@@ -305,7 +426,7 @@ void Simulation::run_until(Time horizon) {
     if (!step()) break;
   }
   if (now_ < horizon) now_ = horizon;
-  reap_.clear();
+  drain_reap();
 }
 
 void unblock_for_sync(Simulation& sim, std::uint64_t fiber_id) {

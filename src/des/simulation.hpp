@@ -23,13 +23,18 @@
 //     run() throws DeadlockError naming them.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <memory>
+#include <new>
 #include <queue>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -78,6 +83,11 @@ class Simulation {
   [[nodiscard]] std::size_t live_fiber_count() const noexcept {
     return fibers_.size();
   }
+  // Total events processed so far (fiber resumes + scheduler callbacks);
+  // the denominator of the runtime microbenchmark's events/sec figure.
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
 
   // ---- fiber creation & control ----------------------------------------
   FiberHandle spawn(std::string name, std::function<void()> body,
@@ -91,9 +101,23 @@ class Simulation {
   // ---- timed events (scheduler context callbacks) -----------------------
   // The callback runs in scheduler context: it must not block. daemon-ness
   // defaults to the scheduling fiber's (non-daemon from outside a fiber).
-  void schedule_at(Time t, std::function<void()> fn);
-  void schedule_after(Duration d, std::function<void()> fn);
-  void schedule_after(Duration d, std::function<void()> fn, bool daemon);
+  // Callables up to CallbackNode::kInlineSize bytes are stored inline in a
+  // pooled node -- scheduling such an event performs no heap allocation in
+  // steady state (std::function is only the fallback for oversized
+  // captures). This is what keeps per-message delivery events off the
+  // allocator.
+  template <typename F>
+  void schedule_at(Time t, F&& fn) {
+    schedule_callback(t, std::forward<F>(fn), current_daemon());
+  }
+  template <typename F>
+  void schedule_after(Duration d, F&& fn) {
+    schedule_callback(now_ + d, std::forward<F>(fn), current_daemon());
+  }
+  template <typename F>
+  void schedule_after(Duration d, F&& fn, bool daemon) {
+    schedule_callback(now_ + d, std::forward<F>(fn), daemon);
+  }
 
   // ---- fiber-facing operations (must run inside a fiber) ----------------
   void sleep_for(Duration d);
@@ -150,20 +174,67 @@ class Simulation {
  private:
   friend class Fiber;
 
-  struct Event {
-    Time time;
-    std::uint64_t seq;
-    bool daemon;
-    Fiber* fiber;                // resume this fiber, or...
-    std::function<void()> fn;    // ...run this callback
-    std::uint64_t fiber_id = 0;  // guards against stale fiber pointers
+  // Type-erased scheduler callback. Callables whose captures fit the inline
+  // storage are constructed in place; nodes are recycled through a freelist
+  // so a steady-state message flood allocates nothing per event.
+  struct CallbackNode {
+    static constexpr std::size_t kInlineSize = 128;
+    alignas(std::max_align_t) unsigned char storage[kInlineSize];
+    void (*invoke)(CallbackNode&) = nullptr;
+    void (*destroy)(CallbackNode&) = nullptr;
+    std::function<void()> big;  // fallback for oversized callables
+    CallbackNode* next = nullptr;
   };
+
+  // 32 bytes and trivially copyable: the priority queue's sift operations
+  // move Events constantly, so keeping them POD (daemon flag packed into the
+  // sequence number's top bit, callback state behind a pooled pointer) is a
+  // large share of the event-loop speedup.
+  struct Event {
+    Time time = 0;
+    std::uint64_t seq = 0;  // bit 63 carries the daemon flag
+    Fiber* fiber = nullptr;  // non-null: resume this fiber...
+    union {
+      std::uint64_t fiber_id;  // guards against stale fiber pointers
+      CallbackNode* cb;        // ...null fiber: run this callback
+    };
+  };
+  static constexpr std::uint64_t kDaemonBit = 1ULL << 63;
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+      return (a.seq & ~kDaemonBit) > (b.seq & ~kDaemonBit);
     }
   };
+
+  [[nodiscard]] bool current_daemon() const noexcept;
+
+  template <typename F>
+  void schedule_callback(Time t, F&& fn, bool daemon) {
+    using Fn = std::decay_t<F>;
+    CallbackNode* n = acquire_node();
+    if constexpr (sizeof(Fn) <= CallbackNode::kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(n->storage)) Fn(std::forward<F>(fn));
+      n->invoke = [](CallbackNode& node) {
+        (*reinterpret_cast<Fn*>(node.storage))();
+      };
+      n->destroy = [](CallbackNode& node) {
+        reinterpret_cast<Fn*>(node.storage)->~Fn();
+      };
+    } else {
+      n->big = std::forward<F>(fn);
+      n->invoke = [](CallbackNode& node) { node.big(); };
+      n->destroy = [](CallbackNode& node) { node.big = nullptr; };
+    }
+    push_callback_event(t, daemon, n);
+  }
+
+  [[nodiscard]] CallbackNode* acquire_node();
+  void release_node(CallbackNode* n) noexcept;
+  void push_callback_event(Time t, bool daemon, CallbackNode* n);
+  void drain_reap();
 
   void schedule_resume(Fiber* f, Time t);
   void switch_to(Fiber* f);
@@ -179,13 +250,24 @@ class Simulation {
   SimConfig config_;
   Rng rng_;
   Time now_ = 0;
+  std::uint64_t events_processed_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_fiber_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  CallbackNode* free_nodes_ = nullptr;  // recycled callback nodes
   std::map<std::uint64_t, std::unique_ptr<Fiber>> fibers_;  // live fibers
   std::vector<std::unique_ptr<Fiber>> reap_;  // finished, free on next step
+  // Recycled fiber stacks (default size only -- the dominant case: every
+  // mona::async request fiber). Spawning from the pool skips a half-MB
+  // allocation + first-touch faulting per request fiber.
+  std::vector<std::unique_ptr<char[]>> stack_pool_;
+  static constexpr std::size_t kMaxPooledStacks = 64;
   Fiber* current_ = nullptr;
+#if COLZA_FAST_CONTEXT
+  void* scheduler_sp_ = nullptr;
+#else
   ucontext_t scheduler_context_{};
+#endif
   std::FILE* trace_ = nullptr;
   bool trace_first_event_ = true;
   std::size_t nondaemon_fibers_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 
 namespace colza::icet {
 
@@ -94,46 +95,79 @@ int vt_recv(void* ctx, void* data, std::size_t bytes, int source, int tag,
 }  // namespace
 
 CommVTable make_vtable(vis::Communicator& comm) {
-  // The context must outlive the vtable; we allocate one VisCtx per adapted
-  // communicator and intentionally leak-free it via a static registry tied
-  // to the communicator pointer (communicators outlive compositing calls).
-  static std::vector<std::unique_ptr<VisCtx>> registry;
-  for (const auto& c : registry) {
-    if (c->comm == &comm) {
-      return CommVTable{c.get(), vt_rank, vt_size, vt_send, vt_recv};
-    }
-  }
-  registry.push_back(std::make_unique<VisCtx>(VisCtx{&comm}));
-  return CommVTable{registry.back().get(), vt_rank, vt_size, vt_send,
-                    vt_recv};
+  // The context must outlive the vtable, so contexts live in a static
+  // registry keyed by communicator address: re-adapting a communicator is an
+  // O(1) lookup, and a new communicator reusing a freed address replaces the
+  // stale entry instead of growing the registry without bound.
+  static std::unordered_map<vis::Communicator*, std::unique_ptr<VisCtx>>
+      registry;
+  auto& slot = registry[&comm];
+  if (slot == nullptr) slot = std::make_unique<VisCtx>(VisCtx{&comm});
+  return CommVTable{slot.get(), vt_rank, vt_size, vt_send, vt_recv};
 }
 
 // ---------------------------------------------------------------- encoding
+
+namespace {
+
+// All 8 pixels starting at `p` inactive? The contiguous depth compare
+// vectorizes; the strided alpha check only runs for blocks that pass it
+// (the overwhelmingly common case in sparse images).
+inline bool inactive_block8(const float* rgba, const float* depth,
+                            std::size_t p) {
+  bool bg = true;
+  for (int i = 0; i < 8; ++i) bg &= depth[p + i] == 1.0f;
+  if (!bg) return false;
+  for (int i = 0; i < 8; ++i) {
+    if (rgba[(p + i) * 4 + 3] != 0.0f) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::vector<std::byte> encode_sparse(const render::FrameBuffer& fb,
                                      std::size_t begin, std::size_t end) {
   // Format: repeated [u32 skip][u32 count][count * 5 floats], then a final
   // [u32 skip][u32 0] terminator covering trailing inactive pixels.
-  std::vector<std::byte> out;
-  auto push_u32 = [&out](std::uint32_t v) {
-    const auto* p = reinterpret_cast<const std::byte*>(&v);
-    out.insert(out.end(), p, p + 4);
+  //
+  // Two passes: the first measures the exact encoded size (the run scan is
+  // cheap -- inactive stretches advance 8 pixels per depth-word compare), so
+  // the single allocation and its zero-fill are proportional to the encoded
+  // content rather than a 20x worst case; the second writes through a raw
+  // cursor with no per-pixel growth checks.
+  const float* rgba = fb.rgba.data();
+  const float* depth = fb.depth.data();
+  std::size_t segments = 0;
+  std::size_t active_px = 0;
+  for (std::size_t p = begin; p < end;) {
+    while (p + 8 <= end && inactive_block8(rgba, depth, p)) p += 8;
+    while (p < end && !active(fb, p)) ++p;
+    ++segments;
+    const std::size_t run_start = p;
+    while (p < end && active(fb, p)) ++p;
+    active_px += p - run_start;
+  }
+  std::vector<std::byte> out(segments * 8 + active_px * 20);
+  std::byte* w = out.data();
+  auto put_u32 = [&w](std::uint32_t v) {
+    std::memcpy(w, &v, 4);
+    w += 4;
   };
   std::size_t p = begin;
   while (p < end) {
-    std::size_t skip_start = p;
+    const std::size_t skip_start = p;
+    while (p + 8 <= end && inactive_block8(rgba, depth, p)) p += 8;
     while (p < end && !active(fb, p)) ++p;
-    const auto skip = static_cast<std::uint32_t>(p - skip_start);
-    std::size_t run_start = p;
+    put_u32(static_cast<std::uint32_t>(p - skip_start));
+    const std::size_t run_start = p;
     while (p < end && active(fb, p)) ++p;
-    const auto count = static_cast<std::uint32_t>(p - run_start);
-    push_u32(skip);
-    push_u32(count);
-    for (std::size_t q = run_start; q < run_start + count; ++q) {
-      const auto* c = reinterpret_cast<const std::byte*>(&fb.rgba[q * 4]);
-      out.insert(out.end(), c, c + 4 * sizeof(float));
-      const auto* d = reinterpret_cast<const std::byte*>(&fb.depth[q]);
-      out.insert(out.end(), d, d + sizeof(float));
+    put_u32(static_cast<std::uint32_t>(p - run_start));
+    for (std::size_t q = run_start; q < p; ++q) {
+      std::memcpy(w, rgba + q * 4, 4 * sizeof(float));
+      w += 4 * sizeof(float);
+      std::memcpy(w, depth + q, sizeof(float));
+      w += sizeof(float);
     }
   }
   return out;
@@ -141,24 +175,34 @@ std::vector<std::byte> encode_sparse(const render::FrameBuffer& fb,
 
 void composite_sparse(render::FrameBuffer& fb, std::size_t begin,
                       std::span<const std::byte> encoded, CompositeOp op) {
-  std::size_t cursor = 0;
+  const std::byte* r = encoded.data();
+  const std::byte* const last = r + encoded.size();
+  float* rgba = fb.rgba.data();
+  float* depth = fb.depth.data();
   std::size_t p = begin;
-  auto read_u32 = [&]() {
-    std::uint32_t v = 0;
-    std::memcpy(&v, encoded.data() + cursor, 4);
-    cursor += 4;
-    return v;
-  };
-  while (cursor + 8 <= encoded.size()) {
-    const std::uint32_t skip = read_u32();
-    const std::uint32_t count = read_u32();
+  // The operator is loop-invariant: dispatch once per call, not per pixel.
+  while (r + 8 <= last) {
+    std::uint32_t skip = 0;
+    std::uint32_t count = 0;
+    std::memcpy(&skip, r, 4);
+    std::memcpy(&count, r + 4, 4);
+    r += 8;
     p += skip;
-    for (std::uint32_t i = 0; i < count; ++i) {
-      float px[5];
-      std::memcpy(px, encoded.data() + cursor, sizeof(px));
-      cursor += sizeof(px);
-      composite_pixel(&fb.rgba[p * 4], &fb.depth[p], px, px[4], op);
-      ++p;
+    if (op == CompositeOp::closest_depth) {
+      for (std::uint32_t i = 0; i < count; ++i, ++p, r += 20) {
+        float px[5];
+        std::memcpy(px, r, sizeof(px));
+        if (px[4] < depth[p]) {
+          std::memcpy(rgba + p * 4, px, 4 * sizeof(float));
+          depth[p] = px[4];
+        }
+      }
+    } else {
+      for (std::uint32_t i = 0; i < count; ++i, ++p, r += 20) {
+        float px[5];
+        std::memcpy(px, r, sizeof(px));
+        composite_pixel(rgba + p * 4, depth + p, px, px[4], op);
+      }
     }
   }
 }

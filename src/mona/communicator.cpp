@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/buffer_pool.hpp"
 #include "mona/mona.hpp"
 #include "mona/tags.hpp"
 
@@ -73,6 +74,26 @@ Status Communicator::crecv(std::span<std::byte> d, int src, std::uint64_t ctag,
                            std::size_t* received) {
   if (revoked()) return Status::Aborted("mona: communicator revoked");
   return inst_->recv(d, address_of(src), ctag, received);
+}
+
+Status Communicator::crecv_any(std::span<std::byte> d, std::uint64_t ctag,
+                               int* src, std::size_t* received) {
+  if (revoked()) return Status::Aborted("mona: communicator revoked");
+  net::ProcId from = net::kInvalidProc;
+  Status s = inst_->recv_any(d, ctag, &from, received);
+  if (!s.ok()) return s;
+  if (src != nullptr) {
+    *src = -1;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i] == from) {
+        *src = static_cast<int>(i);
+        break;
+      }
+    }
+    if (*src < 0)
+      return Status::InvalidArgument("mona: message from non-member");
+  }
+  return Status::Ok();
 }
 
 // ------------------------------------------------------------- p2p
@@ -356,18 +377,31 @@ Status Communicator::gatherv(std::span<const std::byte> send,
     return csend(send.subspan(0, counts[static_cast<std::size_t>(rank_)]),
                  root, tag);
   }
-  std::size_t offset = 0;
+  std::size_t total = 0;
+  std::size_t max_cnt = 0;
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
-    const std::size_t cnt = counts[static_cast<std::size_t>(r)];
-    if (offset + cnt > recv.size())
-      return Status::InvalidArgument("gatherv: recv buffer too small");
-    if (r == rank_) {
-      std::memcpy(recv.data() + offset, send.data(), cnt);
-    } else {
-      Status s = crecv({recv.data() + offset, cnt}, r, tag);
-      if (!s.ok()) return s;
-    }
-    offset += cnt;
+    offsets[static_cast<std::size_t>(r)] = total;
+    total += counts[static_cast<std::size_t>(r)];
+    max_cnt = std::max(max_cnt, counts[static_cast<std::size_t>(r)]);
+  }
+  if (recv.size() < total)
+    return Status::InvalidArgument("gatherv: recv buffer too small");
+  std::memcpy(recv.data() + offsets[static_cast<std::size_t>(rank_)],
+              send.data(), counts[static_cast<std::size_t>(rank_)]);
+  // Accept contributions in arrival order instead of rank order: with
+  // variable-size contributions the slowest early rank no longer serializes
+  // everything behind it at the root.
+  common::Buffer tmp = common::BufferPool::global().acquire(max_cnt);
+  for (int got = 1; got < n; ++got) {
+    int from = -1;
+    std::size_t len = 0;
+    Status s = crecv_any(tmp.span(), tag, &from, &len);
+    if (!s.ok()) return s;
+    if (len != counts[static_cast<std::size_t>(from)])
+      return Status::InvalidArgument("gatherv: contribution size mismatch");
+    std::memcpy(recv.data() + offsets[static_cast<std::size_t>(from)],
+                tmp.data(), len);
   }
   return Status::Ok();
 }
@@ -582,20 +616,119 @@ Status Communicator::reduce_scatter_block(std::span<const std::byte> send,
                                           std::span<std::byte> recv,
                                           std::size_t count_per_rank,
                                           const ReduceOp& op) {
+  const std::uint64_t tag = coll_tag(kReduceScatter);
   const int n = size();
   const std::size_t block = count_per_rank * op.elem_size;
   if (send.size() < block * static_cast<std::size_t>(n))
     return Status::InvalidArgument("reduce_scatter: send buffer too small");
   if (recv.size() < block)
     return Status::InvalidArgument("reduce_scatter: recv buffer too small");
-  // Reduce the full vector to rank 0, then scatter the blocks. (A
-  // recursive-halving implementation is the classic optimization; the
-  // composed form is correct and reuses the tree algorithms.)
-  std::vector<std::byte> full(block * static_cast<std::size_t>(n));
-  Status s = reduce(send, full, count_per_rank * static_cast<std::size_t>(n),
-                    op, 0);
-  if (!s.ok()) return s;
-  return scatter(full, recv, 0);
+  if (n == 1) {
+    std::memcpy(recv.data(), send.data(), block);
+    return Status::Ok();
+  }
+
+  // MPICH recursive halving (commutative operator): each round exchanges
+  // half of the remaining result range with the partner and reduces the
+  // received half, so total traffic is O(n/2 + n/4 + ...) blocks per rank
+  // instead of the full vector funneling through rank 0.
+  const std::size_t total = block * static_cast<std::size_t>(n);
+  std::vector<std::byte> acc(send.begin(), send.begin() + total);
+  std::vector<std::byte> partial(total);
+
+  const int pof2 = floor_pow2(n);
+  const int rem = n - pof2;
+  // Non-power-of-two pre-phase: the first 2*rem ranks fold pairwise; even
+  // ranks drop out of the halving loop and get their block back at the end.
+  int newrank;
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 == 0) {
+      Status s = csend(acc, rank_ + 1, tag);
+      if (!s.ok()) return s;
+      newrank = -1;
+    } else {
+      Status s = crecv(partial, rank_ - 1, tag);
+      if (!s.ok()) return s;
+      op.fn(partial.data(), acc.data(),
+            count_per_rank * static_cast<std::size_t>(n));
+      charge_reduce(total);
+      newrank = rank_ / 2;
+    }
+  } else {
+    newrank = rank_ - rem;
+  }
+
+  if (newrank != -1) {
+    // New rank i is responsible for the old blocks of itself and (for the
+    // folded pairs) its dead even partner; the ranges are contiguous.
+    std::vector<int> newcnts(static_cast<std::size_t>(pof2));
+    std::vector<int> newdisps(static_cast<std::size_t>(pof2));
+    for (int i = 0; i < pof2; ++i) {
+      const int old_i = i < rem ? 2 * i + 1 : i + rem;
+      newcnts[static_cast<std::size_t>(i)] = old_i < 2 * rem ? 2 : 1;
+      newdisps[static_cast<std::size_t>(i)] = i < rem ? 2 * i : i + rem;
+    }
+
+    // Count of old blocks covered by the new-rank index range [a, b).
+    const auto blocks_in = [&newcnts](int a, int b) {
+      int c = 0;
+      for (int i = a; i < b; ++i) c += newcnts[static_cast<std::size_t>(i)];
+      return c;
+    };
+    // Invariant: this rank is responsible for new-rank range [low, high),
+    // with high - low == 2 * mask entering each round; each round keeps the
+    // half containing newrank and ships the other half to the partner.
+    int low = 0;
+    int high = pof2;
+    for (int mask = pof2 >> 1; mask > 0; mask >>= 1) {
+      const int newdst = newrank ^ mask;
+      const int dst = newdst < rem ? newdst * 2 + 1 : newdst + rem;
+      const int mid = low + mask;
+      const bool keep_low = newrank < mid;
+      const int send_lo = keep_low ? mid : low;
+      const int send_hi = keep_low ? high : mid;
+      const int recv_lo = keep_low ? low : mid;
+      const int recv_hi = keep_low ? mid : high;
+      const auto send_blocks = static_cast<std::size_t>(
+          blocks_in(send_lo, send_hi));
+      const auto recv_blocks = static_cast<std::size_t>(
+          blocks_in(recv_lo, recv_hi));
+      const auto send_off = static_cast<std::size_t>(
+                                newdisps[static_cast<std::size_t>(send_lo)]) *
+                            block;
+      const auto recv_off = static_cast<std::size_t>(
+                                newdisps[static_cast<std::size_t>(recv_lo)]) *
+                            block;
+      Status s = csend({acc.data() + send_off, send_blocks * block}, dst, tag);
+      if (!s.ok()) return s;
+      s = crecv({partial.data() + recv_off, recv_blocks * block}, dst, tag);
+      if (!s.ok()) return s;
+      op.fn(partial.data() + recv_off, acc.data() + recv_off,
+            recv_blocks * count_per_rank);
+      charge_reduce(recv_blocks * block);
+      if (keep_low) {
+        high = mid;
+      } else {
+        low = mid;
+      }
+    }
+    std::memcpy(recv.data(),
+                acc.data() + static_cast<std::size_t>(rank_) * block, block);
+  }
+
+  // Post-phase: odd survivors return the folded even partner's result block.
+  if (rank_ < 2 * rem) {
+    if (rank_ % 2 != 0) {
+      Status s = csend(
+          {acc.data() + static_cast<std::size_t>(rank_ - 1) * block, block},
+          rank_ - 1, tag);
+      if (!s.ok()) return s;
+    } else {
+      Status s = crecv(recv.subspan(0, block), rank_ + 1, tag);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::Ok();
 }
 
 // ------------------------------------------------------------- sendrecv

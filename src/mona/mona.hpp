@@ -22,6 +22,7 @@
 #include <set>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
@@ -99,18 +100,74 @@ class Instance {
     Status status;
     bool done = false;
     std::uint64_t fiber = 0;  // to wake
+    std::uint64_t seq = 0;    // posting order (shared counter with arrivals)
+  };
+
+  // Matching is indexed by (source, tag) so neither the demux loop nor
+  // recv_impl ever scans unrelated pending traffic. Every queue is FIFO and
+  // posts/arrivals share one sequence counter, which lets the index
+  // reproduce the exact matching order of the original linear scans:
+  //   * an arriving message goes to the lowest-seq matching post (the
+  //     specific (source, tag) post vs. the ANY_SOURCE post for the tag);
+  //   * a wildcard receive takes the lowest-seq stored message for its tag,
+  //     via the per-tag arrival index (entries turned stale by a specific
+  //     receive are skipped lazily).
+  struct MatchKey {
+    net::ProcId source;
+    std::uint64_t tag;
+    bool operator==(const MatchKey&) const = default;
+  };
+  struct MatchKeyHash {
+    std::size_t operator()(const MatchKey& k) const noexcept {
+      std::uint64_t h = k.tag * 0x9e3779b97f4a7c15ULL;
+      h ^= static_cast<std::uint64_t>(k.source) + 0x517cc1b727220a95ULL +
+           (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct StoredMsg {
+    net::Message msg;
+    std::uint64_t seq;  // arrival order
   };
 
   void demux_loop();
-  bool match_deliver(PostedRecv& p, net::Message& m);
+  void dispatch(net::Message msg);
+  void deliver(PostedRecv& p, net::Message& m);
+  // Bookkeeping after a specific-source receive consumed a stored message
+  // for `tag`: decrement the tag's live count and compact or drop the
+  // arrival index when it is mostly stale.
+  void note_specific_consume(std::uint64_t tag);
+  // Removes every post satisfying `pred` from the index and returns them
+  // sorted by posting order (so completion wakes fibers in the same order
+  // the original posting-order scan did).
+  std::vector<PostedRecv*> extract_posts(
+      const std::function<bool(const PostedRecv&)>& pred);
   Status recv_impl(std::span<std::byte> out, net::ProcId source,
                    std::uint64_t tag, net::ProcId* matched,
                    std::size_t* received);
 
   net::Process* proc_;
   net::Profile profile_;
-  std::deque<net::Message> unexpected_;
-  std::deque<PostedRecv*> posted_;
+  // Stored (unexpected) messages per (source, tag), FIFO by arrival.
+  std::unordered_map<MatchKey, std::deque<StoredMsg>, MatchKeyHash>
+      unexpected_by_key_;
+  // Per-tag arrival index for ANY_SOURCE receives: (arrival seq, source).
+  // Entries whose message was consumed by a specific receive are stale and
+  // skipped when their seq no longer matches the per-key queue front. `live`
+  // counts non-stale entries; when stale entries outnumber live ones the
+  // index is compacted, so a tag served only by specific receives cannot
+  // accumulate an unbounded trail of stale entries.
+  struct ArrivalIndex {
+    std::deque<std::pair<std::uint64_t, net::ProcId>> order;
+    std::size_t live = 0;
+  };
+  std::unordered_map<std::uint64_t, ArrivalIndex> unexpected_by_tag_;
+  // Posted receives with a specific source, FIFO by posting order.
+  std::unordered_map<MatchKey, std::deque<PostedRecv*>, MatchKeyHash>
+      posted_by_key_;
+  // Posted ANY_SOURCE receives per tag, FIFO by posting order.
+  std::unordered_map<std::uint64_t, std::deque<PostedRecv*>> posted_any_;
+  std::uint64_t match_seq_ = 0;  // stamps posts and arrivals alike
   std::map<std::uint64_t, std::uint32_t> comm_counter_;  // group hash -> count
   std::set<std::uint64_t> revoked_;  // revoked communicator contexts
   bool stopped_ = false;
@@ -123,12 +180,14 @@ struct ReduceOp {
       fn;
 };
 
-// Preset element-wise operators.
+// Preset element-wise operators. The buffers are never aliased (reduction
+// inputs are distinct receive buffers), so the loops carry __restrict to let
+// the compiler vectorize them.
 template <typename T>
 ReduceOp op_sum() {
   return {sizeof(T), [](const std::byte* in, std::byte* inout, std::size_t n) {
-            const T* a = reinterpret_cast<const T*>(in);
-            T* b = reinterpret_cast<T*>(inout);
+            const T* __restrict a = reinterpret_cast<const T*>(in);
+            T* __restrict b = reinterpret_cast<T*>(inout);
             for (std::size_t i = 0; i < n; ++i) b[i] += a[i];
           }};
 }
@@ -136,8 +195,8 @@ ReduceOp op_sum() {
 template <typename T>
 ReduceOp op_max() {
   return {sizeof(T), [](const std::byte* in, std::byte* inout, std::size_t n) {
-            const T* a = reinterpret_cast<const T*>(in);
-            T* b = reinterpret_cast<T*>(inout);
+            const T* __restrict a = reinterpret_cast<const T*>(in);
+            T* __restrict b = reinterpret_cast<T*>(inout);
             for (std::size_t i = 0; i < n; ++i) b[i] = a[i] > b[i] ? a[i] : b[i];
           }};
 }
@@ -145,8 +204,8 @@ ReduceOp op_max() {
 template <typename T>
 ReduceOp op_min() {
   return {sizeof(T), [](const std::byte* in, std::byte* inout, std::size_t n) {
-            const T* a = reinterpret_cast<const T*>(in);
-            T* b = reinterpret_cast<T*>(inout);
+            const T* __restrict a = reinterpret_cast<const T*>(in);
+            T* __restrict b = reinterpret_cast<T*>(inout);
             for (std::size_t i = 0; i < n; ++i) b[i] = a[i] < b[i] ? a[i] : b[i];
           }};
 }
@@ -155,8 +214,8 @@ ReduceOp op_min() {
 template <typename T>
 ReduceOp op_bxor() {
   return {sizeof(T), [](const std::byte* in, std::byte* inout, std::size_t n) {
-            const T* a = reinterpret_cast<const T*>(in);
-            T* b = reinterpret_cast<T*>(inout);
+            const T* __restrict a = reinterpret_cast<const T*>(in);
+            T* __restrict b = reinterpret_cast<T*>(inout);
             for (std::size_t i = 0; i < n; ++i) b[i] ^= a[i];
           }};
 }
@@ -287,6 +346,9 @@ class Communicator : public std::enable_shared_from_this<Communicator> {
   Status csend(std::span<const std::byte> d, int dest, std::uint64_t ctag);
   Status crecv(std::span<std::byte> d, int src, std::uint64_t ctag,
                std::size_t* received = nullptr);
+  // ANY_SOURCE receive on a collective tag; `src` reports the sender's rank.
+  Status crecv_any(std::span<std::byte> d, std::uint64_t ctag, int* src,
+                   std::size_t* received = nullptr);
   [[nodiscard]] std::uint64_t coll_tag(std::uint32_t kind);
   void charge_reduce(std::size_t bytes);
 

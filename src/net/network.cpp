@@ -213,13 +213,16 @@ void Network::transmit(Process& src, ProcId dst, const std::string& box,
     }
   }
 
-  const ProcId dst_id = dst;
-  sim_->schedule_at(deliver_at, [this, dst_id, box,
-                                 msg = std::move(msg)]() mutable {
-    Process* t = find(dst_id);
-    if (t == nullptr || !t->alive()) return;  // died in flight
-    t->mailbox(box).push(std::move(msg));
-  });
+  // Resolve the destination mailbox now: Process objects (and their
+  // mailboxes) live as long as the Network, and kill() closes mailboxes, so
+  // a push to a process that died in flight is dropped by the closed check.
+  // Capturing the pointer keeps the delivery callback small enough for the
+  // scheduler's inline callback storage -- no allocation per message.
+  Mailbox* target_box = &target->mailbox(box);
+  sim_->schedule_at(deliver_at,
+                    [target_box, msg = std::move(msg)]() mutable {
+                      target_box->push(std::move(msg));
+                    });
 }
 
 des::Duration Network::rdma_delay(Process& self, ProcId owner,

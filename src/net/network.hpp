@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "des/simulation.hpp"
@@ -59,11 +60,14 @@ struct NetworkConfig {
 };
 
 // A message as seen by a mailbox: source process, an opaque user tag the
-// upper layer uses for demultiplexing, and the payload.
+// upper layer uses for demultiplexing, and the payload. The payload is a
+// pooled move-only buffer: it is filled once at the sender and travels by
+// move through transmit -> delivery event -> mailbox -> demux, returning its
+// storage to the pool when the receiver consumes it.
 struct Message {
   ProcId source = kInvalidProc;
   std::uint64_t tag = 0;
-  std::vector<std::byte> payload;
+  common::Buffer payload;
 };
 
 // FIFO mailbox with blocking receive. Each process owns any number of named

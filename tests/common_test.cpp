@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/archive.hpp"
+#include "common/buffer_pool.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
@@ -236,6 +237,85 @@ TEST(Units, FormatDuration) {
   EXPECT_EQ(format_duration_ns(500), "500 ns");
   EXPECT_EQ(format_duration_ns(1500000), "1.5 ms");
   EXPECT_EQ(format_duration_ns(2000000000ULL), "2 s");
+}
+
+// ------------------------------------------------------------- BufferPool
+
+TEST(BufferPool, ReusesFreedStorage) {
+  common::BufferPool pool;
+  std::byte* first = nullptr;
+  {
+    common::Buffer b = pool.acquire(100);
+    first = b.data();
+    EXPECT_EQ(b.size(), 100u);
+  }
+  EXPECT_EQ(pool.idle_buffers(), 1u);
+  // Same size class (128 B): must get the identical block back.
+  common::Buffer b2 = pool.acquire(120);
+  EXPECT_EQ(b2.data(), first);
+  EXPECT_EQ(b2.size(), 120u);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.idle_buffers(), 0u);
+}
+
+TEST(BufferPool, RoundsUpToPowerOfTwoClasses) {
+  common::BufferPool pool;
+  { common::Buffer b = pool.acquire(65); }     // class 128
+  { common::Buffer b = pool.acquire(1); }      // class 64 (minimum)
+  EXPECT_EQ(pool.idle_buffers(), 2u);
+  common::Buffer small = pool.acquire(60);     // hits the 64 B block
+  common::Buffer medium = pool.acquire(128);   // hits the 128 B block
+  EXPECT_EQ(pool.hits(), 2u);
+  EXPECT_EQ(pool.idle_buffers(), 0u);
+}
+
+TEST(BufferPool, CopyOfPreservesContents) {
+  common::BufferPool pool;
+  std::vector<std::byte> src(37);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::byte>(i * 7);
+  common::Buffer b = pool.copy_of(src);
+  ASSERT_EQ(b.size(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(b.data()[i], src[i]);
+}
+
+TEST(BufferPool, OversizedRequestsBypassPool) {
+  common::BufferPool pool;
+  const std::size_t huge =
+      (std::size_t{1} << common::BufferPool::kMaxClassLog2) + 1;
+  { common::Buffer b = pool.acquire(huge); EXPECT_EQ(b.size(), huge); }
+  EXPECT_EQ(pool.idle_buffers(), 0u);  // not recycled
+  EXPECT_EQ(pool.hits(), 0u);
+}
+
+TEST(BufferPool, FreelistDepthIsCapped) {
+  common::BufferPool pool;
+  std::vector<common::Buffer> live;
+  for (std::size_t i = 0; i < common::BufferPool::kMaxPerClass + 10; ++i)
+    live.push_back(pool.acquire(64));
+  live.clear();  // all return to the 64 B class at once
+  EXPECT_EQ(pool.idle_buffers(), common::BufferPool::kMaxPerClass);
+  pool.trim();
+  EXPECT_EQ(pool.idle_buffers(), 0u);
+}
+
+TEST(BufferPool, AdoptedVectorIsNotPooled) {
+  common::BufferPool pool;
+  std::vector<std::byte> v(50, std::byte{42});
+  { common::Buffer b(std::move(v)); EXPECT_EQ(b.size(), 50u); }
+  EXPECT_EQ(pool.idle_buffers(), 0u);
+}
+
+TEST(BufferPool, MoveTransfersOwnership) {
+  common::BufferPool pool;
+  common::Buffer a = pool.acquire(64);
+  std::byte* p = a.data();
+  common::Buffer b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+  b = pool.acquire(64);    // move-assign releases the old block to the pool
+  EXPECT_EQ(pool.idle_buffers(), 1u);
 }
 
 }  // namespace

@@ -690,5 +690,171 @@ TEST(MonaP2p, RecvAnyFromUnexpectedQueue) {
   sim.run();
 }
 
+// ------------------------------------------------------- match index
+// The (source, tag) hash index replaced linear scans of the posted and
+// unexpected queues; these tests pin down the ordering contract it must
+// preserve: FIFO per (source, tag), global arrival order for ANY_SOURCE,
+// and oldest-post-wins when specific and wildcard receives are both pending.
+
+TEST(MonaMatchIndex, FifoPerSourceAndTag) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pa = net.create_process(0);
+  auto& pb = net.create_process(1);
+  Instance ia(pa), ib(pb);
+  std::vector<std::int32_t> got;
+  pa.spawn("recv", [&] {
+    sim.sleep_for(seconds(1));  // let every message land unexpected
+    for (int i = 0; i < 5; ++i) {
+      std::int32_t v = -1;
+      ASSERT_TRUE(
+          ia.recv({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pb.id(), 7)
+              .ok());
+      got.push_back(v);
+    }
+  });
+  pb.spawn("send", [&] {
+    for (std::int32_t v = 0; v < 5; ++v) {
+      ASSERT_TRUE(
+          ib.send({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pa.id(), 7)
+              .ok());
+    }
+  });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<std::int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(MonaMatchIndex, WildcardDrainsInArrivalOrder) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pr = net.create_process(0);
+  auto& pa = net.create_process(1);
+  auto& pb = net.create_process(2);
+  Instance ir(pr), ia(pa), ib(pb);
+  // Interleave arrivals A, B, A, B by staggering the sends in virtual time.
+  auto send_at = [&](Instance& from, net::Process& self, std::int32_t v,
+                     int ms) {
+    self.spawn("s" + std::to_string(v), [&, v, ms] {
+      sim.sleep_for(des::milliseconds(static_cast<std::uint64_t>(ms)));
+      std::int32_t payload = v;
+      ASSERT_TRUE(from.send({reinterpret_cast<std::byte*>(&payload),
+                             sizeof(payload)},
+                            pr.id(), 9)
+                      .ok());
+    });
+  };
+  send_at(ia, pa, 100, 10);
+  send_at(ib, pb, 200, 20);
+  send_at(ia, pa, 101, 30);
+  send_at(ib, pb, 201, 40);
+  std::vector<std::int32_t> got;
+  std::vector<net::ProcId> froms;
+  pr.spawn("recv", [&] {
+    sim.sleep_for(seconds(1));
+    for (int i = 0; i < 4; ++i) {
+      std::int32_t v = -1;
+      net::ProcId who = net::kInvalidProc;
+      ASSERT_TRUE(
+          ir.recv_any({reinterpret_cast<std::byte*>(&v), sizeof(v)}, 9, &who)
+              .ok());
+      got.push_back(v);
+      froms.push_back(who);
+    }
+  });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<std::int32_t>{100, 200, 101, 201}));
+  EXPECT_EQ(froms, (std::vector<net::ProcId>{pa.id(), pb.id(), pa.id(),
+                                             pb.id()}));
+}
+
+TEST(MonaMatchIndex, WildcardSkipsMessagesConsumedBySpecificRecv) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pr = net.create_process(0);
+  auto& pa = net.create_process(1);
+  auto& pb = net.create_process(2);
+  Instance ir(pr), ia(pa), ib(pb);
+  // Arrival order: A:1, A:2, B:3 -- the specific receives drain all of A,
+  // turning the two oldest arrival-index entries stale; the wildcard must
+  // then skip them and still find B's message.
+  pa.spawn("sa", [&] {
+    for (std::int32_t v : {1, 2}) {
+      sim.sleep_for(des::milliseconds(10));
+      ASSERT_TRUE(
+          ia.send({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pr.id(), 5)
+              .ok());
+    }
+  });
+  pb.spawn("sb", [&] {
+    sim.sleep_for(des::milliseconds(100));
+    std::int32_t v = 3;
+    ASSERT_TRUE(
+        ib.send({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pr.id(), 5)
+            .ok());
+  });
+  pr.spawn("recv", [&] {
+    sim.sleep_for(seconds(1));
+    std::int32_t v = -1;
+    std::span<std::byte> buf{reinterpret_cast<std::byte*>(&v), sizeof(v)};
+    ASSERT_TRUE(ir.recv(buf, pa.id(), 5).ok());
+    EXPECT_EQ(v, 1);  // FIFO from A
+    ASSERT_TRUE(ir.recv(buf, pa.id(), 5).ok());
+    EXPECT_EQ(v, 2);
+    net::ProcId who = net::kInvalidProc;
+    ASSERT_TRUE(ir.recv_any(buf, 5, &who).ok());
+    EXPECT_EQ(v, 3);
+    EXPECT_EQ(who, pb.id());
+  });
+  sim.run();
+}
+
+TEST(MonaMatchIndex, OldestPostWinsAcrossSpecificAndWildcard) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pr = net.create_process(0);
+  auto& pa = net.create_process(1);
+  auto& pb = net.create_process(2);
+  Instance ir(pr), ia(pa), ib(pb);
+  // A specific receive for source A is posted first, then a wildcard for
+  // the same tag. A's message must complete the older specific post even
+  // though the wildcard also matches; B's message goes to the wildcard.
+  std::int32_t specific_got = -1;
+  std::int32_t wildcard_got = -1;
+  net::ProcId wildcard_from = net::kInvalidProc;
+  pr.spawn("specific", [&] {
+    std::int32_t v = -1;
+    ASSERT_TRUE(
+        ir.recv({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pa.id(), 6)
+            .ok());
+    specific_got = v;
+  });
+  pr.spawn("wildcard", [&] {
+    sim.sleep_for(des::milliseconds(1));  // posts after the specific recv
+    std::int32_t v = -1;
+    ASSERT_TRUE(ir.recv_any({reinterpret_cast<std::byte*>(&v), sizeof(v)}, 6,
+                            &wildcard_from)
+                    .ok());
+    wildcard_got = v;
+  });
+  pa.spawn("sa", [&] {
+    sim.sleep_for(des::milliseconds(50));
+    std::int32_t v = 10;
+    ASSERT_TRUE(
+        ia.send({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pr.id(), 6)
+            .ok());
+  });
+  pb.spawn("sb", [&] {
+    sim.sleep_for(des::milliseconds(100));
+    std::int32_t v = 20;
+    ASSERT_TRUE(
+        ib.send({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pr.id(), 6)
+            .ok());
+  });
+  sim.run();
+  EXPECT_EQ(specific_got, 10);
+  EXPECT_EQ(wildcard_got, 20);
+  EXPECT_EQ(wildcard_from, pb.id());
+}
+
 }  // namespace
 }  // namespace colza::mona

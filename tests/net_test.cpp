@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "des/simulation.hpp"
@@ -22,7 +23,7 @@ std::vector<std::byte> bytes_of(const std::string& s) {
   return v;
 }
 
-std::string string_of(const std::vector<std::byte>& v) {
+std::string string_of(std::span<const std::byte> v) {
   return {reinterpret_cast<const char*>(v.data()), v.size()};
 }
 
