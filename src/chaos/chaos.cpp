@@ -1,0 +1,269 @@
+#include "chaos/chaos.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+#include "des/simulation.hpp"
+
+namespace colza::chaos {
+
+namespace {
+
+bool is_message_rule(RuleKind k) noexcept {
+  switch (k) {
+    case RuleKind::drop:
+    case RuleKind::delay:
+    case RuleKind::duplicate:
+    case RuleKind::reorder:
+    case RuleKind::slow_node:
+      return true;
+    case RuleKind::partition:
+    case RuleKind::crash:
+      return false;
+  }
+  return false;
+}
+
+RuleKind kind_from_string(const std::string& s) {
+  if (s == "drop") return RuleKind::drop;
+  if (s == "delay") return RuleKind::delay;
+  if (s == "duplicate") return RuleKind::duplicate;
+  if (s == "reorder") return RuleKind::reorder;
+  if (s == "slow_node") return RuleKind::slow_node;
+  if (s == "partition") return RuleKind::partition;
+  if (s == "crash") return RuleKind::crash;
+  throw std::runtime_error("chaos: unknown rule kind '" + s + "'");
+}
+
+// Times in the JSON plan are microseconds; the simulation runs nanoseconds.
+des::Duration us_field(const json::Value& v, const std::string& key,
+                       double dflt_us) {
+  return static_cast<des::Duration>(v.number_or(key, dflt_us) * 1000.0);
+}
+
+std::vector<net::ProcId> proc_list(const json::Value& v,
+                                   const std::string& key) {
+  std::vector<net::ProcId> out;
+  const json::Value* arr = v.find(key);
+  if (arr == nullptr || !arr->is_array()) return out;
+  for (const json::Value& e : arr->as_array()) {
+    out.push_back(static_cast<net::ProcId>(e.as_number()));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(RuleKind k) noexcept {
+  switch (k) {
+    case RuleKind::drop: return "drop";
+    case RuleKind::delay: return "delay";
+    case RuleKind::duplicate: return "duplicate";
+    case RuleKind::reorder: return "reorder";
+    case RuleKind::slow_node: return "slow_node";
+    case RuleKind::partition: return "partition";
+    case RuleKind::crash: return "crash";
+  }
+  return "?";
+}
+
+ChaosPlan ChaosPlan::from_json(std::string_view text) {
+  const json::Value root = json::parse(text);
+  ChaosPlan plan;
+  plan.seed = static_cast<std::uint64_t>(root.number_or("seed", 1.0));
+  const json::Value* rules = root.find("rules");
+  if (rules == nullptr) return plan;
+  for (const json::Value& rv : rules->as_array()) {
+    Rule r;
+    r.kind = kind_from_string(rv.string_or("kind", ""));
+    r.probability = rv.number_or("probability", 1.0);
+    r.from = static_cast<net::ProcId>(rv.number_or("from", 0.0));
+    r.to = static_cast<net::ProcId>(rv.number_or("to", 0.0));
+    r.box = rv.string_or("box", "");
+    r.after = us_field(rv, "after_us", 0.0);
+    if (rv.find("before_us") != nullptr) r.before = us_field(rv, "before_us", 0.0);
+    r.delay = us_field(rv, "delay_us", 0.0);
+    r.jitter = us_field(rv, "jitter_us", 0.0);
+    r.copies = static_cast<int>(rv.number_or("copies", 1.0));
+    r.spacing = us_field(rv, "spacing_us", 0.0);
+    r.node = static_cast<net::NodeId>(rv.number_or("node", 0.0));
+    r.factor = rv.number_or("factor", 1.0);
+    r.at = us_field(rv, "at_us", 0.0);
+    r.heal_at = us_field(rv, "heal_us", 0.0);
+    r.group_a = proc_list(rv, "group_a");
+    r.group_b = proc_list(rv, "group_b");
+    r.target = static_cast<net::ProcId>(rv.number_or("target", 0.0));
+    plan.rules.push_back(std::move(r));
+  }
+  return plan;
+}
+
+std::string InjectionRecord::to_string() const {
+  std::ostringstream os;
+  os << "t=" << time << " kind=" << chaos::to_string(kind) << " rule=" << rule
+     << " src=" << src << " dst=" << dst << " tag=" << tag
+     << " bytes=" << bytes << " delta=" << delta;
+  return os.str();
+}
+
+ChaosEngine::ChaosEngine(ChaosPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+ChaosEngine::~ChaosEngine() { detach(); }
+
+void ChaosEngine::attach(net::Network& net) {
+  net_ = &net;
+  sim_ = &net.sim();
+  net.set_fault_injector(this);
+  // Arm the scheduled rules as plain virtual-time events. Captures of `this`
+  // are safe: the engine must outlive the network (or detach first), and a
+  // detached engine simply stops mutating it.
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const Rule& r = plan_.rules[i];
+    switch (r.kind) {
+      case RuleKind::partition:
+        sim_->schedule_at(r.at, [this, i] { apply_partition(i, true); });
+        if (r.heal_at > r.at) {
+          sim_->schedule_at(r.heal_at, [this, i] { apply_partition(i, false); });
+        }
+        break;
+      case RuleKind::crash:
+        sim_->schedule_at(r.at, [this, i] { apply_crash(i); });
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void ChaosEngine::detach() {
+  if (net_ != nullptr && net_->fault_injector() == this) {
+    net_->set_fault_injector(nullptr);
+  }
+  net_ = nullptr;
+}
+
+void ChaosEngine::apply_partition(std::size_t rule, bool down) {
+  if (net_ == nullptr) return;
+  const Rule& r = plan_.rules[rule];
+  for (net::ProcId a : r.group_a) {
+    for (net::ProcId b : r.group_b) {
+      net_->set_link_down(a, b, down);
+      net_->set_link_down(b, a, down);
+    }
+  }
+  // Heal is logged as a second partition record with delta=1 so the replay
+  // signature distinguishes cut from restore.
+  record(RuleKind::partition, rule, 0, 0, 0, 0, down ? 0 : 1);
+}
+
+void ChaosEngine::apply_crash(std::size_t rule) {
+  if (net_ == nullptr) return;
+  const Rule& r = plan_.rules[rule];
+  net::Process* p = net_->find(r.target);
+  if (p == nullptr || !p->alive()) return;
+  p->kill();
+  record(RuleKind::crash, rule, r.target, 0, 0, 0, 0);
+}
+
+void ChaosEngine::record(RuleKind kind, std::size_t rule, net::ProcId src,
+                         net::ProcId dst, std::uint64_t tag, std::size_t bytes,
+                         des::Duration delta) {
+  log_.push_back(InjectionRecord{sim_ != nullptr ? sim_->now() : 0, kind, rule,
+                                 src, dst, tag, bytes, delta});
+}
+
+std::string ChaosEngine::dump_log() const {
+  std::string out;
+  for (const InjectionRecord& r : log_) {
+    out += r.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+net::FaultVerdict ChaosEngine::evaluate(net::ProcId src, net::ProcId dst,
+                                        net::NodeId src_node,
+                                        net::NodeId dst_node,
+                                        const std::string& box,
+                                        std::uint64_t tag, std::size_t bytes,
+                                        des::Duration base) {
+  net::FaultVerdict v;
+  const des::Time now = sim_->now();
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const Rule& r = plan_.rules[i];
+    if (!is_message_rule(r.kind)) continue;
+    if (now < r.after || now >= r.before) continue;
+    if (r.from != 0 && r.from != src) continue;
+    if (r.to != 0 && r.to != dst) continue;
+    if (!r.box.empty() && r.box != box) continue;
+    if (r.kind == RuleKind::slow_node && src_node != r.node &&
+        dst_node != r.node) {
+      continue;
+    }
+    // One RNG draw per matching rule per message: transmit order is
+    // deterministic, so the draw sequence (and thus every verdict) is too.
+    if (r.probability < 1.0 && rng_.uniform() >= r.probability) continue;
+
+    switch (r.kind) {
+      case RuleKind::drop:
+        v.drop = true;
+        record(r.kind, i, src, dst, tag, bytes, 0);
+        return v;  // a dropped message cannot also be delayed/duplicated
+      case RuleKind::delay: {
+        des::Duration extra = r.delay;
+        if (r.jitter > 0) extra += rng_.below(r.jitter);
+        v.extra_delay += extra;
+        record(r.kind, i, src, dst, tag, bytes, extra);
+        break;
+      }
+      case RuleKind::reorder: {
+        const des::Duration extra = r.jitter > 0 ? rng_.below(r.jitter) : 0;
+        v.extra_delay += extra;
+        record(r.kind, i, src, dst, tag, bytes, extra);
+        break;
+      }
+      case RuleKind::duplicate:
+        v.duplicates += r.copies;
+        v.dup_spacing = r.spacing;
+        record(r.kind, i, src, dst, tag, bytes, 0);
+        break;
+      case RuleKind::slow_node: {
+        const double scale = r.factor > 1.0 ? r.factor - 1.0 : 0.0;
+        const auto extra = static_cast<des::Duration>(
+            static_cast<double>(base) * scale);
+        v.extra_delay += extra;
+        record(r.kind, i, src, dst, tag, bytes, extra);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return v;
+}
+
+net::FaultVerdict ChaosEngine::on_message(const net::Process& src,
+                                          const net::Process& dst,
+                                          const std::string& box,
+                                          std::uint64_t tag, std::size_t bytes,
+                                          des::Duration base) {
+  return evaluate(src.id(), dst.id(), src.node(), dst.node(), box, tag, bytes,
+                  base);
+}
+
+net::FaultVerdict ChaosEngine::on_rdma(const net::Process& self,
+                                       net::ProcId owner, std::size_t bytes,
+                                       des::Duration base) {
+  static const std::string kRdmaBox = "rdma";
+  net::Process* remote = net_ != nullptr ? net_->find(owner) : nullptr;
+  const net::NodeId rnode =
+      remote != nullptr ? remote->node() : self.node() + 1;
+  net::FaultVerdict v =
+      evaluate(self.id(), owner, self.node(), rnode, kRdmaBox, 0, bytes, base);
+  v.duplicates = 0;  // one-sided transfers have no copy to re-deliver
+  return v;
+}
+
+}  // namespace colza::chaos

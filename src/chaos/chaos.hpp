@@ -1,0 +1,142 @@
+// Deterministic fault injection for the simulated Colza stack.
+//
+// A ChaosPlan is a declarative, seed-driven schedule of faults: per-message
+// rules (drop / delay / duplicate / reorder / slow_node) evaluated on every
+// transmit and RDMA operation via the net::FaultInjector hook, and scheduled
+// rules (partition / crash) armed as virtual-time events on the simulation.
+// Because the DES processes events in a deterministic order and the engine
+// draws from its own seeded RNG, the same plan against the same scenario
+// produces a bit-identical fault sequence -- every injection is logged with
+// its virtual timestamp, so any failing sweep seed replays exactly.
+//
+// Plans are plain structs (aggregate-init in tests) and JSON-loadable for
+// file-driven experiments; see docs/testing.md for the format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "des/time.hpp"
+#include "net/address.hpp"
+#include "net/network.hpp"
+
+namespace colza::chaos {
+
+enum class RuleKind : std::uint8_t {
+  drop,       // swallow matching messages with `probability`
+  delay,      // add `delay` + uniform[0, jitter) to matching messages
+  duplicate,  // deliver `copies` extra copies spaced `spacing` apart
+  reorder,    // add uniform[0, jitter) -- pure jitter, shuffles arrival order
+  slow_node,  // scale the base delay of traffic touching `node` by `factor`
+  partition,  // cut all links between group_a and group_b at `at` (heal_at)
+  crash,      // kill process `target` at virtual time `at`
+};
+
+[[nodiscard]] std::string_view to_string(RuleKind k) noexcept;
+
+struct Rule {
+  RuleKind kind = RuleKind::drop;
+
+  // ---- per-message rules (drop/delay/duplicate/reorder/slow_node) ---------
+  double probability = 1.0;  // chance a matching message is hit
+  net::ProcId from = 0;      // 0 = any source process
+  net::ProcId to = 0;        // 0 = any destination process
+  std::string box;           // mailbox filter ("rpc", "mona"); "" = any,
+                             // "rdma" matches only one-sided transfers
+  des::Time after = 0;       // active window [after, before)
+  des::Time before = std::numeric_limits<des::Time>::max();
+  des::Duration delay = 0;   // delay: fixed extra latency
+  des::Duration jitter = 0;  // delay/reorder: uniform extra in [0, jitter)
+  int copies = 1;            // duplicate: extra copies per hit
+  des::Duration spacing = 0; // duplicate: gap between copies
+  net::NodeId node = 0;      // slow_node: which node is degraded
+  double factor = 1.0;       // slow_node: base-delay multiplier (>= 1)
+
+  // ---- scheduled rules (partition/crash) ----------------------------------
+  des::Time at = 0;          // trigger time
+  des::Time heal_at = 0;     // partition: restore time (0 = never heals)
+  std::vector<net::ProcId> group_a;  // partition sides (all directed pairs)
+  std::vector<net::ProcId> group_b;
+  net::ProcId target = 0;    // crash victim
+};
+
+struct ChaosPlan {
+  std::uint64_t seed = 1;
+  std::vector<Rule> rules;
+
+  // Parses the JSON plan format (see docs/testing.md). Durations and times
+  // are given in microseconds ("delay_us", "at_us", ...) as JSON numbers.
+  // Throws std::runtime_error on malformed input or unknown rule kinds.
+  static ChaosPlan from_json(std::string_view text);
+};
+
+// One injected fault, stamped with the virtual time it was decided. The
+// concatenation of these records is the replay signature: two runs of the
+// same scenario + plan must produce identical logs.
+struct InjectionRecord {
+  des::Time time = 0;
+  RuleKind kind = RuleKind::drop;
+  std::size_t rule = 0;       // index into plan.rules
+  net::ProcId src = 0;        // message source / crash target / partition: 0
+  net::ProcId dst = 0;        // message destination (or RDMA region owner)
+  std::uint64_t tag = 0;      // message tag (0 for RDMA and scheduled rules)
+  std::size_t bytes = 0;      // payload size (0 for scheduled rules)
+  des::Duration delta = 0;    // extra delay applied (0 = drop/dup/scheduled)
+
+  [[nodiscard]] bool operator==(const InjectionRecord&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Evaluates a ChaosPlan against one simulation. attach() installs the
+// message hook and arms the scheduled rules; the engine must outlive the
+// network or be detach()ed first. Not reusable across simulations: build a
+// fresh engine per run (that is what makes replay trivially exact).
+class ChaosEngine final : public net::FaultInjector {
+ public:
+  explicit ChaosEngine(ChaosPlan plan);
+  ~ChaosEngine() override;
+
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  void attach(net::Network& net);
+  void detach();
+
+  [[nodiscard]] const ChaosPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const std::vector<InjectionRecord>& log() const noexcept {
+    return log_;
+  }
+  // Full log, one record per line -- the bit-identical replay signature.
+  [[nodiscard]] std::string dump_log() const;
+
+  // net::FaultInjector
+  net::FaultVerdict on_message(const net::Process& src,
+                               const net::Process& dst, const std::string& box,
+                               std::uint64_t tag, std::size_t bytes,
+                               des::Duration base) override;
+  net::FaultVerdict on_rdma(const net::Process& self, net::ProcId owner,
+                            std::size_t bytes, des::Duration base) override;
+
+ private:
+  net::FaultVerdict evaluate(net::ProcId src, net::ProcId dst,
+                             net::NodeId src_node, net::NodeId dst_node,
+                             const std::string& box, std::uint64_t tag,
+                             std::size_t bytes, des::Duration base);
+  void apply_partition(std::size_t rule, bool down);
+  void apply_crash(std::size_t rule);
+  void record(RuleKind kind, std::size_t rule, net::ProcId src, net::ProcId dst,
+              std::uint64_t tag, std::size_t bytes, des::Duration delta);
+
+  ChaosPlan plan_;
+  Rng rng_;
+  net::Network* net_ = nullptr;
+  des::Simulation* sim_ = nullptr;
+  std::vector<InjectionRecord> log_;
+};
+
+}  // namespace colza::chaos

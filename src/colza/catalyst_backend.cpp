@@ -39,7 +39,10 @@ CatalystBackend::CatalystBackend(Context ctx)
     : Backend(std::move(ctx)), script_(script_from_config(ctx_.config)) {}
 
 Status CatalystBackend::activate(std::uint64_t iteration) {
-  staged_[iteration];  // create the staging slot
+  // Fresh slot even when the iteration was activated before: the client
+  // re-stages every block after each activate, so blocks left by an earlier
+  // attempt whose deactivate was lost must not leak into this one.
+  staged_[iteration] = StagingSlot{};
   return Status::Ok();
 }
 
@@ -56,7 +59,15 @@ Status CatalystBackend::stage(StagedBlock block) {
                               return vis::deserialize_dataset(block.data);
                             })
                           : vis::deserialize_dataset(block.data);
-    it->second.push_back(std::move(ds));
+    StagingSlot& slot = it->second;
+    const auto key = std::make_pair(block.block_id, block.field_name);
+    auto idx = slot.index.find(key);
+    if (idx != slot.index.end()) {
+      slot.blocks[idx->second] = std::move(ds);  // idempotent restage
+    } else {
+      slot.index.emplace(key, slot.blocks.size());
+      slot.blocks.push_back(std::move(ds));
+    }
   } catch (const std::exception& e) {
     return Status::InvalidArgument(std::string("stage: bad dataset: ") +
                                    e.what());
@@ -86,13 +97,14 @@ Status CatalystBackend::execute(std::uint64_t iteration) {
 
   vis::MonaCommunicator comm(comm_);
   vis::Communicator::set_global(&comm);  // the SetGlobalController trick
-  auto r = catalyst::execute(script_, it->second, comm, fb_, iteration);
+  auto r = catalyst::execute(script_, it->second.blocks, comm, fb_, iteration);
   vis::Communicator::set_global(nullptr);
   if (!r.has_value()) return r.status();
 
   Record rec;
   rec.iteration = iteration;
   rec.comm_size = comm.size();
+  rec.comm_context = comm_->context();
   rec.execute_time = sim.now() - t0;
   rec.stats = *r;
   rec.image_hash = comm.rank() == 0 ? fb_.content_hash() : 0;

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "catalyst/catalyst.hpp"
@@ -35,6 +37,11 @@ class CatalystBackend final : public Backend {
   struct Record {
     std::uint64_t iteration = 0;
     int comm_size = 0;
+    // Context of the communicator the execution ran on. Since every 2PC
+    // commit establishes a fresh epoch context, this identifies the
+    // activation attempt: records sharing a context belong to one attempt
+    // over one frozen group.
+    std::uint64_t comm_context = 0;
     des::Duration execute_time = 0;
     catalyst::ExecutionStats stats;
     std::uint64_t image_hash = 0;
@@ -50,9 +57,17 @@ class CatalystBackend final : public Backend {
   }
 
  private:
+  // One activation's staged blocks. Keyed storage makes stage() idempotent:
+  // a retransmitted or duplicated stage RPC for the same (block, field)
+  // replaces the earlier copy instead of compositing the block twice.
+  struct StagingSlot {
+    std::vector<vis::DataSet> blocks;
+    std::map<std::pair<std::uint64_t, std::string>, std::size_t> index;
+  };
+
   catalyst::PipelineScript script_;
   bool first_execute_ = true;  // models VTK/Python init on first use
-  std::map<std::uint64_t, std::vector<vis::DataSet>> staged_;
+  std::map<std::uint64_t, StagingSlot> staged_;
   render::FrameBuffer fb_;
   std::vector<Record> records_;
 };

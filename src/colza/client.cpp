@@ -148,10 +148,14 @@ Status DistributedPipelineHandle::activate(std::uint64_t iteration,
       continue;
     }
 
-    // Phase 2: commit.
+    // Phase 2: commit. Every attempt commits under a fresh epoch; servers
+    // derive the iteration's communicator context from it, so a retried
+    // attempt can never exchange collective messages with the remains of an
+    // abandoned one (a peer still blocked in the old attempt's collective).
+    const std::uint64_t epoch = ++epoch_;
     Status cs = parallel_over(view_, [&](net::ProcId server) {
-      auto r =
-          engine.call_raw(server, "colza.commit", pack(name_, iteration));
+      auto r = engine.call_raw(server, "colza.commit",
+                               pack(name_, iteration, epoch));
       return r.status();
     });
     if (cs.ok()) return Status::Ok();

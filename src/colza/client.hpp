@@ -132,6 +132,10 @@ class DistributedPipelineHandle {
   std::string name_;
   std::vector<net::ProcId> view_;
   std::uint64_t view_hash_ = 0;
+  // Activation epoch: bumped for every commit attempt and shipped with the
+  // commit RPC; servers derive the iteration's communicator context from it
+  // (see Server::commit_view(epoch)).
+  std::uint64_t epoch_ = 0;
   DistributionPolicy policy_;
 };
 

@@ -31,52 +31,82 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
                                std::span<const IterationBlock> blocks,
                                const ResilientOptions& options) {
   Status last;
-  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
-    if (attempt > 0) {
-      // Drop any partial state of the previous attempt on the survivors,
-      // give the membership protocol time to converge on the failure, and
-      // refresh the view before the next 2PC.
-      (void)handle.deactivate(iteration);
-      backoff(options.retry_backoff);
-      (void)handle.refresh_view();
-    }
+  for (int attempt = 1;; ++attempt) {
+    bool failed = false;
 
     Status s = handle.activate(iteration);
     if (!s.ok()) {
-      if (!retriable(s)) return s;
+      if (!retriable(s)) return s;  // non-retriable: give up right away
       COLZA_LOG_INFO("colza-ft", "iteration %llu: activate failed: %s",
                      static_cast<unsigned long long>(iteration),
                      s.to_string().c_str());
       last = s;
-      continue;
+      failed = true;
     }
 
-    bool attempt_failed = false;
-    for (const auto& [id, bytes] : blocks) {
-      s = handle.stage(iteration, id, bytes);
-      if (s.ok()) continue;
-      if (!retriable(s)) return s;
-      COLZA_LOG_INFO("colza-ft", "iteration %llu: stage(%llu) failed: %s",
+    if (!failed) {
+      for (const auto& [id, bytes] : blocks) {
+        s = handle.stage(iteration, id, bytes);
+        if (s.ok()) continue;
+        if (!retriable(s)) {
+          // Best-effort cleanup of the activated iteration, then surface
+          // the original error immediately -- no backoff on this path.
+          (void)handle.deactivate(iteration);
+          return s;
+        }
+        COLZA_LOG_INFO("colza-ft", "iteration %llu: stage(%llu) failed: %s",
+                       static_cast<unsigned long long>(iteration),
+                       static_cast<unsigned long long>(id),
+                       s.to_string().c_str());
+        last = s;
+        failed = true;
+        break;
+      }
+    }
+
+    if (!failed) {
+      s = handle.execute(iteration);
+      if (s.ok()) {
+        // The iteration is committed; never rerun it. Only the deactivate
+        // may be retried (it is idempotent on the servers), on a refreshed
+        // view so a member that died mid-deactivate is dropped.
+        Status d = handle.deactivate(iteration);
+        for (int cleanup = 1;
+             !d.ok() && retriable(d) && cleanup < options.max_attempts;
+             ++cleanup) {
+          COLZA_LOG_INFO("colza-ft", "iteration %llu: deactivate failed: %s",
+                         static_cast<unsigned long long>(iteration),
+                         d.to_string().c_str());
+          backoff(options.retry_backoff);
+          (void)handle.refresh_view();
+          d = handle.deactivate(iteration);
+        }
+        return d;
+      }
+      if (!retriable(s)) {
+        (void)handle.deactivate(iteration);
+        return s;
+      }
+      COLZA_LOG_INFO("colza-ft", "iteration %llu: execute failed: %s",
                      static_cast<unsigned long long>(iteration),
-                     static_cast<unsigned long long>(id),
                      s.to_string().c_str());
       last = s;
-      attempt_failed = true;
-      break;
     }
-    if (attempt_failed) continue;
 
-    s = handle.execute(iteration);
-    if (s.ok()) return handle.deactivate(iteration);
-    if (!retriable(s)) return s;
-    COLZA_LOG_INFO("colza-ft", "iteration %llu: execute failed: %s",
-                   static_cast<unsigned long long>(iteration),
-                   s.to_string().c_str());
-    last = s;
+    // Retriable failure: drop any partial state of this attempt on the
+    // survivors. If attempts are exhausted, report the give-up immediately
+    // (no backoff sleep before the final return).
+    (void)handle.deactivate(iteration);
+    if (attempt >= options.max_attempts) {
+      return Status::Aborted("resilient iteration gave up after " +
+                             std::to_string(options.max_attempts) +
+                             " attempts: " + last.to_string());
+    }
+    // Give the membership protocol time to converge on the failure, then
+    // refresh the view before the next 2PC.
+    backoff(options.retry_backoff);
+    (void)handle.refresh_view();
   }
-  return Status::Aborted("resilient iteration gave up after " +
-                         std::to_string(options.max_attempts) +
-                         " attempts: " + last.to_string());
 }
 
 }  // namespace colza

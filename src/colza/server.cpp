@@ -94,9 +94,24 @@ void Server::commit_view() {
   }
 }
 
+void Server::commit_view(std::uint64_t epoch) {
+  // Always rebuild, even when the view hash is unchanged: every member of
+  // the frozen view runs this commit with the same epoch, so everyone gets
+  // a matching fresh context with collective sequence numbers reset to
+  // zero. Reusing the previous communicator would let a peer still blocked
+  // in an abandoned attempt's collective consume (or feed) this attempt's
+  // messages -- the tag streams would be permanently misaligned.
+  service_view_ = group_->view();  // sorted
+  service_view_hash_ = group_->view_hash();
+  service_comm_ = mona_->comm_create(service_view_, epoch);
+  for (auto& [name, entry] : pipelines_) {
+    entry.backend->update_comm(service_comm_);
+  }
+}
+
 void Server::leave() {
   if (left_) return;
-  if (active_iterations_ > 0) {
+  if (!active_set_.empty()) {
     // Frozen: the paper defers removals until deactivate (S II-B).
     leave_pending_ = true;
     return;
@@ -155,11 +170,23 @@ void Server::install_handlers() {
   group_->on_change([this](net::ProcId p, ssg::MemberEvent e) {
     if (e == ssg::MemberEvent::joined) return;
     mona_->fail_pending(p);
-    if (active_iterations_ > 0 && service_comm_ != nullptr &&
+    if (!active_set_.empty() && service_comm_ != nullptr &&
         std::find(service_view_.begin(), service_view_.end(), p) !=
             service_view_.end()) {
       service_comm_->revoke();
     }
+  });
+
+  // If the group evicts us (we were partitioned away long enough to be
+  // declared dead, and the dead-declaration is tombstoned on every other
+  // member), this daemon can never serve again: take the process down so
+  // clients fail over instead of reaching a zombie with a stale view.
+  group_->on_self_evicted([this] {
+    if (left_) return;
+    left_ = true;
+    engine_->shutdown();
+    mona_->shutdown();
+    proc_->kill();
   });
 
   // ---- client protocol ---------------------------------------------------
@@ -196,16 +223,28 @@ void Server::install_handlers() {
                                          InArchive& in, OutArchive&) {
     if (left_) return Status::ShuttingDown();
     std::string pipeline;
-    std::uint64_t iteration = 0;
+    std::uint64_t iteration = 0, epoch = 0;
     in.load(pipeline);
     in.load(iteration);
+    in.load(epoch);
     if (!prepared_ || prepared_iteration_ != iteration)
       return Status::FailedPrecondition("commit without prepare");
+    // Epoch fence: within a handle, retries of an iteration carry strictly
+    // increasing epochs, so a commit at or below the last committed epoch
+    // for this iteration is a stale retransmission. Rebuilding the
+    // communicator for it would reset this member's collective sequence
+    // numbers while its peers keep counting -- a permanent wedge.
+    auto [fence, inserted] = committed_epoch_.try_emplace(iteration, epoch);
+    if (!inserted) {
+      if (epoch <= fence->second)
+        return Status::FailedPrecondition("stale commit epoch");
+      fence->second = epoch;
+    }
     prepared_ = false;
     Backend* p = this->pipeline(pipeline);
     if (p == nullptr) return Status::NotFound("pipeline '" + pipeline + "'");
-    ++active_iterations_;  // freeze membership application
-    commit_view();         // adopt the agreed view before activating
+    active_set_.insert(iteration);  // freeze membership application
+    commit_view(epoch);  // adopt the agreed view in a fresh tag space
     return p->activate(iteration);
   });
 
@@ -257,8 +296,8 @@ void Server::install_handlers() {
     Backend* p = this->pipeline(pipeline);
     if (p == nullptr) return Status::NotFound("pipeline '" + pipeline + "'");
     Status s = p->deactivate(iteration);
-    if (active_iterations_ > 0) --active_iterations_;
-    if (active_iterations_ == 0 && leave_pending_) finish_leave();
+    active_set_.erase(iteration);
+    if (active_set_.empty() && leave_pending_) finish_leave();
     return s;
   });
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,13 @@ class Server {
     return service_view_;
   }
 
+  // Number of iterations currently active (committed but not deactivated)
+  // on this server. Exposed for the invariant harness: when every client
+  // iteration has completed, this must be zero on every survivor.
+  [[nodiscard]] int active_iterations() const noexcept {
+    return static_cast<int>(active_set_.size());
+  }
+
   // Leaves the group and stops serving (deferred while iterations are
   // active). The underlying simulated process is killed once out.
   void leave();
@@ -82,6 +90,13 @@ class Server {
 
   void install_handlers();
   void commit_view();  // adopt the current SSG view as the service view
+  // 2PC-commit variant: adopts the view *and* rebuilds the service
+  // communicator under the client-chosen activation epoch, even when the
+  // membership did not change. Each activation attempt thus collects its
+  // collectives in a fresh tag space; stragglers from an earlier attempt
+  // (a retried execute whose peers are still blocked mid-collective) can
+  // never pair with the new attempt's operations.
+  void commit_view(std::uint64_t epoch);
   void finish_leave();
 
   struct PipelineEntry {
@@ -101,10 +116,16 @@ class Server {
   std::uint64_t service_view_hash_ = 0;
   std::shared_ptr<mona::Communicator> service_comm_;
 
-  // 2PC / freeze state.
+  // 2PC / freeze state. Active iterations are tracked as a set of ids so
+  // commit and deactivate are idempotent: a client that re-commits an
+  // iteration after losing the first commit's response must not leave the
+  // membership frozen forever.
   bool prepared_ = false;
   std::uint64_t prepared_iteration_ = 0;
-  int active_iterations_ = 0;
+  std::set<std::uint64_t> active_set_;
+  // Last committed activation epoch per iteration (see the commit handler's
+  // epoch fence).
+  std::map<std::uint64_t, std::uint64_t> committed_epoch_;
   bool leave_pending_ = false;
   bool left_ = false;
 };

@@ -49,6 +49,12 @@ struct SimConfig {
   // Multiplier applied by charge_scoped to measured wall time before
   // charging, to model faster/slower simulated cores. 1.0 = host speed.
   double compute_time_scale = 1.0;
+  // Reproducibility switch for the chaos/replay harness: when nonzero,
+  // charge_scoped ignores the wall clock and charges exactly this duration
+  // per call. The work still runs (its results are real); only its modeled
+  // cost becomes host-independent, making the whole virtual timeline -- and
+  // therefore every injected fault's timestamp -- bit-identical run to run.
+  Duration fixed_scoped_charge = 0;
 };
 
 struct SpawnOptions {
@@ -133,6 +139,17 @@ class Simulation {
   // runs concurrently on the host thread.
   template <typename F>
   auto charge_scoped(F&& work) {
+    if (config_.fixed_scoped_charge > 0) {
+      if constexpr (std::is_void_v<std::invoke_result_t<F>>) {
+        work();
+        charge(config_.fixed_scoped_charge);
+        return;
+      } else {
+        auto result = work();
+        charge(config_.fixed_scoped_charge);
+        return result;
+      }
+    }
     const std::uint64_t t0 = wall_ns();
     if constexpr (std::is_void_v<std::invoke_result_t<F>>) {
       work();

@@ -152,6 +152,13 @@ void Instance::note_specific_consume(std::uint64_t tag) {
   ai.order.swap(keep);
 }
 
+std::pair<std::size_t, std::size_t> Instance::arrival_index_stats(
+    std::uint64_t tag) const {
+  auto it = unexpected_by_tag_.find(tag);
+  if (it == unexpected_by_tag_.end()) return {0, 0};
+  return {it->second.order.size(), it->second.live};
+}
+
 void Instance::demux_loop() {
   auto& box = proc_->mailbox(kMailbox);
   while (!stopped_) {
@@ -276,6 +283,25 @@ void Instance::revoke_context(std::uint64_t context) {
 
 std::shared_ptr<Communicator> Instance::comm_create(
     std::vector<net::ProcId> addrs) {
+  const std::uint64_t h = hash_members(addrs);
+  const std::uint32_t count = comm_counter_[h]++;
+  const std::uint64_t context = h ^ (static_cast<std::uint64_t>(count) *
+                                     0x9e3779b97f4a7c15ULL);
+  return make_comm(std::move(addrs), context);
+}
+
+std::shared_ptr<Communicator> Instance::comm_create(
+    std::vector<net::ProcId> addrs, std::uint64_t epoch) {
+  // (epoch + 1) keeps epoch 0 distinct from the counter path's first
+  // context (h itself), and the odd multiplier spreads epochs across the
+  // 23-bit context space the tag layout provides.
+  const std::uint64_t context =
+      hash_members(addrs) ^ ((epoch + 1) * 0xc2b2ae3d27d4eb4fULL);
+  return make_comm(std::move(addrs), context);
+}
+
+std::shared_ptr<Communicator> Instance::make_comm(
+    std::vector<net::ProcId> addrs, std::uint64_t context) {
   int rank = -1;
   for (std::size_t i = 0; i < addrs.size(); ++i) {
     if (addrs[i] == self()) {
@@ -284,10 +310,6 @@ std::shared_ptr<Communicator> Instance::comm_create(
     }
   }
   if (rank < 0) return nullptr;
-  const std::uint64_t h = hash_members(addrs);
-  const std::uint32_t count = comm_counter_[h]++;
-  const std::uint64_t context = h ^ (static_cast<std::uint64_t>(count) *
-                                     0x9e3779b97f4a7c15ULL);
   return std::shared_ptr<Communicator>(
       new Communicator(*this, std::move(addrs), rank, context));
 }

@@ -72,6 +72,14 @@ class Instance {
   // group in the same order). Returns nullptr if self is not in the list.
   std::shared_ptr<Communicator> comm_create(std::vector<net::ProcId> addrs);
 
+  // Epoch variant: derives the context from (members, epoch) instead of the
+  // local creation counter, so members that agreed on an epoch out of band
+  // (Colza's 2PC commit) get matching contexts without having created the
+  // same number of communicators. Each epoch is a fresh tag space: stragglers
+  // from an earlier epoch's collectives can never match the new one.
+  std::shared_ptr<Communicator> comm_create(std::vector<net::ProcId> addrs,
+                                            std::uint64_t epoch);
+
   // ---- failure handling (the ULFM-inspired path the paper points to) -----
   // Fails every posted receive whose source is `dead` with `unreachable`.
   // Colza servers call this from their SSG death callback so collectives
@@ -87,6 +95,13 @@ class Instance {
   }
 
   void shutdown();
+
+  // Test introspection: (total entries, live entries) of the per-tag
+  // ANY_SOURCE arrival index. Total > live means stale entries awaiting
+  // compaction; (0, 0) once the index is dropped. Lets tests pin down the
+  // compaction trigger without peeking at private state.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> arrival_index_stats(
+      std::uint64_t tag) const;
 
  private:
   friend class Communicator;
@@ -168,6 +183,9 @@ class Instance {
   // Posted ANY_SOURCE receives per tag, FIFO by posting order.
   std::unordered_map<std::uint64_t, std::deque<PostedRecv*>> posted_any_;
   std::uint64_t match_seq_ = 0;  // stamps posts and arrivals alike
+  std::shared_ptr<Communicator> make_comm(std::vector<net::ProcId> addrs,
+                                          std::uint64_t context);
+
   std::map<std::uint64_t, std::uint32_t> comm_counter_;  // group hash -> count
   std::set<std::uint64_t> revoked_;  // revoked communicator contexts
   bool stopped_ = false;

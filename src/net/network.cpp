@@ -181,6 +181,11 @@ void Network::transmit(Process& src, ProcId dst, const std::string& box,
   const std::size_t bytes = msg.payload.size();
   const des::Duration base =
       message_delay(src.node(), target->node(), bytes, profile);
+  FaultVerdict verdict;
+  if (injector_ != nullptr) {
+    verdict = injector_->on_message(src, *target, box, msg.tag, bytes, base);
+    if (verdict.drop) return;  // swallowed by the injected fault
+  }
   des::Time deliver_at = sim_->now() + base;
   if (src.node() != target->node() && bytes > profile.eager_threshold &&
       !profile.large_uses_rdma && profile.rendezvous_overhead > 0) {
@@ -218,7 +223,21 @@ void Network::transmit(Process& src, ProcId dst, const std::string& box,
   // a push to a process that died in flight is dropped by the closed check.
   // Capturing the pointer keeps the delivery callback small enough for the
   // scheduler's inline callback storage -- no allocation per message.
+  deliver_at += verdict.extra_delay;
+
   Mailbox* target_box = &target->mailbox(box);
+  // Injected duplicates model a retransmitting fabric: each copy is a fresh
+  // pooled buffer delivered after the original at `dup_spacing` intervals.
+  for (int d = 1; d <= verdict.duplicates; ++d) {
+    Message copy;
+    copy.source = msg.source;
+    copy.tag = msg.tag;
+    copy.payload = common::BufferPool::global().copy_of(msg.payload.span());
+    sim_->schedule_at(deliver_at + d * verdict.dup_spacing,
+                      [target_box, msg = std::move(copy)]() mutable {
+                        target_box->push(std::move(msg));
+                      });
+  }
   sim_->schedule_at(deliver_at,
                     [target_box, msg = std::move(msg)]() mutable {
                       target_box->push(std::move(msg));
@@ -256,7 +275,18 @@ Status Network::rdma_get(Process& self, const BulkRef& ref,
     return Status::Unreachable("rdma_get: link down");
   if (offset + out.size() > ref.size)
     return Status::InvalidArgument("rdma_get: range beyond exposed region");
-  const des::Duration delay = rdma_delay(self, ref.owner, out.size(), profile);
+  des::Duration delay = rdma_delay(self, ref.owner, out.size(), profile);
+  if (injector_ != nullptr) {
+    const FaultVerdict v =
+        injector_->on_rdma(self, ref.owner, out.size(), delay);
+    if (v.drop) {
+      // The transfer is lost on the wire: the initiator still waits out the
+      // modeled time before its completion queue reports the failure.
+      sim_->sleep_for(delay + v.extra_delay);
+      return Status::Unreachable("rdma_get: transfer lost (injected)");
+    }
+    delay += v.extra_delay;
+  }
   sim_->sleep_for(delay);
   // Read remote memory at completion time (the exposer must keep it valid
   // while exposed; Colza guarantees this between stage and deactivate).
@@ -278,7 +308,16 @@ Status Network::rdma_put(Process& self, const BulkRef& ref,
   if (!self.alive()) return Status::Unreachable("rdma_put: self is dead");
   if (offset + data.size() > ref.size)
     return Status::InvalidArgument("rdma_put: range beyond exposed region");
-  const des::Duration delay = rdma_delay(self, ref.owner, data.size(), profile);
+  des::Duration delay = rdma_delay(self, ref.owner, data.size(), profile);
+  if (injector_ != nullptr) {
+    const FaultVerdict v =
+        injector_->on_rdma(self, ref.owner, data.size(), delay);
+    if (v.drop) {
+      sim_->sleep_for(delay + v.extra_delay);
+      return Status::Unreachable("rdma_put: transfer lost (injected)");
+    }
+    delay += v.extra_delay;
+  }
   sim_->sleep_for(delay);
   Process* remote = find(ref.owner);
   if (remote == nullptr || !remote->alive())

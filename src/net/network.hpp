@@ -38,6 +38,31 @@ namespace colza::net {
 class Network;
 class Process;
 
+// Hook the chaos layer implements to perturb traffic. The network consults
+// the injector (when one is attached) once per transmit and once per RDMA
+// operation, after its own alive/link checks pass and the baseline delay is
+// known. Returning `drop` swallows the message (exactly like fabric loss);
+// `extra_delay` shifts the delivery time; `duplicates` schedules that many
+// extra copies spaced `dup_spacing` apart after the original. The hot path
+// is untouched when no injector is installed.
+struct FaultVerdict {
+  bool drop = false;
+  des::Duration extra_delay = 0;
+  int duplicates = 0;
+  des::Duration dup_spacing = 0;
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultVerdict on_message(const Process& src, const Process& dst,
+                                  const std::string& box, std::uint64_t tag,
+                                  std::size_t bytes, des::Duration base) = 0;
+  // RDMA has no payload copy to duplicate; only drop/extra_delay apply.
+  virtual FaultVerdict on_rdma(const Process& self, ProcId owner,
+                               std::size_t bytes, des::Duration base) = 0;
+};
+
 struct NetworkConfig {
   // Hardware wire latency between distinct nodes (added to every transfer).
   // Default 0: the per-library Profile sw_latency values are calibrated as
@@ -179,6 +204,15 @@ class Network {
   void set_link_down(ProcId a, ProcId b, bool down);
   [[nodiscard]] bool link_down(ProcId a, ProcId b) const;
 
+  // Attaches (or detaches, with nullptr) the chaos layer's injector. The
+  // injector must outlive the network or be detached before it dies.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept {
+    return injector_;
+  }
+
   // ---- two-sided path -------------------------------------------------------
   // Sends `msg` to mailbox `box` of process `dst` using `profile`'s protocol
   // model. Never blocks the caller beyond the local software overhead; the
@@ -221,6 +255,7 @@ class Network {
   // incast rendezvous traffic (OpenMPI linear collectives) collapse.
   std::map<ProcId, des::Time> rndv_free_;
   std::set<std::pair<ProcId, ProcId>> down_links_;
+  FaultInjector* injector_ = nullptr;
   std::unique_ptr<Rng> loss_rng_;
   ProcId next_proc_ = 1;
 };

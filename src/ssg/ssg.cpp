@@ -133,8 +133,19 @@ void Group::apply_updates(const std::vector<Update>& updates) {
 void Group::apply_update(const Update& u) {
   if (stopped_) return;
   if (u.subject == self()) {
-    // Refutation: bump our incarnation past the accusation and gossip it.
-    if (u.kind == UpdateKind::suspect || u.kind == UpdateKind::dead) {
+    if (u.kind == UpdateKind::dead) {
+      // The group declared us dead. Everyone who heard the update has
+      // tombstoned our id, so no incarnation bump can ever rejoin us:
+      // refutation only works against *suspicion*. Accept the eviction and
+      // go inert; the owner's on_self_evicted hook decides what dying means
+      // (Colza kills the server process so post-partition views converge).
+      evicted_ = true;
+      stopped_ = true;
+      if (evicted_cb_) evicted_cb_();
+      return;
+    }
+    if (u.kind == UpdateKind::suspect) {
+      // Refutation: bump our incarnation past the accusation and gossip it.
       if (u.incarnation >= self_incarnation_) {
         self_incarnation_ = u.incarnation + 1;
         queue_update(Update{self(), UpdateKind::alive, self_incarnation_});
@@ -323,17 +334,38 @@ void Group::probe_one(net::ProcId target) {
   }
 }
 
+void Group::append_eviction_notice(net::ProcId caller,
+                                   std::vector<Update>& reply) {
+  // A tombstoned member is still talking to us: it was declared dead while
+  // unreachable (e.g. on the wrong side of a partition) and the gossiped
+  // `dead` update exhausted its retransmission budget before the member
+  // could hear it. Without a direct answer the asymmetry is stable -- it
+  // keeps us in its view forever while we exclude it -- so tell it
+  // explicitly. The notice is constructed on demand rather than taken from
+  // the budget-limited piggyback queue.
+  if (tombstones_.count(caller) != 0) {
+    reply.push_back(Update{caller, UpdateKind::dead, 0});
+  }
+}
+
 // ---------------------------------------------------------------- handlers
 
 void Group::install_handlers() {
   token_ = std::make_shared<int>(0);
 
-  engine_->define("ssg.ping", [this](const rpc::RequestInfo&, InArchive& in,
-                                     OutArchive& out) {
+  engine_->define("ssg.ping", [this](const rpc::RequestInfo& info,
+                                     InArchive& in, OutArchive& out) {
     std::vector<Update> updates;
     in.load(updates);
     apply_updates(updates);
-    out.save(drain_piggyback());
+    // A ping proves its sender is alive and believes itself a member. If we
+    // have never heard of it, its join gossip died en route (e.g. the join
+    // contact was partitioned away before spreading it): adopt it now.
+    // apply_update ignores the self, tombstoned and already-known cases.
+    apply_update(Update{info.caller, UpdateKind::joined, 0});
+    auto reply = drain_piggyback();
+    append_eviction_notice(info.caller, reply);
+    out.save(reply);
     return Status::Ok();
   });
 

@@ -1,0 +1,289 @@
+// The chaos sweep (ctest label tier2): drives the full elastic Mandelbulb
+// scenario under many seed-derived fault schedules and asserts the four
+// paper-level invariants from tests/invariants.hpp against a fault-free
+// reference run of the same scenario shape.
+//
+// Every schedule is a pure function of its seed, and the simulation runs
+// with fixed scoped charges, so a failing seed replays bit-identically:
+//
+//   ./chaos_sweep_test --chaos-seed=17
+//
+// runs seed 17 alone and prints its injection log and invariant verdicts
+// (see docs/testing.md for the workflow). This binary supplies its own
+// main() to parse that flag before gtest sees the argv.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "invariants.hpp"
+
+namespace colza::testing {
+namespace {
+
+constexpr std::uint64_t kSweepSeeds = 60;
+
+// Derives one chaos schedule from a seed. The vocabulary is deliberately
+// contract-preserving: jitter-shaped rules (delay / reorder / duplicate)
+// only touch the "rpc" mailbox, whose protocol tolerates loss, duplication
+// and reordering by design; MoNA's (source, tag) FIFO matching is perturbed
+// only by slow_node, which scales every delay uniformly (a slower link, not
+// a reordering one). Structural faults (crash / partition) target only the
+// initial servers, never the client.
+ScenarioConfig sweep_scenario(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.servers = 3 + static_cast<int>(seed % 3 == 0 ? 1 : 0);
+  cfg.iterations = 4;
+  cfg.blocks = 6;
+  cfg.elastic_join = (seed % 2) == 0;
+  cfg.use_scheduler = cfg.elastic_join && (seed % 4) == 0;
+  cfg.join_at = des::seconds(12);
+  // A dropped execute request costs one 600 s (virtual) RPC timeout per
+  // retry; virtual time is cheap, so give the worst case plenty of room.
+  cfg.deadline = des::seconds(20000);
+
+  Rng r(seed * 0x9e3779b97f4a7c15ULL + 1);
+  chaos::ChaosPlan plan;
+  plan.seed = seed;
+
+  {  // Always: low-rate RPC drops in a bounded early window.
+    chaos::Rule d;
+    d.kind = chaos::RuleKind::drop;
+    d.probability = 0.01 + 0.04 * r.uniform();
+    d.box = "rpc";
+    d.after = des::seconds(3);
+    d.before = des::seconds(25);
+    plan.rules.push_back(d);
+  }
+  if (r.uniform() < 0.6) {
+    chaos::Rule d;
+    d.kind = chaos::RuleKind::delay;
+    d.probability = 0.2;
+    d.box = "rpc";
+    d.delay = des::milliseconds(1);
+    d.jitter = des::milliseconds(20);
+    d.after = des::seconds(3);
+    d.before = des::seconds(30);
+    plan.rules.push_back(d);
+  }
+  if (r.uniform() < 0.5) {
+    chaos::Rule d;
+    d.kind = chaos::RuleKind::duplicate;
+    d.probability = 0.03;
+    d.box = "rpc";
+    d.copies = 1;
+    d.spacing = des::microseconds(100);
+    plan.rules.push_back(d);
+  }
+  if (r.uniform() < 0.4) {
+    chaos::Rule d;
+    d.kind = chaos::RuleKind::reorder;
+    d.probability = 0.1;
+    d.box = "rpc";
+    d.jitter = des::milliseconds(5);
+    d.after = des::seconds(3);
+    d.before = des::seconds(30);
+    plan.rules.push_back(d);
+  }
+  if (r.uniform() < 0.5) {
+    chaos::Rule d;
+    d.kind = chaos::RuleKind::slow_node;
+    d.node = 100 + static_cast<net::NodeId>(r.below(
+                       static_cast<std::uint64_t>(cfg.servers)));
+    d.factor = 2.0 + 2.0 * r.uniform();
+    d.after = des::seconds(5);
+    d.before = des::seconds(20);
+    plan.rules.push_back(d);
+  }
+  const std::uint64_t structural = r.below(3);
+  if (structural == 1) {
+    chaos::Rule d;
+    d.kind = chaos::RuleKind::crash;
+    d.target = 1 + static_cast<net::ProcId>(r.below(
+                       static_cast<std::uint64_t>(cfg.servers)));
+    d.at = des::seconds(8 + r.below(18));
+    plan.rules.push_back(d);
+  } else if (structural == 2) {
+    chaos::Rule d;
+    d.kind = chaos::RuleKind::partition;
+    const auto victim = 1 + static_cast<net::ProcId>(r.below(
+                                static_cast<std::uint64_t>(cfg.servers)));
+    d.group_a = {victim};
+    for (int s = 1; s <= cfg.servers; ++s) {
+      if (static_cast<net::ProcId>(s) != victim) {
+        d.group_b.push_back(static_cast<net::ProcId>(s));
+      }
+    }
+    d.at = des::seconds(6 + r.below(15));
+    d.heal_at = d.at + des::seconds(2 + r.below(10));
+    plan.rules.push_back(d);
+  }
+  cfg.plan = std::move(plan);
+  return cfg;
+}
+
+// Fault-free reference results, cached per scenario shape. The reference
+// hash of an iteration depends only on the staged data and the render
+// preset (verified by chaos_test's RenderHashIndependentOfServerCount), so
+// one run per shape with a fixed seed serves every sweep seed of that shape.
+using ShapeKey = std::tuple<int, bool, bool>;
+
+const ScenarioResult& reference_for(const ScenarioConfig& cfg) {
+  static std::map<ShapeKey, ScenarioResult> cache;
+  const ShapeKey key{cfg.servers, cfg.elastic_join, cfg.use_scheduler};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    ScenarioConfig ref = cfg;
+    ref.plan = chaos::ChaosPlan{};  // no rules
+    ref.seed = 1;
+    it = cache.emplace(key, run_elastic_mandelbulb(ref)).first;
+  }
+  return it->second;
+}
+
+std::string diagnose(std::uint64_t seed, const ScenarioResult& res) {
+  std::string out = "\n--- seed " + std::to_string(seed) + " (replay: " +
+                    "./chaos_sweep_test --chaos-seed=" + std::to_string(seed) +
+                    ") ---\n";
+  out += "end_time=" + std::to_string(res.end_time) + " iterations:";
+  for (const auto& it : res.iterations) {
+    out += " " + std::to_string(it.iteration) + ":" +
+           std::string(colza::to_string(it.code));
+  }
+  out += "\nservers:";
+  for (const auto& s : res.servers) {
+    out += "\n  id=" + std::to_string(s.id) +
+           (s.alive ? " alive" : " dead") +
+           " active=" + std::to_string(s.active_iterations) + " view=[";
+    for (net::ProcId m : s.view) out += std::to_string(m) + " ";
+    out += "] records=";
+    for (const auto& rec : s.records) {
+      out += std::to_string(rec.iteration) + "(n=" +
+             std::to_string(rec.comm_size) + ",h=" +
+             std::to_string(rec.image_hash % 97) + ") ";
+    }
+  }
+  out += "\ninjection log (" + std::to_string(res.injections.size()) +
+         " records):\n" + res.chaos_log;
+  return out;
+}
+
+// Runs one seed and returns the four invariant verdicts ("" = pass).
+struct SeedVerdict {
+  ScenarioResult result;
+  std::string inv1, inv2, inv3, inv4;
+};
+
+SeedVerdict run_seed(std::uint64_t seed) {
+  const ScenarioConfig cfg = sweep_scenario(seed);
+  SeedVerdict v;
+  v.result = run_elastic_mandelbulb(cfg);
+  const ScenarioResult& ref = reference_for(cfg);
+  v.inv1 = check_bounded_progress(v.result, cfg);
+  v.inv2 = check_two_phase_atomicity(v.result);
+  v.inv3 = check_swim_convergence(v.result);
+  v.inv4 = check_render_hashes(v.result, reference_hashes(ref));
+  return v;
+}
+
+TEST(ChaosSweep, FaultFreeReferencesSatisfyInvariants) {
+  for (const std::uint64_t seed : {2ULL, 3ULL, 4ULL, 5ULL}) {
+    ScenarioConfig cfg = sweep_scenario(seed);
+    const ScenarioResult& ref = reference_for(cfg);
+    ASSERT_TRUE(ref.client_done);
+    EXPECT_TRUE(ref.injections.empty());
+    EXPECT_EQ(check_two_phase_atomicity(ref), "");
+    EXPECT_EQ(check_swim_convergence(ref), "");
+    for (const auto& it : ref.iterations) {
+      EXPECT_EQ(it.code, StatusCode::ok) << "fault-free iteration failed";
+    }
+    // Every iteration of the fault-free run produced a root hash.
+    EXPECT_EQ(reference_hashes(ref).size(), cfg.iterations);
+  }
+}
+
+TEST(ChaosSweep, AllSeedsSatisfyAllInvariants) {
+  std::size_t total_iterations = 0;
+  std::size_t ok_iterations = 0;
+  for (std::uint64_t seed = 1; seed <= kSweepSeeds; ++seed) {
+    SCOPED_TRACE("sweep seed " + std::to_string(seed));
+    const SeedVerdict v = run_seed(seed);
+    EXPECT_EQ(v.inv1, "") << diagnose(seed, v.result);
+    EXPECT_EQ(v.inv2, "") << diagnose(seed, v.result);
+    EXPECT_EQ(v.inv3, "") << diagnose(seed, v.result);
+    EXPECT_EQ(v.inv4, "") << diagnose(seed, v.result);
+    for (const auto& it : v.result.iterations) {
+      ++total_iterations;
+      ok_iterations += it.code == StatusCode::ok ? 1 : 0;
+    }
+    if (seed % 10 == 0) {
+      std::printf("[sweep] %llu/%llu seeds done, %zu/%zu iterations ok\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(kSweepSeeds), ok_iterations,
+                  total_iterations);
+      std::fflush(stdout);
+    }
+  }
+  // Aggregate sanity: the fault vocabulary perturbs runs without destroying
+  // them -- most iterations must still commit.
+  ASSERT_GT(total_iterations, 0u);
+  EXPECT_GE(static_cast<double>(ok_iterations),
+            0.5 * static_cast<double>(total_iterations))
+      << ok_iterations << "/" << total_iterations << " iterations ok";
+}
+
+// The replay guarantee the --chaos-seed workflow rests on: the same seed
+// produces the same injection log, the same timeline end, and the same
+// per-iteration outcomes, bit for bit.
+TEST(ChaosSweep, ReplayIsBitIdentical) {
+  const std::uint64_t seed = 13;  // has delay + slow_node + structural fault
+  const SeedVerdict a = run_seed(seed);
+  const SeedVerdict b = run_seed(seed);
+  EXPECT_EQ(a.result.chaos_log, b.result.chaos_log);
+  EXPECT_TRUE(a.result.injections == b.result.injections);
+  EXPECT_EQ(a.result.end_time, b.result.end_time);
+  ASSERT_EQ(a.result.iterations.size(), b.result.iterations.size());
+  for (std::size_t i = 0; i < a.result.iterations.size(); ++i) {
+    EXPECT_EQ(a.result.iterations[i].code, b.result.iterations[i].code);
+    EXPECT_EQ(a.result.iterations[i].view, b.result.iterations[i].view);
+  }
+}
+
+int replay_one(std::uint64_t seed) {
+  std::printf("replaying sweep seed %llu\n",
+              static_cast<unsigned long long>(seed));
+  const SeedVerdict v = run_seed(seed);
+  std::printf("%s", diagnose(seed, v.result).c_str());
+  int failures = 0;
+  for (const std::string* inv : {&v.inv1, &v.inv2, &v.inv3, &v.inv4}) {
+    if (!inv->empty()) {
+      std::printf("VIOLATED %s\n", inv->c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) std::printf("all four invariants hold\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace colza::testing
+
+// Custom main: --chaos-seed=N replays one schedule and prints its log
+// instead of running the gtest suite.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--chaos-seed=";
+    if (arg.rfind(prefix, 0) == 0) {
+      return colza::testing::replay_one(
+          std::strtoull(arg.c_str() + prefix.size(), nullptr, 10));
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

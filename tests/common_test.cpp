@@ -1,10 +1,14 @@
 // Unit tests for the common layer: Status/Expected, Archive, Rng, JSON, units.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/archive.hpp"
@@ -316,6 +320,76 @@ TEST(BufferPool, MoveTransfersOwnership) {
   EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
   b = pool.acquire(64);    // move-assign releases the old block to the pool
   EXPECT_EQ(pool.idle_buffers(), 1u);
+}
+
+TEST(BufferPool, FreedBlockNeverServesAMismatchedClass) {
+  common::BufferPool pool;
+  { common::Buffer big = pool.acquire(200); }  // class 256 recycled
+  common::Buffer small = pool.acquire(64);     // class 64: different freelist
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 2u);
+  common::Buffer big2 = pool.acquire(129);  // class 256 again: reuse
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.idle_buffers(), 0u);
+}
+
+TEST(BufferPool, ReuseKeepsLogicalSizeIndependentOfCapacity) {
+  common::BufferPool pool;
+  { common::Buffer b = pool.acquire(100); }  // class-128 block recycled
+  common::Buffer b = pool.acquire(70);       // same class, shorter length
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(b.size(), 70u);
+  EXPECT_EQ(b.span().size(), 70u);
+  std::span<const std::byte> view = b;  // implicit conversion
+  EXPECT_EQ(view.size(), 70u);
+}
+
+// Adversarial free/alloc interleaving: a seeded random walk acquires and
+// releases buffers of mixed size classes while dozens stay live. Each live
+// buffer carries a distinct fill pattern verified at release time, so any
+// aliasing between a recycled block and a still-live buffer (the classic
+// pool double-hand-out bug) shows up as a corrupted pattern.
+TEST(BufferPool, AdversarialInterleavingNeverAliasesLiveBuffers) {
+  common::BufferPool pool;
+  Rng rng(20260805);
+  struct Live {
+    common::Buffer buf;
+    std::byte fill{};
+  };
+  std::vector<Live> live;
+  // Sizes straddle class boundaries (64/128/4096) plus an unpooled giant.
+  const std::size_t sizes[] = {1,    60,   64,   65,      100,
+                               128,  1000, 4096, 5000,    1u << 20,
+                               (std::size_t{1} << common::BufferPool::kMaxClassLog2) + 1};
+  std::uint64_t pattern = 0;
+  for (int step = 0; step < 1200; ++step) {
+    const bool alloc = live.empty() || (live.size() < 48 && rng.below(2) == 0);
+    if (alloc) {
+      const std::size_t n = sizes[rng.below(std::size(sizes))];
+      common::Buffer b = pool.acquire(n);
+      ASSERT_EQ(b.size(), n);
+      const auto fill = static_cast<std::byte>(++pattern & 0xff);
+      std::fill(b.data(), b.data() + b.size(), fill);
+      live.push_back(Live{std::move(b), fill});
+    } else {
+      const auto victim = static_cast<std::size_t>(rng.below(live.size()));
+      const Live& l = live[victim];
+      // The pattern written at acquire time must have survived every pool
+      // round-trip other buffers made since.
+      bool intact = true;
+      for (const std::byte x : l.buf.span()) intact = intact && x == l.fill;
+      ASSERT_TRUE(intact) << "buffer contents clobbered at step " << step;
+      std::swap(live[victim], live.back());
+      live.pop_back();  // releases the victim's storage back to the pool
+    }
+  }
+  EXPECT_GT(pool.hits(), 0u);  // the walk actually exercised reuse
+  live.clear();
+  // Every pooled class respects the freelist depth cap even after the walk.
+  EXPECT_LE(pool.idle_buffers(),
+            (common::BufferPool::kMaxClassLog2 -
+             common::BufferPool::kMinClassLog2 + 1) *
+                common::BufferPool::kMaxPerClass);
 }
 
 }  // namespace

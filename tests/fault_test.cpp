@@ -252,6 +252,248 @@ TEST(ColzaFault, CrashBetweenIterationsHandledByNextActivate) {
   EXPECT_TRUE(done);
 }
 
+// --------------------------------------------- resilient retry policy
+
+// A backend that fails a chosen phase with a chosen status code. Configured
+// per pipeline via JSON so different servers can host different behavior.
+class FailingBackend final : public Backend {
+ public:
+  explicit FailingBackend(Context ctx)
+      : Backend(std::move(ctx)),
+        fail_on_(ctx_.config.string_or("fail_on", "")),
+        code_(ctx_.config.string_or("code", "invalid_argument")) {}
+  Status activate(std::uint64_t) override { return Status::Ok(); }
+  Status stage(StagedBlock) override {
+    ++stages;
+    return fail_on_ == "stage" ? fail() : Status::Ok();
+  }
+  Status execute(std::uint64_t) override {
+    ++executes;
+    return fail_on_ == "execute" ? fail() : Status::Ok();
+  }
+  Status deactivate(std::uint64_t) override { return Status::Ok(); }
+  int stages = 0;
+  int executes = 0;
+
+ private:
+  Status fail() const {
+    return code_ == "aborted" ? Status::Aborted("injected failure")
+                              : Status::InvalidArgument("injected failure");
+  }
+  std::string fail_on_;
+  std::string code_;
+};
+
+bool failing_backend_registered = [] {
+  BackendRegistry::register_type("failing-backend", [](Backend::Context ctx) {
+    return std::make_unique<FailingBackend>(std::move(ctx));
+  });
+  return true;
+}();
+
+// Regression: a non-retriable execute failure must surface immediately --
+// one attempt, zero backoff sleeps. (An earlier revision kept retrying
+// deterministic failures, wasting max_attempts * retry_backoff of wall time
+// on errors that can never heal.)
+TEST(ColzaFault, NonRetriableExecuteFailureReturnsWithoutBackoff) {
+  FaultWorld w(3);
+  for (const auto& s : w.area->servers()) {
+    s->create_pipeline("bad", "failing-backend", R"({"fail_on":"execute"})")
+        .check();
+  }
+  bool done = false;
+  w.client_proc->spawn("app", [&] {
+    auto h = DistributedPipelineHandle::lookup(
+        *w.client, w.area->bootstrap().contacts(), "bad");
+    ASSERT_TRUE(h.has_value());
+    std::vector<IterationBlock> blocks{{0, std::vector<std::byte>(64)}};
+    ResilientOptions opts;
+    opts.max_attempts = 4;
+    opts.retry_backoff = seconds(30);  // any backoff would be visible below
+    const des::Time t0 = w.sim.now();
+    Status s = run_resilient_iteration(*h, 1, blocks, opts);
+    EXPECT_EQ(s.code(), StatusCode::invalid_argument);
+    EXPECT_LT(w.sim.now() - t0, opts.retry_backoff);  // zero backoffs slept
+    done = true;
+  });
+  w.sim.run();
+  EXPECT_TRUE(done);
+  // Exactly one attempt: every server executed once (the broadcast is
+  // parallel, so peers run even though one reply is an error).
+  int executes = 0;
+  for (const auto& s : w.area->servers()) {
+    executes += dynamic_cast<FailingBackend*>(s->pipeline("bad"))->executes;
+    // The best-effort deactivate ran: nothing is left frozen.
+    EXPECT_EQ(s->active_iterations(), 0);
+  }
+  EXPECT_EQ(executes, 3);
+}
+
+TEST(ColzaFault, NonRetriableStageFailureReturnsWithoutBackoff) {
+  FaultWorld w(3);
+  for (const auto& s : w.area->servers()) {
+    s->create_pipeline("bad", "failing-backend", R"({"fail_on":"stage"})")
+        .check();
+  }
+  bool done = false;
+  w.client_proc->spawn("app", [&] {
+    auto h = DistributedPipelineHandle::lookup(
+        *w.client, w.area->bootstrap().contacts(), "bad");
+    ASSERT_TRUE(h.has_value());
+    std::vector<IterationBlock> blocks{{0, std::vector<std::byte>(64)}};
+    ResilientOptions opts;
+    opts.retry_backoff = seconds(30);
+    const des::Time t0 = w.sim.now();
+    Status s = run_resilient_iteration(*h, 1, blocks, opts);
+    EXPECT_EQ(s.code(), StatusCode::invalid_argument);
+    EXPECT_LT(w.sim.now() - t0, opts.retry_backoff);
+    done = true;
+  });
+  w.sim.run();
+  EXPECT_TRUE(done);
+  for (const auto& s : w.area->servers()) {
+    EXPECT_EQ(s->active_iterations(), 0);  // best-effort deactivate ran
+    EXPECT_EQ(dynamic_cast<FailingBackend*>(s->pipeline("bad"))->executes, 0);
+  }
+}
+
+// Regression: the give-up path returns right after the last attempt fails.
+// max_attempts attempts are separated by exactly max_attempts - 1 backoffs;
+// there is no trailing sleep before reporting the failure.
+TEST(ColzaFault, GiveUpSleepsExactlyMaxAttemptsMinusOneBackoffs) {
+  FaultWorld w(3);
+  for (const auto& s : w.area->servers()) {
+    s->create_pipeline(
+         "flaky", "failing-backend",
+         R"({"fail_on":"execute","code":"aborted"})")
+        .check();
+  }
+  bool done = false;
+  w.client_proc->spawn("app", [&] {
+    auto h = DistributedPipelineHandle::lookup(
+        *w.client, w.area->bootstrap().contacts(), "flaky");
+    ASSERT_TRUE(h.has_value());
+    std::vector<IterationBlock> blocks{{0, std::vector<std::byte>(64)}};
+    ResilientOptions opts;
+    opts.max_attempts = 3;
+    opts.retry_backoff = seconds(30);  // dwarfs per-attempt RPC time
+    const des::Time t0 = w.sim.now();
+    Status s = run_resilient_iteration(*h, 1, blocks, opts);
+    EXPECT_EQ(s.code(), StatusCode::aborted);
+    const des::Duration elapsed = w.sim.now() - t0;
+    EXPECT_GE(elapsed, 2 * opts.retry_backoff);  // both inter-attempt sleeps
+    EXPECT_LT(elapsed, 3 * opts.retry_backoff);  // ... and not one more
+    done = true;
+  });
+  w.sim.run();
+  EXPECT_TRUE(done);
+  int executes = 0;
+  for (const auto& s : w.area->servers()) {
+    executes += dynamic_cast<FailingBackend*>(s->pipeline("flaky"))->executes;
+  }
+  EXPECT_EQ(executes, 3 * 3);  // 3 attempts, broadcast to 3 servers each
+}
+
+// ------------------------------------- crashes inside stage / deactivate
+
+// A backend that kills its own process the first time a chosen phase runs.
+// Process::kill() marks the process dead before the RPC reply is sent, so
+// the client sees a timeout exactly as if the daemon crashed mid-call.
+class CrashingBackend final : public Backend {
+ public:
+  explicit CrashingBackend(Context ctx)
+      : Backend(std::move(ctx)),
+        crash_on_(ctx_.config.string_or("crash_on", "")) {}
+  Status activate(std::uint64_t) override { return Status::Ok(); }
+  Status stage(StagedBlock) override {
+    maybe_crash("stage");
+    return Status::Ok();
+  }
+  Status execute(std::uint64_t) override { return Status::Ok(); }
+  Status deactivate(std::uint64_t) override {
+    maybe_crash("deactivate");
+    return Status::Ok();
+  }
+
+ private:
+  void maybe_crash(const char* phase) {
+    if (crashed_ || crash_on_ != phase) return;
+    crashed_ = true;
+    ctx_.proc->kill();  // the reply to the in-flight RPC is never sent
+  }
+  std::string crash_on_;
+  bool crashed_ = false;
+};
+
+bool crashing_backend_registered = [] {
+  BackendRegistry::register_type("crashing-backend", [](Backend::Context ctx) {
+    return std::make_unique<CrashingBackend>(std::move(ctx));
+  });
+  return true;
+}();
+
+TEST(ColzaFault, ResilientIterationSurvivesCrashDuringStage) {
+  FaultWorld w(4);
+  const auto& servers = w.area->servers();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    servers[i]
+        ->create_pipeline("crashy", "crashing-backend",
+                          i == 2 ? R"({"crash_on":"stage"})" : "")
+        .check();
+  }
+  bool done = false;
+  w.client_proc->spawn("app", [&] {
+    auto h = DistributedPipelineHandle::lookup(
+        *w.client, w.area->bootstrap().contacts(), "crashy");
+    ASSERT_TRUE(h.has_value());
+    std::vector<IterationBlock> blocks;
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      blocks.emplace_back(b, std::vector<std::byte>(256));
+    }
+    Status s = run_resilient_iteration(*h, 1, blocks);
+    ASSERT_TRUE(s.ok()) << s.to_string();
+    EXPECT_EQ(h->server_count(), 3u);  // re-ran on the survivors
+    done = true;
+  });
+  w.sim.run();
+  EXPECT_TRUE(done);
+  for (const auto& s : servers) {
+    if (!s->alive()) continue;
+    EXPECT_EQ(s->active_iterations(), 0);
+  }
+}
+
+TEST(ColzaFault, ResilientIterationSurvivesCrashDuringDeactivate) {
+  FaultWorld w(4);
+  const auto& servers = w.area->servers();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    servers[i]
+        ->create_pipeline("crashy", "crashing-backend",
+                          i == 1 ? R"({"crash_on":"deactivate"})" : "")
+        .check();
+  }
+  bool done = false;
+  w.client_proc->spawn("app", [&] {
+    auto h = DistributedPipelineHandle::lookup(
+        *w.client, w.area->bootstrap().contacts(), "crashy");
+    ASSERT_TRUE(h.has_value());
+    std::vector<IterationBlock> blocks{{0, std::vector<std::byte>(64)}};
+    // The iteration itself succeeds; only the cleanup needs the retry loop
+    // (deactivate is idempotent on the servers, so it is safe to re-send on
+    // a refreshed view once SWIM has evicted the crashed member).
+    Status s = run_resilient_iteration(*h, 1, blocks);
+    ASSERT_TRUE(s.ok()) << s.to_string();
+    EXPECT_EQ(h->server_count(), 3u);
+    done = true;
+  });
+  w.sim.run();
+  EXPECT_TRUE(done);
+  for (const auto& s : servers) {
+    if (!s->alive()) continue;
+    EXPECT_EQ(s->active_iterations(), 0);
+  }
+}
+
 // ------------------------------------------------------------- autoscaler
 
 TEST(AutoScale, ScalesUpWhenOverTarget) {

@@ -856,5 +856,68 @@ TEST(MonaMatchIndex, OldestPostWinsAcrossSpecificAndWildcard) {
   EXPECT_EQ(wildcard_from, pb.id());
 }
 
+TEST(MonaMatchIndex, CompactionDropsStaleEntriesAndWildcardStillMatches) {
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& pr = net.create_process(0);
+  auto& pa = net.create_process(1);
+  auto& pb = net.create_process(2);
+  Instance ir(pr), ia(pa), ib(pb);
+  constexpr std::uint64_t kTag = 11;
+  constexpr int kFromA = 40;
+  // 40 messages from A, then one from B, all landing unexpected.
+  pa.spawn("sa", [&] {
+    for (std::int32_t v = 0; v < kFromA; ++v) {
+      ASSERT_TRUE(
+          ia.send({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pr.id(), kTag)
+              .ok());
+    }
+  });
+  pb.spawn("sb", [&] {
+    sim.sleep_for(des::milliseconds(500));  // strictly after all of A's
+    std::int32_t v = 999;
+    ASSERT_TRUE(
+        ib.send({reinterpret_cast<std::byte*>(&v), sizeof(v)}, pr.id(), kTag)
+            .ok());
+  });
+  pr.spawn("recv", [&] {
+    sim.sleep_for(seconds(1));
+    EXPECT_EQ(ir.arrival_index_stats(kTag),
+              (std::pair<std::size_t, std::size_t>{41, 41}));
+    std::int32_t v = -1;
+    std::span<std::byte> buf{reinterpret_cast<std::byte*>(&v), sizeof(v)};
+    // Specific receives from A turn arrival-index entries stale one by one.
+    // The index compacts when total > 2 * live + 16: with 41 entries that
+    // first holds at live == 12, i.e. after the 29th consume.
+    for (std::int32_t i = 0; i < 28; ++i) {
+      ASSERT_TRUE(ir.recv(buf, pa.id(), kTag).ok());
+      EXPECT_EQ(v, i);  // FIFO per source survives the index games
+    }
+    EXPECT_EQ(ir.arrival_index_stats(kTag),
+              (std::pair<std::size_t, std::size_t>{41, 13}));  // 28 stale
+    ASSERT_TRUE(ir.recv(buf, pa.id(), kTag).ok());
+    EXPECT_EQ(v, 28);
+    // Compacted: only the 11 remaining A messages + B's survive, no stale.
+    EXPECT_EQ(ir.arrival_index_stats(kTag),
+              (std::pair<std::size_t, std::size_t>{12, 12}));
+    for (std::int32_t i = 29; i < kFromA; ++i) {
+      ASSERT_TRUE(ir.recv(buf, pa.id(), kTag).ok());
+      EXPECT_EQ(v, i);
+    }
+    // Below the compaction threshold again: stale entries linger...
+    EXPECT_EQ(ir.arrival_index_stats(kTag),
+              (std::pair<std::size_t, std::size_t>{12, 1}));
+    // ...and the wildcard must skip all of them to find B's message.
+    net::ProcId who = net::kInvalidProc;
+    ASSERT_TRUE(ir.recv_any(buf, kTag, &who).ok());
+    EXPECT_EQ(v, 999);
+    EXPECT_EQ(who, pb.id());
+    // Last live message consumed: the whole index is dropped.
+    EXPECT_EQ(ir.arrival_index_stats(kTag),
+              (std::pair<std::size_t, std::size_t>{0, 0}));
+  });
+  sim.run();
+}
+
 }  // namespace
 }  // namespace colza::mona
