@@ -53,6 +53,20 @@ std::vector<net::ProcId> proc_list(const json::Value& v,
   return out;
 }
 
+constexpr const char* kRuleKeys[] = {
+    "kind",      "probability", "from",    "to",      "box",
+    "after_us",  "before_us",   "delay_us", "jitter_us", "copies",
+    "spacing_us", "node",       "factor",  "at_us",   "heal_us",
+    "group_a",   "group_b",     "target",
+};
+
+bool known_rule_key(const std::string& key) {
+  for (const char* k : kRuleKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string_view to_string(RuleKind k) noexcept {
@@ -70,11 +84,30 @@ std::string_view to_string(RuleKind k) noexcept {
 
 ChaosPlan ChaosPlan::from_json(std::string_view text) {
   const json::Value root = json::parse(text);
+  if (!root.is_object()) {
+    throw std::runtime_error("chaos: plan must be a JSON object");
+  }
+  for (const auto& [key, value] : root.as_object()) {
+    if (key != "seed" && key != "rules") {
+      throw std::runtime_error("chaos: unknown plan key '" + key + "'");
+    }
+  }
   ChaosPlan plan;
   plan.seed = static_cast<std::uint64_t>(root.number_or("seed", 1.0));
   const json::Value* rules = root.find("rules");
   if (rules == nullptr) return plan;
   for (const json::Value& rv : rules->as_array()) {
+    const std::size_t index = plan.rules.size();
+    if (!rv.is_object()) {
+      throw std::runtime_error("chaos: rule " + std::to_string(index) +
+                               " is not an object");
+    }
+    for (const auto& [key, value] : rv.as_object()) {
+      if (!known_rule_key(key)) {
+        throw std::runtime_error("chaos: rule " + std::to_string(index) +
+                                 " has unknown key '" + key + "'");
+      }
+    }
     Rule r;
     r.kind = kind_from_string(rv.string_or("kind", ""));
     r.probability = rv.number_or("probability", 1.0);
@@ -94,6 +127,22 @@ ChaosPlan ChaosPlan::from_json(std::string_view text) {
     r.group_a = proc_list(rv, "group_a");
     r.group_b = proc_list(rv, "group_b");
     r.target = static_cast<net::ProcId>(rv.number_or("target", 0.0));
+    plan.rules.push_back(std::move(r));
+  }
+  return plan;
+}
+
+ChaosPlan crash_storm_plan(net::NodeId base_node, std::size_t nodes,
+                           des::Time start, des::Duration period,
+                           std::size_t crashes, std::uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.rules.reserve(crashes);
+  for (std::size_t i = 0; i < crashes; ++i) {
+    Rule r;
+    r.kind = RuleKind::crash;
+    r.node = base_node + static_cast<net::NodeId>(i % nodes);
+    r.at = start + static_cast<des::Duration>(i) * period;
     plan.rules.push_back(std::move(r));
   }
   return plan;
@@ -161,10 +210,17 @@ void ChaosEngine::apply_partition(std::size_t rule, bool down) {
 void ChaosEngine::apply_crash(std::size_t rule) {
   if (net_ == nullptr) return;
   const Rule& r = plan_.rules[rule];
-  net::Process* p = net_->find(r.target);
+  // target=0 with node set is a node-targeted crash: kill whatever process
+  // is alive on the node right now, so respawned replacements are hit too.
+  net::Process* p = nullptr;
+  if (r.target != 0) {
+    p = net_->find(r.target);
+  } else if (r.node != 0) {
+    p = net_->find_alive_on_node(r.node);
+  }
   if (p == nullptr || !p->alive()) return;
   p->kill();
-  record(RuleKind::crash, rule, r.target, 0, 0, 0, 0);
+  record(RuleKind::crash, rule, p->id(), 0, 0, 0, 0);
 }
 
 void ChaosEngine::record(RuleKind kind, std::size_t rule, net::ProcId src,

@@ -62,7 +62,9 @@ struct Rule {
   des::Time heal_at = 0;     // partition: restore time (0 = never heals)
   std::vector<net::ProcId> group_a;  // partition sides (all directed pairs)
   std::vector<net::ProcId> group_b;
-  net::ProcId target = 0;    // crash victim
+  net::ProcId target = 0;    // crash victim; 0 with node != 0 kills whatever
+                             // process is alive on `node` at fire time (so a
+                             // storm keeps hitting supervisor respawns too)
 };
 
 struct ChaosPlan {
@@ -71,9 +73,22 @@ struct ChaosPlan {
 
   // Parses the JSON plan format (see docs/testing.md). Durations and times
   // are given in microseconds ("delay_us", "at_us", ...) as JSON numbers.
-  // Throws std::runtime_error on malformed input or unknown rule kinds.
+  // Strict: throws std::runtime_error on malformed input, unknown rule
+  // kinds, unknown top-level keys, and unknown rule keys (naming the
+  // offending rule index) -- a typoed key silently disabling a fault would
+  // make a chaos test vacuously green.
   static ChaosPlan from_json(std::string_view text);
 };
+
+// A crash-storm plan: one node-targeted crash per period, round-robin over
+// `nodes` consecutive nodes starting at `base_node`, beginning at `start`.
+// Node-targeted rules (target=0) kill the process alive on the node when the
+// rule fires, so the storm also takes down supervisor-launched replacements.
+[[nodiscard]] ChaosPlan crash_storm_plan(net::NodeId base_node,
+                                         std::size_t nodes, des::Time start,
+                                         des::Duration period,
+                                         std::size_t crashes,
+                                         std::uint64_t seed);
 
 // One injected fault, stamped with the virtual time it was decided. The
 // concatenation of these records is the replay signature: two runs of the

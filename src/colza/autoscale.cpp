@@ -11,6 +11,11 @@ des::Duration AutoScaler::median() const {
   return sorted[sorted.size() / 2];
 }
 
+void AutoScaler::notify_membership_change() {
+  cooldown_ = policy_.cooldown_iterations;
+  window_.clear();
+}
+
 ScaleDecision AutoScaler::observe(des::Duration execute_time,
                                   std::size_t servers) {
   if (cooldown_ > 0) {

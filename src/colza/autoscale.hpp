@@ -44,6 +44,14 @@ class AutoScaler {
   // to apply. Call once per iteration, in order.
   ScaleDecision observe(des::Duration execute_time, std::size_t servers);
 
+  // Tell the scaler the membership changed outside its own decisions (a
+  // crash death, or a supervisor respawn joining). Starts the same cooldown
+  // as an explicit resize and clears the median window: the next iterations'
+  // execute times reflect recovery work (replica promotion, re-staging,
+  // pipeline init on the replacement), not steady-state load, so acting on
+  // them would double-trigger scaling.
+  void notify_membership_change();
+
   [[nodiscard]] const AutoScalePolicy& policy() const noexcept {
     return policy_;
   }

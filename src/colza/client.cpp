@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "colza/placement.hpp"
 #include "common/log.hpp"
 
 namespace colza {
@@ -78,10 +79,15 @@ Status DistributedPipelineHandle::parallel_over(
   auto remaining = std::make_shared<std::size_t>(servers.size());
   auto first_error = std::make_shared<Status>();
   if (servers.empty()) return Status::Ok();
+  // Fan-out fibers are fresh fibers, so they would lose the calling fiber's
+  // ambient RPC deadline; re-install it explicitly in each.
+  auto* engine = &client_->engine();
+  const des::Time ambient = engine->ambient_deadline();
   for (net::ProcId server : servers) {
     client_->process().spawn(
         "colza-rpc-fan",
-        [fn, server, done, remaining, first_error] {
+        [fn, server, done, remaining, first_error, engine, ambient] {
+          rpc::DeadlineScope scope(*engine, ambient);
           Status s = fn(server);
           if (!s.ok() && first_error->ok()) *first_error = s;
           if (--*remaining == 0) done->set_value(*first_error);
@@ -95,6 +101,17 @@ Status DistributedPipelineHandle::parallel_over(
 
 Status DistributedPipelineHandle::activate(std::uint64_t iteration,
                                            int max_attempts) {
+  return activate_impl(iteration, max_attempts, /*recover=*/false);
+}
+
+Status DistributedPipelineHandle::reactivate(std::uint64_t iteration,
+                                             int max_attempts) {
+  return activate_impl(iteration, max_attempts, /*recover=*/true);
+}
+
+Status DistributedPipelineHandle::activate_impl(std::uint64_t iteration,
+                                                int max_attempts,
+                                                bool recover) {
   auto& engine = client_->engine();
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (view_.empty()) {
@@ -112,9 +129,12 @@ Status DistributedPipelineHandle::activate(std::uint64_t iteration,
       auto r = engine.call_raw(server, "colza.prepare",
                                pack(name_, iteration, view_hash_));
       if (r.has_value()) return Status::Ok();
-      if (r.status().code() == StatusCode::aborted) {
-        // The server shipped its own (fresh) view in the error path? No --
-        // status carries no payload; refresh below.
+      if (r.status().code() == StatusCode::aborted ||
+          r.status().code() == StatusCode::not_found) {
+        // aborted: view-hash mismatch. not_found: a freshly respawned
+        // server is in the view but has not installed the pipeline yet
+        // (Supervisor::launch_one creates it moments after the join is
+        // visible). Both heal with a short backoff + fresh view.
         mismatch = true;
         return Status::Ok();  // not fatal: retry with a fresh view
       }
@@ -153,9 +173,10 @@ Status DistributedPipelineHandle::activate(std::uint64_t iteration,
     // attempt can never exchange collective messages with the remains of an
     // abandoned one (a peer still blocked in the old attempt's collective).
     const std::uint64_t epoch = ++epoch_;
+    const auto recover_flag = static_cast<std::uint8_t>(recover ? 1 : 0);
     Status cs = parallel_over(view_, [&](net::ProcId server) {
       auto r = engine.call_raw(server, "colza.commit",
-                               pack(name_, iteration, epoch));
+                               pack(name_, iteration, epoch, recover_flag));
       return r.status();
     });
     if (cs.ok()) return Status::Ok();
@@ -171,14 +192,30 @@ Status DistributedPipelineHandle::activate(std::uint64_t iteration,
 
 // ------------------------------------------------------------------ stage
 
+std::vector<net::ProcId> DistributedPipelineHandle::copyset_for(
+    std::uint64_t block_id) const {
+  if (view_.empty()) return {};
+  return placement::copyset(block_id, view_, policy_(block_id, view_.size()),
+                            replication_);
+}
+
 Status DistributedPipelineHandle::stage(std::uint64_t iteration,
                                         std::uint64_t block_id,
                                         std::span<const std::byte> data,
                                         std::string field_name) {
   if (view_.empty()) return Status::FailedPrecondition("stage: empty view");
+  return stage_to(iteration, block_id, data, copyset_for(block_id),
+                  std::move(field_name));
+}
+
+Status DistributedPipelineHandle::stage_to(
+    std::uint64_t iteration, std::uint64_t block_id,
+    std::span<const std::byte> data, const std::vector<net::ProcId>& copyset,
+    std::string field_name) {
+  if (copyset.empty()) {
+    return Status::FailedPrecondition("stage: empty copyset");
+  }
   auto& proc = client_->process();
-  const std::size_t idx = policy_(block_id, view_.size());
-  const net::ProcId server = view_.at(idx);
 
   StageMetadata meta;
   meta.pipeline = name_;
@@ -186,10 +223,28 @@ Status DistributedPipelineHandle::stage(std::uint64_t iteration,
   meta.block_id = block_id;
   meta.field_name = std::move(field_name);
   meta.data = proc.expose(data);
+  meta.copyset = copyset;
 
-  auto r = client_->engine().call_raw(server, "colza.stage", pack(meta));
+  Status s;
+  if (copyset.size() == 1) {
+    auto r = client_->engine().call_raw(copyset[0], "colza.stage", pack(meta));
+    s = r.status();
+  } else {
+    // One RPC per copy; each server pulls the same exposed region. All
+    // copies must land: a failed buddy write would silently erode the
+    // redundancy the recovery path counts on, so it is reported (and
+    // retried) like a primary failure.
+    s = parallel_over(copyset, [&](net::ProcId server) {
+      StageMetadata m = meta;
+      m.replica_rank = static_cast<std::uint32_t>(
+          std::find(copyset.begin(), copyset.end(), server) -
+          copyset.begin());
+      auto r = client_->engine().call_raw(server, "colza.stage", pack(m));
+      return r.status();
+    });
+  }
   proc.unexpose(meta.data);
-  return r.status();
+  return s;
 }
 
 Status DistributedPipelineHandle::stage(std::uint64_t iteration,
@@ -219,7 +274,12 @@ Status DistributedPipelineHandle::execute(std::uint64_t iteration) {
 }
 
 Status DistributedPipelineHandle::deactivate(std::uint64_t iteration) {
-  return parallel_over(view_, [&](net::ProcId server) {
+  return deactivate_on(iteration, view_);
+}
+
+Status DistributedPipelineHandle::deactivate_on(
+    std::uint64_t iteration, const std::vector<net::ProcId>& servers) {
+  return parallel_over(servers, [&](net::ProcId server) {
     auto r = client_->engine().call_raw(server, "colza.deactivate",
                                         pack(name_, iteration));
     return r.status();

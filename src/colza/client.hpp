@@ -88,25 +88,58 @@ class DistributedPipelineHandle {
     policy_ = std::move(policy);
   }
 
+  // Replication factor R: each block is staged to its primary owner plus
+  // R - 1 rendezvous-hashed buddies (capped at the view size). Default 2,
+  // so one server crash never loses staged data. 1 restores the paper's
+  // unreplicated staging.
+  void set_replication(std::size_t r) { replication_ = r == 0 ? 1 : r; }
+  [[nodiscard]] std::size_t replication() const noexcept {
+    return replication_;
+  }
+
+  // The copyset stage() would use for `block_id` under the current view
+  // ([0] = primary). Used by the recovery path to check coverage.
+  [[nodiscard]] std::vector<net::ProcId> copyset_for(
+      std::uint64_t block_id) const;
+
   // ---- the protocol ------------------------------------------------------
   // Two-phase commit across all servers; retries with a refreshed view on
   // mismatch (bounded). On success the servers' membership is frozen and
   // the pipeline is activated everywhere.
   Status activate(std::uint64_t iteration, int max_attempts = 8);
 
-  // Stages one block: exposes `data` for RDMA, sends the metadata to the
-  // server selected by the distribution policy, waits for the pull to
-  // complete. `data` must stay valid for the duration of the call.
+  // Recovery variant of activate(): freezes a fresh view for an iteration
+  // the survivors already hold *without* discarding their staged blocks and
+  // replicas (commit ships a `recover` flag). Staged data on survivors stays
+  // valid; only blocks whose entire copyset died need re-staging.
+  Status reactivate(std::uint64_t iteration, int max_attempts = 8);
+
+  // Stages one block: exposes `data` for RDMA, sends the metadata to every
+  // member of the block's copyset (owner + buddies), waits for the pulls to
+  // complete. `data` must stay valid for the duration of the call. Returns
+  // the first non-ok status across the copyset.
   Status stage(std::uint64_t iteration, std::uint64_t block_id,
                std::span<const std::byte> data, std::string field_name = "");
   // Convenience: serialize a dataset and stage it.
   Status stage(std::uint64_t iteration, std::uint64_t block_id,
                const vis::DataSet& dataset, std::string field_name = "");
+  // Recovery path: stages one block to an explicit copyset (copy i goes to
+  // copyset[i] with replica rank i), preserving the originally recorded
+  // placement so survivors keep agreeing on who promotes what.
+  Status stage_to(std::uint64_t iteration, std::uint64_t block_id,
+                  std::span<const std::byte> data,
+                  const std::vector<net::ProcId>& copyset,
+                  std::string field_name = "");
 
   // Broadcasts execute to every server of the frozen view.
   Status execute(std::uint64_t iteration);
   // Broadcasts deactivate; servers unfreeze membership afterwards.
   Status deactivate(std::uint64_t iteration);
+  // Targeted deactivate for recovery cleanup: a live server dropped from a
+  // re-frozen recovery view still holds the iteration active from the
+  // original activate and would never see the view-wide broadcast.
+  Status deactivate_on(std::uint64_t iteration,
+                       const std::vector<net::ProcId>& servers);
 
   // ---- non-blocking variants (paper S II-B) -------------------------------
   AsyncOp iactivate(std::uint64_t iteration);
@@ -116,14 +149,19 @@ class DistributedPipelineHandle {
   AsyncOp ideactivate(std::uint64_t iteration);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] rpc::Engine& engine() noexcept { return client_->engine(); }
 
  private:
   DistributedPipelineHandle(Client* client, std::string name,
                             std::vector<net::ProcId> view,
                             std::uint64_t hash);
 
+  Status activate_impl(std::uint64_t iteration, int max_attempts,
+                       bool recover);
+
   // Runs `fn(server)` concurrently for every server in `servers`; returns
-  // the first non-ok status (all calls complete regardless).
+  // the first non-ok status (all calls complete regardless). Fan-out fibers
+  // inherit the calling fiber's ambient RPC deadline.
   Status parallel_over(const std::vector<net::ProcId>& servers,
                        const std::function<Status(net::ProcId)>& fn);
   AsyncOp async(std::string label, std::function<Status()> op);
@@ -137,6 +175,7 @@ class DistributedPipelineHandle {
   // (see Server::commit_view(epoch)).
   std::uint64_t epoch_ = 0;
   DistributionPolicy policy_;
+  std::size_t replication_ = 2;
 };
 
 }  // namespace colza

@@ -1,5 +1,11 @@
 #include "colza/fault.hpp"
 
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "colza/placement.hpp"
 #include "common/log.hpp"
 #include "des/simulation.hpp"
 
@@ -19,7 +25,7 @@ namespace {
   }
 }
 
-void backoff(des::Duration d) {
+void sleep(des::Duration d) {
   auto* sim = des::Simulation::current();
   if (sim != nullptr && sim->in_fiber()) sim->sleep_for(d);
 }
@@ -31,41 +37,148 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
                                std::span<const IterationBlock> blocks,
                                const ResilientOptions& options) {
   Status last;
+  Backoff backoff(options.backoff);
+  ResilientStats local;
+  ResilientStats& st = options.stats != nullptr ? *options.stats : local;
+  auto* sim = des::Simulation::current();
+  const bool in_fiber = sim != nullptr && sim->in_fiber();
+
+  // True while the survivors still hold this iteration active with staged
+  // data: recovery then goes through reactivate + replica promotion instead
+  // of deactivate + full re-stage.
+  bool recovering = false;
+  // The copyset each block was actually staged under (recovery evaluates
+  // coverage against the recorded placement, not a recomputed one).
+  std::map<std::uint64_t, std::vector<net::ProcId>> placed;
+  // Whether any earlier attempt staged data: a scratch pass only counts as
+  // a *re*-stage when it repeats transfer work a previous attempt did.
+  bool any_staged = false;
+  // Every server that ever activated this iteration. A reactivate freezes a
+  // narrower view, so a live server dropped from it would keep the iteration
+  // active forever unless it gets a targeted deactivate at the end.
+  std::set<net::ProcId> activated_on;
+  const auto note_activated = [&] {
+    for (net::ProcId p : handle.view()) activated_on.insert(p);
+  };
+  // Best-effort: deactivate every past participant missing from `covered`.
+  const auto sweep_stragglers = [&](const std::vector<net::ProcId>& covered) {
+    std::vector<net::ProcId> stragglers;
+    for (net::ProcId p : activated_on) {
+      if (std::find(covered.begin(), covered.end(), p) == covered.end())
+        stragglers.push_back(p);
+    }
+    if (!stragglers.empty()) (void)handle.deactivate_on(iteration, stragglers);
+  };
+
   for (int attempt = 1;; ++attempt) {
+    ++st.attempts;
     bool failed = false;
 
-    Status s = handle.activate(iteration);
-    if (!s.ok()) {
-      if (!retriable(s)) return s;  // non-retriable: give up right away
-      COLZA_LOG_INFO("colza-ft", "iteration %llu: activate failed: %s",
-                     static_cast<unsigned long long>(iteration),
-                     s.to_string().c_str());
-      last = s;
-      failed = true;
+    // Every RPC of this attempt -- including the long execute -- shares one
+    // deadline, so a mid-collective crash costs a bounded attempt.
+    std::optional<rpc::DeadlineScope> budget;
+    if (options.attempt_timeout != 0 && in_fiber) {
+      budget.emplace(handle.engine(),
+                     sim->now() + options.attempt_timeout);
     }
 
-    if (!failed) {
-      for (const auto& [id, bytes] : blocks) {
-        s = handle.stage(iteration, id, bytes);
-        if (s.ok()) continue;
-        if (!retriable(s)) {
-          // Best-effort cleanup of the activated iteration, then surface
-          // the original error immediately -- no backoff on this path.
-          (void)handle.deactivate(iteration);
-          return s;
-        }
-        COLZA_LOG_INFO("colza-ft", "iteration %llu: stage(%llu) failed: %s",
+    if (!recovering) {
+      Status s = handle.activate(iteration);
+      if (s.ok()) note_activated();
+      if (!s.ok()) {
+        if (!retriable(s)) return s;  // non-retriable: give up right away
+        COLZA_LOG_INFO("colza-ft", "iteration %llu: activate failed: %s",
                        static_cast<unsigned long long>(iteration),
-                       static_cast<unsigned long long>(id),
                        s.to_string().c_str());
         last = s;
         failed = true;
-        break;
+      }
+
+      if (!failed) {
+        if (attempt > 1 && any_staged) ++st.full_restages;
+        for (const auto& [id, bytes] : blocks) {
+          const auto copyset = handle.copyset_for(id);
+          Status ss = handle.stage(iteration, id, bytes);
+          if (ss.ok()) {
+            placed[id] = copyset;
+            any_staged = true;
+            continue;
+          }
+          if (!retriable(ss)) {
+            // Best-effort cleanup of the activated iteration, then surface
+            // the original error immediately -- no backoff on this path.
+            (void)handle.deactivate(iteration);
+            sweep_stragglers(handle.view());
+            return ss;
+          }
+          COLZA_LOG_INFO("colza-ft", "iteration %llu: stage(%llu) failed: %s",
+                         static_cast<unsigned long long>(iteration),
+                         static_cast<unsigned long long>(id),
+                         ss.to_string().c_str());
+          last = ss;
+          failed = true;
+          break;
+        }
+      }
+    } else {
+      // Partial recovery: re-freeze the survivors' view while they keep the
+      // iteration's staged blocks and buddy replicas.
+      Status s = handle.reactivate(iteration);
+      if (s.ok()) note_activated();
+      if (!s.ok()) {
+        if (!retriable(s)) {
+          (void)handle.deactivate(iteration);
+          sweep_stragglers(handle.view());
+          return s;
+        }
+        COLZA_LOG_INFO("colza-ft", "iteration %llu: reactivate failed: %s",
+                       static_cast<unsigned long long>(iteration),
+                       s.to_string().c_str());
+        last = s;
+        failed = true;
+      }
+
+      if (!failed) {
+        ++st.partial_recoveries;
+        // Coverage check: a block is covered iff some member of its
+        // recorded copyset is in the recovery view (that member either fed
+        // its backend already or will promote its replica at execute).
+        // Blocks never staged, or whose whole copyset died, are re-staged
+        // individually under a fresh placement.
+        for (const auto& [id, bytes] : blocks) {
+          const auto it = placed.find(id);
+          if (it != placed.end() &&
+              placement::promoter(it->second, handle.view()) !=
+                  net::kInvalidProc) {
+            continue;
+          }
+          const auto fresh = handle.copyset_for(id);
+          Status ss = handle.stage_to(iteration, id, bytes, fresh);
+          if (ss.ok()) {
+            placed[id] = fresh;
+            any_staged = true;
+            ++st.targeted_restages;
+            continue;
+          }
+          if (!retriable(ss)) {
+            (void)handle.deactivate(iteration);
+            sweep_stragglers(handle.view());
+            return ss;
+          }
+          COLZA_LOG_INFO("colza-ft",
+                         "iteration %llu: recovery stage(%llu) failed: %s",
+                         static_cast<unsigned long long>(iteration),
+                         static_cast<unsigned long long>(id),
+                         ss.to_string().c_str());
+          last = ss;
+          failed = true;
+          break;
+        }
       }
     }
 
     if (!failed) {
-      s = handle.execute(iteration);
+      Status s = handle.execute(iteration);
       if (s.ok()) {
         // The iteration is committed; never rerun it. Only the deactivate
         // may be retried (it is idempotent on the servers), on a refreshed
@@ -77,14 +190,16 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
           COLZA_LOG_INFO("colza-ft", "iteration %llu: deactivate failed: %s",
                          static_cast<unsigned long long>(iteration),
                          d.to_string().c_str());
-          backoff(options.retry_backoff);
+          sleep(backoff.next());
           (void)handle.refresh_view();
           d = handle.deactivate(iteration);
         }
+        sweep_stragglers(handle.view());
         return d;
       }
       if (!retriable(s)) {
         (void)handle.deactivate(iteration);
+        sweep_stragglers(handle.view());
         return s;
       }
       COLZA_LOG_INFO("colza-ft", "iteration %llu: execute failed: %s",
@@ -93,18 +208,31 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
       last = s;
     }
 
-    // Retriable failure: drop any partial state of this attempt on the
-    // survivors. If attempts are exhausted, report the give-up immediately
-    // (no backoff sleep before the final return).
-    (void)handle.deactivate(iteration);
+    // Retriable failure. Decide how the next attempt recovers: in place
+    // (keep the survivors' staged state) when the iteration is active and
+    // replicated, else drop everything and re-stage from scratch.
+    const bool was_activated = recovering || !failed || !placed.empty();
+    if (options.partial_recovery && handle.replication() > 1 &&
+        was_activated) {
+      recovering = true;  // NO deactivate: survivors keep the staged data
+    } else {
+      (void)handle.deactivate(iteration);
+      recovering = false;
+      placed.clear();
+    }
+
     if (attempt >= options.max_attempts) {
+      // Report the give-up immediately (no backoff sleep before the final
+      // return); best-effort cleanup so servers do not stay frozen.
+      if (recovering) (void)handle.deactivate(iteration);
+      sweep_stragglers(handle.view());
       return Status::Aborted("resilient iteration gave up after " +
                              std::to_string(options.max_attempts) +
                              " attempts: " + last.to_string());
     }
     // Give the membership protocol time to converge on the failure, then
     // refresh the view before the next 2PC.
-    backoff(options.retry_backoff);
+    sleep(backoff.next());
     (void)handle.refresh_view();
   }
 }

@@ -8,12 +8,18 @@
 //     the dead peer and revokes the frozen-view communicator (ULFM-style),
 //     so a running execute() fails with `aborted`/`unreachable` instead of
 //     hanging.
-//   * The client observes the failed (or timed-out) call, best-effort
-//     deactivates the iteration everywhere (dropping partial staged data),
-//     refreshes its view -- the dead server disappears from SSG -- and
-//     re-runs activate / stage / execute / deactivate on the survivors.
-//   * Staged blocks that lived on the dead server are lost, which is why
-//     the whole iteration is re-staged: the simulation still owns the data.
+//   * With replication (R > 1, the default), every staged block also lives
+//     on R - 1 rendezvous-hashed buddies. The client then recovers the
+//     attempt *in place*: reactivate() re-freezes the survivors' view
+//     without discarding their staged state, blocks whose whole copyset
+//     died are re-staged individually, and the recovery execute() promotes
+//     buddy replicas into the backends (see docs/PROTOCOL.md). The full
+//     deactivate + re-stage path of the unreplicated design remains as the
+//     last resort (and as the only path when R == 1).
+//   * Each attempt runs under an ambient RPC deadline (attempt_timeout), so
+//     a crash mid-collective costs one bounded attempt instead of a full
+//     execute timeout; waits between attempts follow a seeded jittered
+//     exponential backoff.
 #pragma once
 
 #include <cstdint>
@@ -22,14 +28,33 @@
 #include <vector>
 
 #include "colza/client.hpp"
+#include "common/backoff.hpp"
 
 namespace colza {
+
+// Counters filled by run_resilient_iteration (when options.stats is set):
+// what the recovery machinery actually did, pinned by the crash-storm tests
+// ("zero client-visible failures AND zero full re-stages").
+struct ResilientStats {
+  int attempts = 0;            // attempt loops entered (1 = clean run)
+  int full_restages = 0;       // fresh activate + full stage retry passes
+  int partial_recoveries = 0;  // reactivate + replica-promotion recoveries
+  int targeted_restages = 0;   // individual blocks re-staged in recovery
+};
 
 struct ResilientOptions {
   int max_attempts = 4;
   // Wait between attempts so the membership protocol can converge on the
-  // failure before the next 2PC.
-  des::Duration retry_backoff = des::seconds(2);
+  // failure before the next 2PC: seeded jittered exponential backoff.
+  BackoffPolicy backoff{.base = des::seconds(2)};
+  // Ambient RPC deadline per attempt (0 = none). Every RPC of the attempt
+  // -- including the long execute -- shares this budget.
+  des::Duration attempt_timeout = des::seconds(120);
+  // Recover a failed attempt by re-freezing the view and promoting buddy
+  // replicas instead of deactivating and re-staging everything. Effective
+  // only when the handle's replication factor is > 1.
+  bool partial_recovery = true;
+  ResilientStats* stats = nullptr;  // optional; may be shared across calls
 };
 
 // One block of an iteration: id + serialized dataset bytes (kept by the
@@ -37,8 +62,8 @@ struct ResilientOptions {
 using IterationBlock = std::pair<std::uint64_t, std::vector<std::byte>>;
 
 // Runs a full iteration (activate -> stage* -> execute -> deactivate) and
-// transparently retries it on a refreshed view when a server dies mid-way.
-// Returns the first non-retriable error, or ok.
+// transparently recovers it when a server dies mid-way. Returns the first
+// non-retriable error, or ok.
 Status run_resilient_iteration(DistributedPipelineHandle& handle,
                                std::uint64_t iteration,
                                std::span<const IterationBlock> blocks,

@@ -1,0 +1,74 @@
+// Replica placement for staged blocks: rendezvous (highest-random-weight)
+// hashing over the frozen pipeline view.
+//
+// The primary owner of a block is chosen by the client's DistributionPolicy
+// (round-robin by default, matching the paper's block distribution); the
+// R - 1 buddy replicas are the highest-scoring *other* view members for that
+// block. Rendezvous hashing gives the property recovery relies on: when a
+// server dies, the copyset of a block computed over the survivors is the old
+// copyset minus the dead member -- no unrelated blocks move. The copyset is
+// carried in the block's StageMetadata, so after a crash every survivor can
+// decide locally (and agree) who promotes which replica: the first member of
+// the recorded copyset that is still in the newly frozen view.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace colza::placement {
+
+// Deterministic per-(block, server) weight; splitmix64 finalizer over the
+// pair so scores are independent across blocks and servers.
+inline std::uint64_t score(std::uint64_t block_id, net::ProcId server) {
+  std::uint64_t z = block_id * 0x9e3779b97f4a7c15ULL + server;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// The copyset for `block_id`: the primary `view[owner_index]` first, then the
+// r - 1 highest-scoring other members of `view` (ties broken by ProcId so the
+// order is total). Returns fewer than r entries when the view is smaller.
+inline std::vector<net::ProcId> copyset(std::uint64_t block_id,
+                                        const std::vector<net::ProcId>& view,
+                                        std::size_t owner_index,
+                                        std::size_t r) {
+  std::vector<net::ProcId> out;
+  if (view.empty() || r == 0) return out;
+  const net::ProcId owner = view[owner_index % view.size()];
+  out.push_back(owner);
+  std::vector<net::ProcId> rest;
+  rest.reserve(view.size());
+  for (net::ProcId p : view) {
+    if (p != owner) rest.push_back(p);
+  }
+  std::sort(rest.begin(), rest.end(),
+            [block_id](net::ProcId a, net::ProcId b) {
+              const std::uint64_t sa = score(block_id, a);
+              const std::uint64_t sb = score(block_id, b);
+              return sa != sb ? sa > sb : a < b;
+            });
+  for (net::ProcId p : rest) {
+    if (out.size() >= r) break;
+    out.push_back(p);
+  }
+  return out;
+}
+
+// The member that must promote its replica of a block after the view changed:
+// the first entry of the recorded copyset still present in `live_view`.
+// Returns kInvalidProc when the whole copyset died (full re-stage needed).
+inline net::ProcId promoter(const std::vector<net::ProcId>& recorded_copyset,
+                            const std::vector<net::ProcId>& live_view) {
+  for (net::ProcId p : recorded_copyset) {
+    if (std::find(live_view.begin(), live_view.end(), p) != live_view.end()) {
+      return p;
+    }
+  }
+  return net::kInvalidProc;
+}
+
+}  // namespace colza::placement

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "colza/placement.hpp"
 #include "common/log.hpp"
 
 namespace colza {
@@ -79,6 +80,44 @@ Status Server::destroy_pipeline(const std::string& name) {
 Backend* Server::pipeline(const std::string& name) {
   auto it = pipelines_.find(name);
   return it == pipelines_.end() ? nullptr : it->second.backend.get();
+}
+
+// ---------------------------------------------------------------- replicas
+
+std::size_t Server::replica_count(const std::string& pipeline,
+                                  std::uint64_t iteration) const {
+  auto pit = replicas_.find(pipeline);
+  if (pit == replicas_.end()) return 0;
+  auto it = pit->second.find(iteration);
+  return it == pit->second.end() ? 0 : it->second.size();
+}
+
+void Server::promote_replicas(const std::string& name, Backend* backend,
+                              std::uint64_t iteration) {
+  auto pit = replicas_.find(name);
+  if (pit == replicas_.end()) return;
+  auto it = pit->second.find(iteration);
+  if (it == pit->second.end()) return;
+  for (auto& [key, rb] : it->second) {
+    // Promote only when this server is the first recorded copyset member
+    // still present in the frozen recovery view: every view member computes
+    // the same answer, so exactly one copy of each block reaches a backend.
+    if (placement::promoter(rb.copyset, service_view_) != proc_->id()) {
+      continue;
+    }
+    StagedBlock block;
+    block.iteration = iteration;
+    block.block_id = key.first;
+    block.field_name = key.second;
+    block.sender = rb.sender;
+    block.data = rb.data;  // keep the replica: later crashes may need it
+    Status s = backend->stage(std::move(block));
+    if (!s.ok()) {
+      COLZA_LOG_WARN("colza", "replica promotion of block %llu failed: %s",
+                     static_cast<unsigned long long>(key.first),
+                     s.to_string().c_str());
+    }
+  }
 }
 
 // ---------------------------------------------------------------- view
@@ -224,9 +263,11 @@ void Server::install_handlers() {
     if (left_) return Status::ShuttingDown();
     std::string pipeline;
     std::uint64_t iteration = 0, epoch = 0;
+    std::uint8_t recover = 0;
     in.load(pipeline);
     in.load(iteration);
     in.load(epoch);
+    in.load(recover);
     if (!prepared_ || prepared_iteration_ != iteration)
       return Status::FailedPrecondition("commit without prepare");
     // Epoch fence: within a handle, retries of an iteration carry strictly
@@ -243,8 +284,20 @@ void Server::install_handlers() {
     prepared_ = false;
     Backend* p = this->pipeline(pipeline);
     if (p == nullptr) return Status::NotFound("pipeline '" + pipeline + "'");
+    const bool resumed = active_set_.count(iteration) != 0;
     active_set_.insert(iteration);  // freeze membership application
     commit_view(epoch);  // adopt the agreed view in a fresh tag space
+    if (recover != 0 && resumed) {
+      // Recovery commit (reactivate): this survivor keeps its staged blocks
+      // and buddy replicas; only the view/communicator changed. Re-running
+      // the backend's activate would wipe its staging slot.
+      return Status::Ok();
+    }
+    // Fresh activation: replicas of a previous incarnation of this
+    // iteration are stale (the client re-stages everything).
+    if (auto rit = replicas_.find(pipeline); rit != replicas_.end()) {
+      rit->second.erase(iteration);
+    }
     return p->activate(iteration);
   });
 
@@ -262,6 +315,24 @@ void Server::install_handlers() {
     Backend* p = this->pipeline(meta.pipeline);
     if (p == nullptr)
       return Status::NotFound("pipeline '" + meta.pipeline + "'");
+    if (meta.replica_rank > 0) {
+      // Buddy copy: held in the server-level replica store, invisible to
+      // the backend unless promoted during a recovery execute.
+      if (active_set_.count(meta.iteration) == 0) {
+        return Status::FailedPrecondition("replica stage: iteration " +
+                                          std::to_string(meta.iteration) +
+                                          " not active");
+      }
+      ReplicaBlock rb;
+      rb.copyset = meta.copyset;
+      rb.sender = info.caller;
+      rb.data.resize(meta.data.size);
+      Status s = engine_->rdma_pull(meta.data, 0, rb.data);
+      if (!s.ok()) return s;
+      replicas_[meta.pipeline][meta.iteration]
+               [ReplicaKey{meta.block_id, meta.field_name}] = std::move(rb);
+      return Status::Ok();
+    }
     // Pull the data from the simulation's memory via RDMA (paper S II-B).
     StagedBlock block;
     block.iteration = meta.iteration;
@@ -283,6 +354,9 @@ void Server::install_handlers() {
     in.load(iteration);
     Backend* p = this->pipeline(pipeline);
     if (p == nullptr) return Status::NotFound("pipeline '" + pipeline + "'");
+    // Recovery path: feed any replicas this member must stand in for (their
+    // primary fell out of the frozen view) into the backend first.
+    promote_replicas(pipeline, p, iteration);
     return p->execute(iteration);
   });
 
@@ -297,6 +371,9 @@ void Server::install_handlers() {
     if (p == nullptr) return Status::NotFound("pipeline '" + pipeline + "'");
     Status s = p->deactivate(iteration);
     active_set_.erase(iteration);
+    if (auto rit = replicas_.find(pipeline); rit != replicas_.end()) {
+      rit->second.erase(iteration);
+    }
     if (active_set_.empty() && leave_pending_) finish_leave();
     return s;
   });

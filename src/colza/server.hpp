@@ -81,6 +81,12 @@ class Server {
     return static_cast<int>(active_set_.size());
   }
 
+  // Buddy replicas currently held for (pipeline, iteration) in the
+  // server-level replica store (test/diagnostic accessor; backends never
+  // see replicas unless they are promoted).
+  [[nodiscard]] std::size_t replica_count(const std::string& pipeline,
+                                          std::uint64_t iteration) const;
+
   // Leaves the group and stops serving (deferred while iterations are
   // active). The underlying simulated process is killed once out.
   void leave();
@@ -104,6 +110,26 @@ class Server {
     std::unique_ptr<Backend> backend;
   };
 
+  // A buddy copy of a staged block (replica_rank > 0). Replicas live at the
+  // server level -- backends stay replica-agnostic -- keyed by pipeline,
+  // iteration, then (block_id, field). The recorded copyset lets every
+  // member of a recovery view decide locally, and identically, who promotes
+  // the block: the first copyset member still in the frozen service view.
+  struct ReplicaBlock {
+    std::vector<net::ProcId> copyset;
+    net::ProcId sender = net::kInvalidProc;
+    std::vector<std::byte> data;
+  };
+  using ReplicaKey = std::pair<std::uint64_t, std::string>;
+  using ReplicaMap = std::map<ReplicaKey, ReplicaBlock>;
+
+  // Feeds every replica this server must promote (first live copyset member
+  // == self) for `iteration` into the backend's staging slot. Idempotent:
+  // backend staging is keyed, so re-promotion on an execute retry replaces
+  // the same block.
+  void promote_replicas(const std::string& name, Backend* backend,
+                        std::uint64_t iteration);
+
   net::Process* proc_;
   ServerConfig config_;
   ssg::Bootstrap* bootstrap_;
@@ -126,6 +152,8 @@ class Server {
   // Last committed activation epoch per iteration (see the commit handler's
   // epoch fence).
   std::map<std::uint64_t, std::uint64_t> committed_epoch_;
+  // pipeline -> iteration -> replicas (see ReplicaBlock).
+  std::map<std::string, std::map<std::uint64_t, ReplicaMap>> replicas_;
   bool leave_pending_ = false;
   bool left_ = false;
 };

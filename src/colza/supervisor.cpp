@@ -1,0 +1,148 @@
+#include "colza/supervisor.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace colza {
+
+namespace {
+// Derives a per-node backoff seed so the respawn jitter of different nodes
+// is decorrelated but still a pure function of the supervisor seed.
+std::uint64_t node_seed(std::uint64_t seed, net::NodeId node) {
+  std::uint64_t z = seed ^ (static_cast<std::uint64_t>(node) *
+                            0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Supervisor::Supervisor(des::Simulation& sim, StagingArea& area,
+                       SupervisorConfig config)
+    : sim_(&sim), area_(&area), config_(config) {}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::start() {
+  if (running_) return;
+  running_ = true;
+  if (token_ == nullptr) token_ = std::make_shared<int>(0);
+  for (const auto& s : area_->servers()) {
+    node_of_[s->address()] = s->process().node();
+    if (s->alive()) watch(*s);
+  }
+  // Catch up on deaths declared before we attached: every survivor's group
+  // records them (ssg::Group::dead_members), and handle_death dedupes.
+  std::vector<net::ProcId> pending;
+  for (const auto& s : area_->servers()) {
+    if (!s->alive()) continue;
+    for (net::ProcId p : s->group().dead_members()) pending.push_back(p);
+  }
+  for (net::ProcId p : pending) handle_death(p);
+}
+
+void Supervisor::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (auto& [group, id] : subscriptions_) group->remove_observer(id);
+  subscriptions_.clear();
+  token_.reset();  // in-flight timers and join callbacks become no-ops
+}
+
+void Supervisor::watch(Server& server) {
+  node_of_[server.address()] = server.process().node();
+  const std::uint64_t id =
+      server.group().on_change([this, srv = &server](net::ProcId p,
+                                                     ssg::MemberEvent e) {
+        // A dead daemon's group keeps probing into the void and declares
+        // every peer dead from its isolated vantage point; only the
+        // observations of live members may drive respawns.
+        if (!srv->alive()) return;
+        switch (e) {
+          case ssg::MemberEvent::died:
+            handle_death(p);
+            break;
+          case ssg::MemberEvent::joined:
+            handle_join(p);
+            break;
+          case ssg::MemberEvent::left:
+            break;  // planned resize: its driver handles the consequences
+        }
+      });
+  subscriptions_.emplace_back(&server.group(), id);
+}
+
+void Supervisor::handle_join(net::ProcId joined) {
+  if (!running_) return;
+  if (!handled_joins_.insert(joined).second) return;
+  if (scaler_ != nullptr) scaler_->notify_membership_change();
+}
+
+void Supervisor::handle_death(net::ProcId dead) {
+  if (!running_) return;
+  if (!handled_deaths_.insert(dead).second) return;  // already being handled
+  ++stats_.deaths_seen;
+  if (scaler_ != nullptr) scaler_->notify_membership_change();
+
+  const auto nit = node_of_.find(dead);
+  if (nit == node_of_.end()) {
+    COLZA_LOG_WARN("colza-sup", "death of unknown member %llu: cannot respawn",
+                   static_cast<unsigned long long>(dead));
+    return;
+  }
+  const net::NodeId node = nit->second;
+
+  if (quarantined_.count(node) != 0) return;
+
+  // Flap detection: a death shortly after this node's last respawn join
+  // means the replacement itself is dying -- do not feed the loop forever.
+  const auto jit = last_join_at_.find(node);
+  if (jit != last_join_at_.end() &&
+      sim_->now() - jit->second <= config_.flap_window) {
+    ++stats_.flaps;
+    if (++strikes_[node] >= config_.flap_threshold) {
+      quarantined_.insert(node);
+      ++stats_.nodes_quarantined;
+      COLZA_LOG_WARN("colza-sup", "node %llu quarantined after %d flaps",
+                     static_cast<unsigned long long>(node), strikes_[node]);
+      return;
+    }
+  } else {
+    strikes_[node] = 0;
+  }
+
+  if (stats_.respawns_started >= config_.restart_budget) {
+    ++stats_.budget_exhausted;
+    return;
+  }
+  schedule_respawn(node);
+}
+
+Backoff& Supervisor::node_backoff(net::NodeId node) {
+  auto it = backoffs_.find(node);
+  if (it == backoffs_.end()) {
+    BackoffPolicy policy = config_.backoff;
+    policy.seed = node_seed(config_.seed, node);
+    it = backoffs_.emplace(node, Backoff(policy)).first;
+  }
+  return it->second;
+}
+
+void Supervisor::schedule_respawn(net::NodeId node) {
+  ++stats_.respawns_started;
+  const des::Duration delay = node_backoff(node).next();
+  std::weak_ptr<int> token = token_;
+  sim_->schedule_after(delay, [this, node, token] {
+    if (token.expired() || !running_) return;
+    area_->launch_one(node, [this, node, token](Server& replacement) {
+      if (token.expired() || !running_) return;
+      last_join_at_[node] = sim_->now();
+      node_backoff(node).reset();
+      ++stats_.respawns_joined;
+      if (on_respawn_) on_respawn_(replacement);
+      watch(replacement);
+    });
+  });
+}
+
+}  // namespace colza

@@ -19,10 +19,16 @@ struct StageMetadata {
   std::uint64_t block_id = 0;
   std::string field_name;  // descriptive; pipelines may use it for routing
   net::BulkRef data;
+  // Replication (see src/colza/placement.hpp): every copy of a block carries
+  // the full copyset ([0] = primary owner) plus its own rank in it, so after
+  // a crash the survivors can agree locally on who promotes which replica.
+  std::vector<net::ProcId> copyset;
+  std::uint32_t replica_rank = 0;  // 0 = primary (feeds the backend)
 
   template <typename Ar>
   void serialize(Ar& ar) {
-    ar & pipeline & iteration & block_id & field_name & data;
+    ar & pipeline & iteration & block_id & field_name & data & copyset &
+        replica_rank;
   }
 };
 

@@ -1,0 +1,58 @@
+// Seeded jittered exponential backoff, shared by the resilient-iteration
+// retry loop (colza/fault.cpp) and the supervisor's respawn throttle
+// (colza/supervisor.cpp).
+//
+// The schedule is a pure function of the policy and the seed: delay k is
+//   min(base * multiplier^k, cap) * U_k,   U_k ~ uniform[1 - jitter, 1 + jitter)
+// drawn from an Rng owned by the Backoff instance. A fixed seed therefore
+// reproduces the exact delay sequence, which selfheal_test pins literally.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "des/time.hpp"
+
+namespace colza {
+
+struct BackoffPolicy {
+  des::Duration base = des::seconds(1);
+  double multiplier = 2.0;
+  des::Duration cap = des::seconds(30);
+  // Each delay is scaled by a uniform factor in [1 - jitter, 1 + jitter).
+  // 0 disables jitter (and the RNG draw), making the schedule seed-free.
+  double jitter = 0.25;
+  std::uint64_t seed = 0;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy) noexcept
+      : policy_(policy), rng_(policy.seed), next_(policy.base) {}
+
+  // Returns the next delay in the schedule and advances it.
+  des::Duration next() noexcept {
+    des::Duration d = std::min(next_, policy_.cap);
+    const double grown = static_cast<double>(next_) * policy_.multiplier;
+    constexpr double kMax = 9.0e18;  // stay clear of uint64 overflow
+    next_ = static_cast<des::Duration>(std::min(grown, kMax));
+    if (policy_.jitter > 0.0) {
+      const double factor =
+          rng_.uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+      d = static_cast<des::Duration>(static_cast<double>(d) * factor);
+    }
+    return d;
+  }
+
+  // Restarts the schedule from the base delay (the RNG stream continues,
+  // so restarting is not a replay).
+  void reset() noexcept { next_ = policy_.base; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  des::Duration next_;
+};
+
+}  // namespace colza

@@ -51,16 +51,16 @@ struct Channel {
   CompositeStats* stats;
 
   Status send(std::span<const std::byte> data, int dest, int tag) const {
-    if (comm->send(comm->ctx, data.data(), data.size(), dest, tag) != 0)
-      return Status::Internal("icet: send failed");
+    const int rc = comm->send(comm->ctx, data.data(), data.size(), dest, tag);
+    if (rc != 0) return Status(static_cast<StatusCode>(rc), "icet: send failed");
     stats->bytes_sent += data.size();
     return Status::Ok();
   }
   Status recv(std::vector<std::byte>& buf, int source, int tag) const {
     std::size_t received = 0;
-    if (comm->recv(comm->ctx, buf.data(), buf.size(), source, tag,
-                   &received) != 0)
-      return Status::Internal("icet: recv failed");
+    const int rc =
+        comm->recv(comm->ctx, buf.data(), buf.size(), source, tag, &received);
+    if (rc != 0) return Status(static_cast<StatusCode>(rc), "icet: recv failed");
     buf.resize(received);
     stats->bytes_received += received;
     return Status::Ok();
@@ -83,13 +83,13 @@ int vt_send(void* ctx, const void* data, std::size_t bytes, int dest,
             int tag) {
   auto* c = static_cast<VisCtx*>(ctx);
   const auto* p = static_cast<const std::byte*>(data);
-  return c->comm->send({p, bytes}, dest, tag).ok() ? 0 : 1;
+  return static_cast<int>(c->comm->send({p, bytes}, dest, tag).code());
 }
 int vt_recv(void* ctx, void* data, std::size_t bytes, int source, int tag,
             std::size_t* received) {
   auto* c = static_cast<VisCtx*>(ctx);
   auto* p = static_cast<std::byte*>(data);
-  return c->comm->recv({p, bytes}, source, tag, received).ok() ? 0 : 1;
+  return static_cast<int>(c->comm->recv({p, bytes}, source, tag, received).code());
 }
 
 }  // namespace
@@ -328,9 +328,11 @@ Status run_binary_swap(render::FrameBuffer& fb, const Channel& ch,
       std::span<std::byte> header{reinterpret_cast<std::byte*>(&r_begin), 8};
       // Each rank prefixes its slice offset.
       std::size_t received = 0;
-      if (ch.comm->recv(ch.comm->ctx, buf.data(), buf.size(), r,
-                        kTagBase + 80, &received) != 0)
-        return Status::Internal("icet: collect recv failed");
+      const int rc = ch.comm->recv(ch.comm->ctx, buf.data(), buf.size(), r,
+                                   kTagBase + 80, &received);
+      if (rc != 0)
+        return Status(static_cast<StatusCode>(rc),
+                      "icet: collect recv failed");
       ch.stats->bytes_received += received;
       buf.resize(received);
       std::memcpy(&r_begin, buf.data(), 8);

@@ -39,7 +39,9 @@ struct CommVTable {
   void* ctx = nullptr;
   int (*rank)(void* ctx) = nullptr;
   int (*size)(void* ctx) = nullptr;
-  // Both return 0 on success, nonzero on failure.
+  // Both return 0 on success; a nonzero return is the StatusCode of the
+  // underlying transport failure, so a peer that died mid-collective
+  // surfaces as a retriable `unreachable` instead of a fatal `internal`.
   int (*send)(void* ctx, const void* data, std::size_t bytes, int dest,
               int tag) = nullptr;
   int (*recv)(void* ctx, void* data, std::size_t bytes, int source, int tag,

@@ -129,6 +129,14 @@ Process* Network::find(ProcId id) noexcept {
   return it == procs_.end() ? nullptr : it->second.get();
 }
 
+Process* Network::find_alive_on_node(NodeId node) noexcept {
+  // procs_ is ordered by ProcId, so the first match is the lowest id.
+  for (auto& [id, p] : procs_) {
+    if (p->node() == node && p->alive()) return p.get();
+  }
+  return nullptr;
+}
+
 std::size_t Network::alive_count() const noexcept {
   std::size_t n = 0;
   for (const auto& [id, p] : procs_) n += p->alive() ? 1 : 0;

@@ -195,6 +195,10 @@ class Network {
   // ---- topology ------------------------------------------------------------
   Process& create_process(NodeId node);
   [[nodiscard]] Process* find(ProcId id) noexcept;
+  // The lowest-id alive process placed on `node`, or nullptr if the node is
+  // empty. Deterministic, so chaos rules can target "whoever runs on node N
+  // right now" (including supervisor-launched replacements).
+  [[nodiscard]] Process* find_alive_on_node(NodeId node) noexcept;
   [[nodiscard]] std::size_t alive_count() const noexcept;
 
   // ---- fault injection -------------------------------------------------------

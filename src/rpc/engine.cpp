@@ -1,5 +1,8 @@
 #include "rpc/engine.hpp"
 
+#include <algorithm>
+#include <optional>
+
 #include "common/log.hpp"
 
 namespace colza::rpc {
@@ -9,6 +12,26 @@ constexpr std::uint8_t kRequest = 0;
 constexpr std::uint8_t kResponse = 1;
 constexpr const char* kMailbox = "rpc";
 }  // namespace
+
+DeadlineScope::DeadlineScope(Engine& engine, des::Time deadline)
+    : engine_(&engine), fiber_(engine.sim().current_fiber_id()) {
+  auto it = engine_->fiber_deadlines_.find(fiber_);
+  had_previous_ = it != engine_->fiber_deadlines_.end();
+  previous_ = had_previous_ ? it->second : 0;
+  des::Time effective = deadline;
+  if (had_previous_ && (effective == 0 || previous_ < effective)) {
+    effective = previous_;  // only ever tighten
+  }
+  if (effective != 0) engine_->fiber_deadlines_[fiber_] = effective;
+}
+
+DeadlineScope::~DeadlineScope() {
+  if (had_previous_) {
+    engine_->fiber_deadlines_[fiber_] = previous_;
+  } else {
+    engine_->fiber_deadlines_.erase(fiber_);
+  }
+}
 
 Engine::Engine(net::Process& proc, net::Profile profile, EngineConfig config)
     : proc_(&proc), profile_(std::move(profile)), config_(config) {
@@ -20,6 +43,29 @@ Engine::~Engine() { shutdown(); }
 
 void Engine::define(const std::string& name, Handler handler) {
   handlers_[name] = std::move(handler);
+}
+
+des::Time Engine::ambient_deadline() noexcept {
+  auto it = fiber_deadlines_.find(sim().current_fiber_id());
+  return it == fiber_deadlines_.end() ? 0 : it->second;
+}
+
+bool Engine::circuit_open(net::ProcId dest) noexcept {
+  auto it = breakers_.find(dest);
+  return it != breakers_.end() && it->second.open_until > sim().now();
+}
+
+void Engine::breaker_failure(net::ProcId dest) {
+  if (config_.breaker_threshold <= 0) return;
+  auto& b = breakers_[dest];
+  if (++b.failures >= config_.breaker_threshold) {
+    b.open_until = sim().now() + config_.breaker_cooldown;
+  }
+}
+
+void Engine::breaker_success(net::ProcId dest) {
+  if (config_.breaker_threshold <= 0) return;
+  breakers_.erase(dest);
 }
 
 void Engine::shutdown() {
@@ -43,11 +89,14 @@ void Engine::demux_loop() {
     in.load(kind);
     in.load(id);
     if (kind == kRequest) {
+      des::Time deadline = 0;
       std::string name;
+      in.load(deadline);
       in.load(name);
       std::vector<std::byte> body(in.remaining());
       in.read_raw(body.data(), body.size());
-      handle_request(msg->source, id, std::move(name), std::move(body));
+      handle_request(msg->source, id, std::move(name), deadline,
+                     std::move(body));
     } else {
       auto it = pending_.find(id);
       if (it == pending_.end()) continue;  // late response after timeout
@@ -69,24 +118,36 @@ void Engine::demux_loop() {
 }
 
 void Engine::handle_request(net::ProcId caller, std::uint64_t id,
-                            std::string name, std::vector<std::byte> body) {
+                            std::string name, des::Time deadline,
+                            std::vector<std::byte> body) {
   // Each request runs in its own fiber so handlers can block (collectives,
   // RDMA, nested RPCs) without stalling the demux loop.
   proc_->spawn(
       "rpc:" + name,
-      [this, caller, id, name = std::move(name), body = std::move(body)] {
+      [this, caller, id, name = std::move(name), deadline,
+       body = std::move(body)] {
         OutArchive reply;
         Status st;
-        auto it = handlers_.find(name);
-        if (it == handlers_.end()) {
-          st = Status::NotFound("no handler for rpc '" + name + "'");
+        if (deadline != 0 && sim().now() >= deadline) {
+          // The caller has already given up; handlers are idempotent and the
+          // caller retries, so skipping the work is safe and avoids charging
+          // for a reply nobody is waiting on.
+          st = Status::Timeout("rpc '" + name + "' expired before dispatch");
         } else {
-          RequestInfo info{caller, name};
-          InArchive in(body);
-          try {
-            st = it->second(info, in, reply);
-          } catch (const std::exception& e) {
-            st = Status::Internal(std::string("handler threw: ") + e.what());
+          auto it = handlers_.find(name);
+          if (it == handlers_.end()) {
+            st = Status::NotFound("no handler for rpc '" + name + "'");
+          } else {
+            RequestInfo info{caller, name, deadline};
+            InArchive in(body);
+            // Nested RPCs made by this handler inherit the caller's
+            // remaining budget instead of a fresh full timeout.
+            DeadlineScope scope(*this, deadline);
+            try {
+              st = it->second(info, in, reply);
+            } catch (const std::exception& e) {
+              st = Status::Internal(std::string("handler threw: ") + e.what());
+            }
           }
         }
         if (id == 0) return;  // notification: no response wanted
@@ -104,10 +165,12 @@ void Engine::handle_request(net::ProcId caller, std::uint64_t id,
 }
 
 void Engine::send_request(net::ProcId dest, const std::string& name,
-                          std::vector<std::byte> args, std::uint64_t id) {
+                          std::vector<std::byte> args, std::uint64_t id,
+                          des::Time deadline) {
   OutArchive out;
   out.save(kRequest);
   out.save(id);
+  out.save(deadline);
   out.save(name);
   out.write_raw(args.data(), args.size());
   proc_->network().transmit(*proc_, dest, kMailbox, profile_,
@@ -120,16 +183,33 @@ Expected<std::vector<std::byte>> Engine::call_raw(net::ProcId dest,
                                                   des::Duration timeout) {
   if (stopped_) return Status::ShuttingDown();
   if (timeout == 0) timeout = config_.default_timeout;
+  const des::Time now = sim().now();
+  des::Time deadline = now + timeout;
+  if (const des::Time ambient = ambient_deadline(); ambient != 0) {
+    deadline = std::min(deadline, ambient);
+  }
+  if (deadline <= now) {
+    return Status::Timeout("deadline expired before rpc '" + name + "' to " +
+                           net::to_string(dest));
+  }
+  if (config_.breaker_threshold > 0) {
+    const auto it = breakers_.find(dest);
+    if (it != breakers_.end() && it->second.open_until > now) {
+      return Status::Unavailable("circuit open to " + net::to_string(dest));
+    }
+  }
   const std::uint64_t id = next_id_++;
   auto ev = std::make_shared<des::Eventual<Expected<std::vector<std::byte>>>>(
       sim());
   pending_.emplace(id, ev);
-  send_request(dest, name, std::move(args), id);
-  auto* result = ev->wait_for(timeout);
+  send_request(dest, name, std::move(args), id, deadline);
+  auto* result = ev->wait_for(deadline - now);
   if (result == nullptr) {
     pending_.erase(id);
+    breaker_failure(dest);
     return Status::Timeout("rpc '" + name + "' to " + net::to_string(dest));
   }
+  breaker_success(dest);
   return std::move(*result);
 }
 

@@ -6,8 +6,23 @@
 // Margo's Argobots binding that the paper relies on (S II-C).
 //
 // Wire format (over net::Mailbox "rpc"):
-//   request : [kind=0][id][name][args...]
+//   request : [kind=0][id][deadline][name][args...]
 //   response: [kind=1][id][status_code][status_msg][body...]
+//
+// Deadlines: every call carries an absolute virtual-time deadline (0 = none).
+// The callee installs it as the handler fiber's *ambient* deadline, so nested
+// RPCs made from that handler are automatically capped by the caller's
+// remaining budget instead of re-starting a full timeout at every hop. A
+// request that arrives after its deadline is answered with Timeout without
+// running the handler (the caller has already given up and will retry; all
+// handlers are idempotent). Callers can tighten the ambient deadline of their
+// own fiber with a DeadlineScope.
+//
+// Circuit breaker: when EngineConfig::breaker_threshold > 0, that many
+// consecutive *transport* failures (timeouts -- error replies prove the peer
+// is alive and reset the count) open the circuit to that peer: calls fail
+// fast with Unavailable until breaker_cooldown elapses, then one probe call
+// is let through (half-open) and its outcome re-opens or closes the circuit.
 //
 // Failure model: requests to dead processes vanish on the fabric; the caller
 // observes a timeout. A handler throwing maps to StatusCode::internal at the
@@ -34,6 +49,7 @@ namespace colza::rpc {
 struct RequestInfo {
   net::ProcId caller = net::kInvalidProc;
   std::string name;
+  des::Time deadline = 0;  // absolute virtual time; 0 = none
 };
 
 // A handler consumes arguments from `in`, writes its reply into `out`, and
@@ -43,6 +59,31 @@ using Handler =
 
 struct EngineConfig {
   des::Duration default_timeout = des::seconds(5);
+  // Per-peer circuit breaker: after this many consecutive transport failures
+  // (timeouts) to one peer, calls to it fail fast with Unavailable for
+  // breaker_cooldown. 0 disables the breaker (the default: membership and
+  // server engines keep their own retry discipline).
+  int breaker_threshold = 0;
+  des::Duration breaker_cooldown = des::seconds(10);
+};
+
+class Engine;
+
+// RAII: tightens the ambient RPC deadline of the *current fiber* for the
+// scope's lifetime. Nested scopes only ever tighten (the effective deadline
+// is the minimum of the enclosing one and the new one); 0 is a no-op.
+class DeadlineScope {
+ public:
+  DeadlineScope(Engine& engine, des::Time deadline);
+  ~DeadlineScope();
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  Engine* engine_;
+  std::uint64_t fiber_;
+  des::Time previous_ = 0;
+  bool had_previous_ = false;
 };
 
 class Engine {
@@ -63,8 +104,15 @@ class Engine {
   // Registers (or replaces) the handler for `name`.
   void define(const std::string& name, Handler handler);
 
+  // The ambient deadline registered for the calling fiber (0 = none).
+  [[nodiscard]] des::Time ambient_deadline() noexcept;
+
+  // True while the breaker to `dest` is open (calls fail fast).
+  [[nodiscard]] bool circuit_open(net::ProcId dest) noexcept;
+
   // ---- raw call ------------------------------------------------------------
-  // Blocks the calling fiber until the response arrives or the timeout hits.
+  // Blocks the calling fiber until the response arrives or the deadline hits.
+  // The effective deadline is min(now + timeout, ambient fiber deadline).
   Expected<std::vector<std::byte>> call_raw(net::ProcId dest,
                                             const std::string& name,
                                             std::vector<std::byte> args,
@@ -98,7 +146,8 @@ class Engine {
   // One-way notification: no response expected, never blocks on the peer.
   template <typename... Args>
   void notify(net::ProcId dest, const std::string& name, const Args&... args) {
-    send_request(dest, name, pack(args...), /*id=*/0);  // id 0: no reply slot
+    // id 0: no reply slot; deadline 0: notifications are never abandoned.
+    send_request(dest, name, pack(args...), /*id=*/0, /*deadline=*/0);
   }
 
   // RDMA pull through this engine's protocol profile (the stage() data path).
@@ -112,11 +161,16 @@ class Engine {
   [[nodiscard]] bool stopped() const noexcept { return stopped_; }
 
  private:
+  friend class DeadlineScope;
+
   void demux_loop();
   void send_request(net::ProcId dest, const std::string& name,
-                    std::vector<std::byte> args, std::uint64_t id);
+                    std::vector<std::byte> args, std::uint64_t id,
+                    des::Time deadline);
   void handle_request(net::ProcId caller, std::uint64_t id, std::string name,
-                      std::vector<std::byte> body);
+                      des::Time deadline, std::vector<std::byte> body);
+  void breaker_failure(net::ProcId dest);
+  void breaker_success(net::ProcId dest);
 
   net::Process* proc_;
   net::Profile profile_;
@@ -124,6 +178,13 @@ class Engine {
   std::map<std::string, Handler> handlers_;
   std::map<std::uint64_t, std::shared_ptr<des::Eventual<Expected<std::vector<std::byte>>>>>
       pending_;
+  // Ambient per-fiber deadlines (DeadlineScope + handler dispatch).
+  std::map<std::uint64_t, des::Time> fiber_deadlines_;
+  struct Breaker {
+    int failures = 0;
+    des::Time open_until = 0;
+  };
+  std::map<net::ProcId, Breaker> breakers_;
   std::uint64_t next_id_ = 1;
   bool stopped_ = false;
 };

@@ -89,7 +89,12 @@ void Group::notify(net::ProcId p, MemberEvent e) {
 }
 
 void Group::publish_bootstrap() {
-  if (bootstrap_ != nullptr && !stopped_) bootstrap_->publish(view());
+  // A crashed daemon's group keeps running in the simulation and, unable to
+  // reach anyone, evicts every peer from its local view; publishing that
+  // view would poison the contact list for future joiners.
+  if (bootstrap_ != nullptr && !stopped_ && engine_->process().alive()) {
+    bootstrap_->publish(view());
+  }
 }
 
 // ------------------------------------------------------------ dissemination
@@ -238,9 +243,13 @@ void Group::check_suspicions() {
 void Group::declare_dead(net::ProcId p, bool left) {
   auto it = members_.find(p);
   if (it == members_.end()) return;
+  COLZA_LOG_DEBUG("ssg", "%llu declares %llu %s",
+                  static_cast<unsigned long long>(self()),
+                  static_cast<unsigned long long>(p), left ? "left" : "dead");
   const std::uint64_t inc = it->second.incarnation;
   members_.erase(it);
   tombstones_.insert(p);
+  if (!left) dead_members_.push_back(p);
   queue_update(Update{p, left ? UpdateKind::left : UpdateKind::dead, inc});
   notify(p, left ? MemberEvent::left : MemberEvent::died);
   publish_bootstrap();

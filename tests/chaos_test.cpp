@@ -79,6 +79,57 @@ TEST(ChaosPlan, DefaultsToNoRules) {
   EXPECT_TRUE(plan.rules.empty());
 }
 
+// A typoed key must not silently disable a fault: the loader is strict and
+// names the offending rule so the plan author can find it.
+TEST(ChaosPlan, RejectsUnknownRuleKeyNamingTheRuleIndex) {
+  try {
+    (void)ChaosPlan::from_json(R"({
+      "rules": [
+        {"kind": "drop"},
+        {"kind": "delay", "delay_usec": 200}
+      ]
+    })");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rule 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("delay_usec"), std::string::npos) << what;
+  }
+}
+
+TEST(ChaosPlan, RejectsUnknownTopLevelKey) {
+  try {
+    (void)ChaosPlan::from_json(R"({"sed": 3, "rules": []})");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("sed"), std::string::npos);
+  }
+}
+
+TEST(ChaosPlan, RejectsNonObjectRule) {
+  try {
+    (void)ChaosPlan::from_json(R"({"rules": [{"kind": "drop"}, 7]})");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rule 1"), std::string::npos);
+  }
+}
+
+TEST(ChaosPlan, CrashStormPlanRoundRobinsNodeTargetedCrashes) {
+  const ChaosPlan plan =
+      crash_storm_plan(/*base_node=*/100, /*nodes=*/3, /*start=*/seconds(10),
+                       /*period=*/seconds(5), /*crashes=*/7, /*seed=*/99);
+  EXPECT_EQ(plan.seed, 99u);
+  ASSERT_EQ(plan.rules.size(), 7u);
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    const Rule& r = plan.rules[i];
+    EXPECT_EQ(r.kind, RuleKind::crash);
+    EXPECT_EQ(r.target, 0u);  // node-targeted: kills the current occupant
+    EXPECT_EQ(r.node, 100u + i % 3);
+    EXPECT_EQ(r.at, seconds(10) + i * seconds(5));
+  }
+}
+
 // ------------------------------------------------------------- message rules
 
 struct ChaosNetTest : ::testing::Test {
@@ -291,6 +342,46 @@ TEST_F(ChaosNetTest, CrashRuleKillsTargetAtScheduledTime) {
   EXPECT_EQ(engine.log()[0].kind, RuleKind::crash);
   EXPECT_EQ(engine.log()[0].time, seconds(3));
   EXPECT_EQ(engine.log()[0].src, 2u);
+}
+
+// A node-targeted crash (target=0) kills whatever is alive on the node when
+// the rule fires -- including a process created after the first occupant
+// died, which is exactly how a storm keeps hitting supervisor respawns.
+TEST_F(ChaosNetTest, NodeTargetedCrashKillsCurrentOccupant) {
+  Rule r1;
+  r1.kind = RuleKind::crash;
+  r1.node = 7;
+  r1.at = seconds(2);
+  Rule r2 = r1;
+  r2.at = seconds(6);
+  ChaosEngine engine(ChaosPlan{7, {r1, r2}});
+  engine.attach(net);
+
+  auto& first = net.create_process(7);
+  net::Process* second = nullptr;
+  sim.schedule_at(seconds(4), [&] { second = &net.create_process(7); });
+  sim.run();
+
+  EXPECT_FALSE(first.alive());
+  ASSERT_NE(second, nullptr);
+  EXPECT_FALSE(second->alive());
+  ASSERT_EQ(engine.log().size(), 2u);
+  EXPECT_EQ(engine.log()[0].src, first.id());   // records the actual victim
+  EXPECT_EQ(engine.log()[1].src, second->id());
+}
+
+// A node-targeted crash on an empty (or all-dead) node is a no-op.
+TEST_F(ChaosNetTest, NodeTargetedCrashOnEmptyNodeDoesNothing) {
+  Rule r;
+  r.kind = RuleKind::crash;
+  r.node = 9;
+  r.at = seconds(1);
+  ChaosEngine engine(ChaosPlan{7, {r}});
+  engine.attach(net);
+  auto& bystander = net.create_process(3);
+  sim.run();
+  EXPECT_TRUE(bystander.alive());
+  EXPECT_TRUE(engine.log().empty());
 }
 
 // ------------------------------------------------------------------- RDMA

@@ -1,0 +1,136 @@
+// The crash storm (ctest label tier2): one staging server killed every
+// iteration for 30 Mandelbulb iterations. With replication 2 and a live
+// Supervisor the run must show
+//   * zero client-visible iteration failures (every iteration commits), and
+//   * zero full re-stages (recovery is buddy promotion + targeted
+//     re-stages, never the old scratch path),
+// while the supervised respawns keep the staging capacity constant. The
+// storm also pins the degraded no-supervisor behaviour and the bit-identical
+// recovery timeline the --chaos-seed replay workflow relies on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "chaos/chaos.hpp"
+#include "invariants.hpp"
+
+namespace colza::testing {
+namespace {
+
+using des::seconds;
+
+constexpr std::uint64_t kStormSeed = 29;
+
+// One crash per iteration: the storm period matches the iteration cadence
+// (compute_between dominates), and the node-targeted rules round-robin over
+// all four server nodes, so respawned replacements are hit like founders.
+ScenarioConfig storm_scenario(std::uint64_t iterations) {
+  ScenarioConfig cfg;
+  cfg.seed = kStormSeed;
+  cfg.servers = 4;
+  cfg.iterations = iterations;
+  cfg.replication = 2;
+  cfg.supervisor = true;
+  cfg.supervisor_cfg.restart_budget = 64;
+  cfg.compute_between = seconds(40);
+  cfg.resilient.attempt_timeout = seconds(20);
+  cfg.deadline = seconds(20000);
+  cfg.plan = chaos::crash_storm_plan(/*base_node=*/100, /*nodes=*/4,
+                                     /*start=*/seconds(10),
+                                     /*period=*/seconds(45),
+                                     /*crashes=*/iterations, kStormSeed);
+  return cfg;
+}
+
+TEST(CrashStorm, ThirtyIterationsZeroFailuresZeroFullRestages) {
+  const ScenarioConfig cfg = storm_scenario(30);
+  const ScenarioResult res = run_elastic_mandelbulb(cfg);
+
+  ASSERT_TRUE(res.client_done);
+  for (const auto& it : res.iterations) {
+    EXPECT_EQ(it.code, StatusCode::ok) << "iteration " << it.iteration;
+  }
+  EXPECT_EQ(res.resilient.full_restages, 0);
+
+  // Every crash found a live victim and every victim was replaced.
+  int crashes = 0;
+  for (const auto& rec : res.injections) {
+    crashes += rec.kind == chaos::RuleKind::crash ? 1 : 0;
+  }
+  EXPECT_EQ(crashes, 30);
+  EXPECT_EQ(res.supervisor.deaths_seen, 30);
+  EXPECT_EQ(res.supervisor.respawns_joined, 30);
+  EXPECT_EQ(res.supervisor.nodes_quarantined, 0);
+  EXPECT_EQ(res.supervisor.budget_exhausted, 0);
+
+  // Capacity is self-healed: 4 servers alive at the end, and the protocol
+  // invariants hold on the survivors.
+  std::size_t alive = 0;
+  for (const auto& s : res.servers) alive += s.alive ? 1 : 0;
+  EXPECT_EQ(alive, 4u);
+  EXPECT_EQ(check_two_phase_atomicity(res), "");
+  EXPECT_EQ(check_swim_convergence(res), "");
+
+  // Recovery must not change a pixel: every rendered hash matches the
+  // fault-free reference of the same scenario shape.
+  ScenarioConfig ref_cfg = cfg;
+  ref_cfg.plan = chaos::ChaosPlan{};
+  ref_cfg.supervisor = false;
+  const ScenarioResult ref = run_elastic_mandelbulb(ref_cfg);
+  ASSERT_TRUE(ref.client_done);
+  EXPECT_EQ(check_render_hashes(res, reference_hashes(ref)), "");
+}
+
+// Supervisor off: every crash permanently bleeds a server. Replication
+// still recovers the staged data (buddy promotion), so a short storm
+// completes without client-visible failures, but capacity is not restored
+// -- the survivors shrink by one per crash.
+TEST(CrashStorm, WithoutSupervisorCapacityBleeds) {
+  ScenarioConfig cfg = storm_scenario(3);
+  cfg.supervisor = false;
+  // Unsupervised, iterations run in milliseconds of virtual time, so a storm
+  // starting in the compute gap would never hit one; start it at 3s to land
+  // the first crash inside iteration 1's stage/execute window.
+  cfg.plan = chaos::crash_storm_plan(/*base_node=*/100, /*nodes=*/4,
+                                     /*start=*/seconds(3),
+                                     /*period=*/seconds(45),
+                                     /*crashes=*/3, kStormSeed);
+  const ScenarioResult res = run_elastic_mandelbulb(cfg);
+
+  ASSERT_TRUE(res.client_done);
+  for (const auto& it : res.iterations) {
+    EXPECT_EQ(it.code, StatusCode::ok) << "iteration " << it.iteration;
+  }
+  EXPECT_GT(res.resilient.partial_recoveries, 0);
+  EXPECT_EQ(res.supervisor.respawns_joined, 0);
+  std::size_t alive = 0;
+  for (const auto& s : res.servers) alive += s.alive ? 1 : 0;
+  EXPECT_EQ(alive, 1u);  // 4 founders - 3 unreplaced crashes
+}
+
+// Same --chaos-seed => bit-identical recovery timeline: injection log,
+// per-iteration outcomes and frozen views, end time, and the resilient /
+// supervisor counters all replay exactly.
+TEST(CrashStorm, RecoveryTimelineIsBitIdenticalForSameSeed) {
+  const ScenarioConfig cfg = storm_scenario(6);
+  const ScenarioResult a = run_elastic_mandelbulb(cfg);
+  const ScenarioResult b = run_elastic_mandelbulb(cfg);
+
+  ASSERT_TRUE(a.client_done);
+  EXPECT_EQ(a.chaos_log, b.chaos_log);
+  EXPECT_TRUE(a.injections == b.injections);
+  EXPECT_EQ(a.end_time, b.end_time);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].code, b.iterations[i].code);
+    EXPECT_EQ(a.iterations[i].view, b.iterations[i].view);
+  }
+  EXPECT_EQ(a.resilient.attempts, b.resilient.attempts);
+  EXPECT_EQ(a.resilient.partial_recoveries, b.resilient.partial_recoveries);
+  EXPECT_EQ(a.resilient.targeted_restages, b.resilient.targeted_restages);
+  EXPECT_EQ(a.supervisor.respawns_joined, b.supervisor.respawns_joined);
+  EXPECT_EQ(reference_hashes(a), reference_hashes(b));
+}
+
+}  // namespace
+}  // namespace colza::testing

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "apps/mandelbulb.hpp"
+#include "chaos/chaos.hpp"
 #include "des/simulation.hpp"
+#include "invariants.hpp"
 #include "des/time.hpp"
 #include "icet/icet.hpp"
 #include "mona/mona.hpp"
@@ -128,6 +130,50 @@ TEST(Determinism, MandelbulbBinarySwapIsBitIdentical) {
   // Sanity: the pipeline actually advanced virtual time and moved messages.
   EXPECT_GT(a.final_time, des::milliseconds(10));
   EXPECT_GT(a.events, 100u);
+}
+
+// Determinism under faults: the same --chaos-seed crash schedule (one
+// supervised crash per iteration) must replay an identical recovery
+// timeline -- every injection, every iteration's start/finish virtual
+// times, the frozen views, the end-of-run clock, and the image bits.
+TEST(Determinism, CrashScheduleRecoveryIsBitIdentical) {
+  testing::ScenarioConfig cfg;
+  cfg.seed = 5150;
+  cfg.servers = 4;
+  cfg.iterations = 4;
+  cfg.replication = 2;
+  cfg.supervisor = true;
+  cfg.compute_between = des::seconds(40);
+  cfg.resilient.attempt_timeout = des::seconds(20);
+  cfg.deadline = des::seconds(20000);
+  cfg.plan = chaos::crash_storm_plan(/*base_node=*/100, /*nodes=*/4,
+                                     /*start=*/des::seconds(3),
+                                     /*period=*/des::seconds(45),
+                                     /*crashes=*/4, cfg.seed);
+
+  const testing::ScenarioResult a = testing::run_elastic_mandelbulb(cfg);
+  const testing::ScenarioResult b = testing::run_elastic_mandelbulb(cfg);
+
+  ASSERT_TRUE(a.client_done);
+  ASSERT_TRUE(b.client_done);
+  EXPECT_TRUE(a.injections == b.injections);
+  EXPECT_EQ(a.chaos_log, b.chaos_log);
+  EXPECT_EQ(a.end_time, b.end_time);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].code, b.iterations[i].code) << "iteration " << i;
+    EXPECT_EQ(a.iterations[i].view, b.iterations[i].view) << "iteration " << i;
+    EXPECT_EQ(a.iterations[i].started, b.iterations[i].started)
+        << "iteration " << i;
+    EXPECT_EQ(a.iterations[i].finished, b.iterations[i].finished)
+        << "iteration " << i;
+  }
+  EXPECT_EQ(testing::reference_hashes(a), testing::reference_hashes(b));
+  // Sanity: the schedule actually perturbed the run (crashes were injected
+  // and the supervisor replaced the victims).
+  EXPECT_EQ(a.injections.size(), 4u);
+  EXPECT_EQ(a.supervisor.respawns_joined, b.supervisor.respawns_joined);
+  EXPECT_GT(a.supervisor.respawns_joined, 0);
 }
 
 }  // namespace

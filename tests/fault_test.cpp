@@ -309,11 +309,13 @@ TEST(ColzaFault, NonRetriableExecuteFailureReturnsWithoutBackoff) {
     std::vector<IterationBlock> blocks{{0, std::vector<std::byte>(64)}};
     ResilientOptions opts;
     opts.max_attempts = 4;
-    opts.retry_backoff = seconds(30);  // any backoff would be visible below
+    // Any backoff would be visible below (flat 30 s schedule, no jitter).
+    opts.backoff = {.base = seconds(30), .multiplier = 1.0,
+                    .cap = seconds(30), .jitter = 0.0};
     const des::Time t0 = w.sim.now();
     Status s = run_resilient_iteration(*h, 1, blocks, opts);
     EXPECT_EQ(s.code(), StatusCode::invalid_argument);
-    EXPECT_LT(w.sim.now() - t0, opts.retry_backoff);  // zero backoffs slept
+    EXPECT_LT(w.sim.now() - t0, opts.backoff.base);  // zero backoffs slept
     done = true;
   });
   w.sim.run();
@@ -342,11 +344,12 @@ TEST(ColzaFault, NonRetriableStageFailureReturnsWithoutBackoff) {
     ASSERT_TRUE(h.has_value());
     std::vector<IterationBlock> blocks{{0, std::vector<std::byte>(64)}};
     ResilientOptions opts;
-    opts.retry_backoff = seconds(30);
+    opts.backoff = {.base = seconds(30), .multiplier = 1.0,
+                    .cap = seconds(30), .jitter = 0.0};
     const des::Time t0 = w.sim.now();
     Status s = run_resilient_iteration(*h, 1, blocks, opts);
     EXPECT_EQ(s.code(), StatusCode::invalid_argument);
-    EXPECT_LT(w.sim.now() - t0, opts.retry_backoff);
+    EXPECT_LT(w.sim.now() - t0, opts.backoff.base);
     done = true;
   });
   w.sim.run();
@@ -376,13 +379,15 @@ TEST(ColzaFault, GiveUpSleepsExactlyMaxAttemptsMinusOneBackoffs) {
     std::vector<IterationBlock> blocks{{0, std::vector<std::byte>(64)}};
     ResilientOptions opts;
     opts.max_attempts = 3;
-    opts.retry_backoff = seconds(30);  // dwarfs per-attempt RPC time
+    // Flat 30 s schedule (no growth, no jitter): dwarfs per-attempt RPC time.
+    opts.backoff = {.base = seconds(30), .multiplier = 1.0,
+                    .cap = seconds(30), .jitter = 0.0};
     const des::Time t0 = w.sim.now();
     Status s = run_resilient_iteration(*h, 1, blocks, opts);
     EXPECT_EQ(s.code(), StatusCode::aborted);
     const des::Duration elapsed = w.sim.now() - t0;
-    EXPECT_GE(elapsed, 2 * opts.retry_backoff);  // both inter-attempt sleeps
-    EXPECT_LT(elapsed, 3 * opts.retry_backoff);  // ... and not one more
+    EXPECT_GE(elapsed, 2 * opts.backoff.base);  // both inter-attempt sleeps
+    EXPECT_LT(elapsed, 3 * opts.backoff.base);  // ... and not one more
     done = true;
   });
   w.sim.run();

@@ -40,6 +40,7 @@
 #include "colza/deploy.hpp"
 #include "colza/fault.hpp"
 #include "colza/server.hpp"
+#include "colza/supervisor.hpp"
 #include "des/simulation.hpp"
 #include "net/network.hpp"
 #include "vis/data.hpp"
@@ -62,12 +63,24 @@ struct ScenarioConfig {
   // request costs a 600 s (virtual) RPC timeout per retry, and virtual
   // hours are cheap in a DES.
   des::Time deadline = des::seconds(7200);
+  // Staging replication factor (1 = primaries only, the pre-replication
+  // behaviour; 2 = every block also lives on a rendezvous-hashed buddy).
+  std::size_t replication = 2;
+  // Run a Supervisor over the staging area: crashed daemons are respawned
+  // (with pipelines reinstalled) instead of bleeding capacity.
+  bool supervisor = false;
+  SupervisorConfig supervisor_cfg;
+  // Per-iteration resilient-loop options (stats pointer is overwritten to
+  // collect into ScenarioResult::resilient).
+  ResilientOptions resilient;
 };
 
 struct IterationOutcome {
   std::uint64_t iteration = 0;
   StatusCode code = StatusCode::ok;
   std::vector<net::ProcId> view;  // the frozen view (successful runs only)
+  des::Time started = 0;          // virtual time entering the resilient loop
+  des::Time finished = 0;         // virtual time leaving it
 };
 
 struct ServerSummary {
@@ -85,6 +98,8 @@ struct ScenarioResult {
   std::vector<ServerSummary> servers;
   std::vector<chaos::InjectionRecord> injections;
   std::string chaos_log;
+  ResilientStats resilient;      // summed over all iterations
+  SupervisorStats supervisor;    // zero when cfg.supervisor is false
 };
 
 inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
@@ -106,6 +121,14 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
       R"({"preset":"mandelbulb","width":32,"height":32})";
   for (const auto& s : area.servers()) {
     s->create_pipeline("render", "catalyst", pipeline_json).check();
+  }
+  std::unique_ptr<Supervisor> supervisor;
+  if (cfg.supervisor) {
+    supervisor = std::make_unique<Supervisor>(sim, area, cfg.supervisor_cfg);
+    supervisor->on_respawn([&pipeline_json](Server& s) {
+      s.create_pipeline("render", "catalyst", pipeline_json).check();
+    });
+    supervisor->start();
   }
   std::unique_ptr<sched::Scheduler> scheduler;
   if (cfg.elastic_join && cfg.use_scheduler) {
@@ -146,9 +169,14 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
     auto h = DistributedPipelineHandle::lookup(
         client, area.bootstrap().contacts(), "render");
     if (!h.has_value()) return;  // client_done stays false -> INV1 fails
+    h->set_replication(cfg.replication);
+    ResilientOptions opts = cfg.resilient;
+    opts.stats = &res.resilient;
     for (std::uint64_t it = 1; it <= cfg.iterations; ++it) {
-      Status s = run_resilient_iteration(*h, it, blocks);
       IterationOutcome out;
+      out.started = sim.now();
+      Status s = run_resilient_iteration(*h, it, blocks, opts);
+      out.finished = sim.now();
       out.iteration = it;
       out.code = s.code();
       if (s.ok()) out.view = h->view();
@@ -178,6 +206,10 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
   sim.run_until(settle);
 
   res.end_time = sim.now();
+  if (supervisor != nullptr) {
+    res.supervisor = supervisor->stats();
+    supervisor->stop();
+  }
   res.injections = engine.log();
   res.chaos_log = engine.dump_log();
   for (const auto& s : area.servers()) {

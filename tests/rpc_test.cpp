@@ -260,5 +260,90 @@ TEST_F(RpcTest, ManyConcurrentCallsAllComplete) {
   EXPECT_EQ(completed, 64);
 }
 
+// The caller's absolute deadline rides the request frame, and a handler's
+// nested RPCs inherit it as their ambient budget -- the deadline a nested
+// callee observes is the *original* caller's, not now + default_timeout.
+TEST_F(RpcTest, DeadlinePropagatesThroughNestedRpc) {
+  auto& inner_proc = net.create_process(2);
+  Engine inner(inner_proc, net::Profile::mona());
+  des::Time seen = 0;
+  inner.define("inner",
+               [&](const RequestInfo& info, InArchive&, OutArchive&) {
+                 seen = info.deadline;
+                 return Status::Ok();
+               });
+  server.define("outer", [&](const RequestInfo&, InArchive&, OutArchive&) {
+    auto r = server.call<None>(inner.self(), "inner");
+    return r.status();
+  });
+  des::Time want = 0;
+  client_proc.spawn("caller", [&] {
+    want = sim.now() + seconds(2);
+    auto r = client.call_timeout<None>(server.self(), "outer", seconds(2));
+    ASSERT_TRUE(r.has_value()) << r.status().to_string();
+  });
+  sim.run();
+  EXPECT_EQ(seen, want);
+}
+
+// A request whose deadline lapsed in flight is never dispatched: the handler
+// does not run (it may not be free to) and the caller sees a plain timeout.
+TEST_F(RpcTest, RequestExpiredOnArrivalIsNotDispatched) {
+  bool ran = false;
+  server.define("work", [&](const RequestInfo&, InArchive&, OutArchive&) {
+    ran = true;
+    return Status::Ok();
+  });
+  StatusCode code = StatusCode::ok;
+  client_proc.spawn("caller", [&] {
+    // 1 ns of budget is less than any transport latency, so the request is
+    // already expired when the server demuxes it.
+    auto r = client.call_timeout<None>(server.self(), "work", 1);
+    code = r.status().code();
+  });
+  sim.run();
+  EXPECT_EQ(code, StatusCode::timeout);
+  EXPECT_FALSE(ran);
+}
+
+// Per-peer circuit breaker: `breaker_threshold` consecutive timeouts open
+// the circuit (calls fail fast with Unavailable, no waiting), and after the
+// cooldown the next call goes through again and closes it.
+TEST_F(RpcTest, BreakerOpensAfterConsecutiveTimeoutsAndRecovers) {
+  auto& proc = net.create_process(2);
+  EngineConfig cfg;
+  cfg.default_timeout = seconds(1);
+  cfg.breaker_threshold = 2;
+  cfg.breaker_cooldown = seconds(10);
+  Engine caller(proc, net::Profile::mona(), cfg);
+  server.define("ping", [](const RequestInfo&, InArchive&, OutArchive&) {
+    return Status::Ok();
+  });
+  std::vector<StatusCode> codes;
+  proc.spawn("caller", [&] {
+    net.set_link_down(proc.id(), server_proc.id(), true);
+    for (int i = 0; i < 3; ++i) {
+      codes.push_back(caller.call<None>(server_proc.id(), "ping")
+                          .status()
+                          .code());
+    }
+    EXPECT_TRUE(caller.circuit_open(server_proc.id()));
+    const des::Time opened_at = sim.now();
+    net.set_link_down(proc.id(), server_proc.id(), false);
+    sim.sleep_for(cfg.breaker_cooldown + seconds(1));
+    codes.push_back(caller.call<None>(server_proc.id(), "ping")
+                        .status()
+                        .code());
+    EXPECT_FALSE(caller.circuit_open(server_proc.id()));
+    EXPECT_GE(sim.now(), opened_at + cfg.breaker_cooldown);
+  });
+  sim.run();
+  ASSERT_EQ(codes.size(), 4u);
+  EXPECT_EQ(codes[0], StatusCode::timeout);
+  EXPECT_EQ(codes[1], StatusCode::timeout);
+  EXPECT_EQ(codes[2], StatusCode::unavailable);  // fail-fast while open
+  EXPECT_EQ(codes[3], StatusCode::ok);
+}
+
 }  // namespace
 }  // namespace colza::rpc

@@ -1,0 +1,340 @@
+// Self-healing staging (tier 1): the Supervisor actor (respawn, budget,
+// flap quarantine, catch-up sweep), the seeded jittered Backoff schedule,
+// the AutoScaler membership-change cooldown, and a 3-iteration crash-storm
+// smoke -- replication 2 plus a live supervisor ride through one crash per
+// iteration with zero client-visible failures and zero full re-stages,
+// while the unsupervised unreplicated run degrades to the old full
+// re-stage path. The 30-iteration storm lives in crash_storm_test.cpp
+// (ctest -L tier2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "colza/autoscale.hpp"
+#include "colza/deploy.hpp"
+#include "colza/supervisor.hpp"
+#include "common/backoff.hpp"
+#include "des/simulation.hpp"
+#include "net/network.hpp"
+#include "invariants.hpp"
+
+namespace colza {
+namespace {
+
+using des::milliseconds;
+using des::seconds;
+
+// ----------------------------------------------------------------- Backoff
+
+TEST(Backoff, JitterFreeScheduleDoublesUpToTheCap) {
+  Backoff b(BackoffPolicy{.base = seconds(1),
+                          .multiplier = 2.0,
+                          .cap = seconds(30),
+                          .jitter = 0.0,
+                          .seed = 0});
+  EXPECT_EQ(b.next(), seconds(1));
+  EXPECT_EQ(b.next(), seconds(2));
+  EXPECT_EQ(b.next(), seconds(4));
+  EXPECT_EQ(b.next(), seconds(8));
+  EXPECT_EQ(b.next(), seconds(16));
+  EXPECT_EQ(b.next(), seconds(30));  // clamped
+  EXPECT_EQ(b.next(), seconds(30));  // stays clamped
+  b.reset();
+  EXPECT_EQ(b.next(), seconds(1));   // reset restarts from base
+}
+
+// The regression pin for the jittered schedule: the delays are a pure
+// function of (policy, seed) -- two instances agree step by step, every
+// step stays inside the jitter envelope of the nominal doubling schedule,
+// and a different seed produces a different schedule.
+TEST(Backoff, JitteredScheduleIsAPureFunctionOfTheSeed) {
+  const BackoffPolicy policy{.base = seconds(1),
+                             .multiplier = 2.0,
+                             .cap = seconds(30),
+                             .jitter = 0.25,
+                             .seed = 42};
+  Backoff a(policy);
+  Backoff b(policy);
+  std::vector<des::Duration> sa;
+  std::vector<des::Duration> sb;
+  double nominal = static_cast<double>(seconds(1));
+  const double cap = static_cast<double>(seconds(30));
+  for (int i = 0; i < 8; ++i) {
+    sa.push_back(a.next());
+    sb.push_back(b.next());
+    const double d = static_cast<double>(sa.back());
+    EXPECT_GE(d, nominal * 0.75) << "step " << i;
+    EXPECT_LE(d, nominal * 1.25) << "step " << i;
+    nominal = std::min(nominal * 2.0, cap);
+  }
+  EXPECT_EQ(sa, sb);
+
+  BackoffPolicy other = policy;
+  other.seed = 43;
+  Backoff c(other);
+  std::vector<des::Duration> sc;
+  for (int i = 0; i < 8; ++i) sc.push_back(c.next());
+  EXPECT_NE(sa, sc);
+}
+
+// --------------------------------------------------- AutoScaler cooldown
+
+TEST(AutoScalerMembership, MembershipChangeStartsTheResizeCooldown) {
+  AutoScalePolicy policy;
+  policy.window = 1;
+  policy.cooldown_iterations = 2;
+  policy.target_execute = seconds(10);
+
+  // Without a membership change, one over-target observation scales up.
+  AutoScaler eager(policy);
+  EXPECT_EQ(eager.observe(seconds(60), 2), ScaleDecision::up);
+
+  // After a crash death / respawn join, the same observations are held for
+  // cooldown_iterations before the scaler decides again.
+  AutoScaler notified(policy);
+  notified.notify_membership_change();
+  EXPECT_EQ(notified.observe(seconds(60), 2), ScaleDecision::hold);
+  EXPECT_EQ(notified.observe(seconds(60), 2), ScaleDecision::hold);
+  EXPECT_EQ(notified.observe(seconds(60), 2), ScaleDecision::up);
+}
+
+TEST(AutoScalerMembership, MembershipChangeClearsTheMedianWindow) {
+  AutoScalePolicy policy;
+  policy.window = 2;
+  policy.cooldown_iterations = 0;
+  policy.target_execute = seconds(10);
+
+  AutoScaler scaler(policy);
+  EXPECT_EQ(scaler.observe(seconds(60), 2), ScaleDecision::hold);  // filling
+  scaler.notify_membership_change();
+  // The pre-change observation was discarded: the window refills from
+  // scratch instead of mixing recovery spikes with steady-state samples.
+  EXPECT_EQ(scaler.observe(seconds(60), 2), ScaleDecision::hold);
+  EXPECT_EQ(scaler.observe(seconds(60), 2), ScaleDecision::up);
+}
+
+// -------------------------------------------------------------- Supervisor
+
+struct SupervisorTest : ::testing::Test {
+  des::Simulation sim;
+  net::Network net{sim};
+  ServerConfig scfg;
+  LaunchModel instant{milliseconds(10), 0.0, milliseconds(10)};
+
+  std::unique_ptr<StagingArea> area;
+
+  void boot(int servers, std::uint64_t seed = 1) {
+    scfg.init_cost = milliseconds(10);
+    area = std::make_unique<StagingArea>(net, scfg, instant, seed);
+    area->launch_initial(servers, /*base_node=*/100);
+    sim.run_until(seconds(2));
+  }
+
+  void kill_at(des::Time t, std::size_t index) {
+    sim.schedule_at(t, [this, index] {
+      area->servers()[index]->process().kill();
+    });
+  }
+};
+
+TEST_F(SupervisorTest, RespawnsACrashedDaemonOnItsNode) {
+  boot(3);
+  Supervisor sup(sim, *area, {});
+  sup.start();
+  const net::NodeId dead_node = area->servers()[1]->process().node();
+  kill_at(seconds(5), 1);
+  sim.run_until(seconds(60));
+
+  EXPECT_EQ(area->alive_count(), 3u);
+  EXPECT_EQ(sup.stats().deaths_seen, 1);
+  EXPECT_EQ(sup.stats().respawns_started, 1);
+  EXPECT_EQ(sup.stats().respawns_joined, 1);
+  EXPECT_FALSE(sup.quarantined(dead_node));
+  ASSERT_EQ(area->servers().size(), 4u);  // 3 founders + the replacement
+  Server& replacement = *area->servers().back();
+  EXPECT_TRUE(replacement.alive());
+  EXPECT_EQ(replacement.process().node(), dead_node);
+  EXPECT_EQ(replacement.group().view().size(), 3u);  // rejoined the group
+}
+
+TEST_F(SupervisorTest, OnRespawnCallbackSeesTheReplacement) {
+  boot(3);
+  Supervisor sup(sim, *area, {});
+  int respawns = 0;
+  Server* seen = nullptr;
+  sup.on_respawn([&](Server& s) {
+    ++respawns;
+    seen = &s;
+  });
+  sup.start();
+  kill_at(seconds(5), 0);
+  sim.run_until(seconds(60));
+
+  EXPECT_EQ(respawns, 1);
+  ASSERT_NE(seen, nullptr);
+  EXPECT_EQ(seen, area->servers().back().get());
+}
+
+TEST_F(SupervisorTest, RestartBudgetCapsRespawns) {
+  boot(3);
+  SupervisorConfig cfg;
+  cfg.restart_budget = 0;
+  Supervisor sup(sim, *area, cfg);
+  sup.start();
+  kill_at(seconds(5), 1);
+  sim.run_until(seconds(60));
+
+  EXPECT_EQ(area->alive_count(), 2u);  // nothing respawned
+  EXPECT_EQ(sup.stats().deaths_seen, 1);
+  EXPECT_EQ(sup.stats().respawns_started, 0);
+  EXPECT_EQ(sup.stats().budget_exhausted, 1);
+}
+
+TEST_F(SupervisorTest, FlappingNodeIsQuarantined) {
+  boot(3);
+  SupervisorConfig cfg;
+  cfg.flap_threshold = 1;  // first flap quarantines
+  Supervisor sup(sim, *area, cfg);
+  // Model a poisoned node: every replacement dies shortly after joining.
+  sup.on_respawn([&](Server& s) {
+    Server* doomed = &s;
+    sim.schedule_after(seconds(2), [doomed] { doomed->process().kill(); });
+  });
+  sup.start();
+  const net::NodeId node = area->servers()[0]->process().node();
+  kill_at(seconds(5), 0);
+  sim.run_until(seconds(120));
+
+  EXPECT_TRUE(sup.quarantined(node));
+  EXPECT_EQ(sup.stats().deaths_seen, 2);  // founder + the doomed replacement
+  EXPECT_EQ(sup.stats().respawns_started, 1);
+  EXPECT_EQ(sup.stats().flaps, 1);
+  EXPECT_EQ(sup.stats().nodes_quarantined, 1);
+  EXPECT_EQ(area->alive_count(), 2u);  // the node stays down
+}
+
+TEST_F(SupervisorTest, StartSweepsDeathsDeclaredBeforeAttach) {
+  boot(3);
+  kill_at(seconds(5), 2);
+  sim.run_until(seconds(25));  // SWIM has long since declared the death
+
+  Supervisor sup(sim, *area, {});
+  sup.start();
+  sim.run_until(seconds(60));
+
+  EXPECT_EQ(sup.stats().deaths_seen, 1);
+  EXPECT_EQ(sup.stats().respawns_joined, 1);
+  EXPECT_EQ(area->alive_count(), 3u);
+}
+
+TEST_F(SupervisorTest, StopCancelsInFlightRespawns) {
+  boot(3);
+  SupervisorConfig cfg;
+  cfg.backoff.base = seconds(60);  // death is seen long before the launch
+  cfg.backoff.cap = seconds(600);
+  cfg.backoff.jitter = 0.0;
+  Supervisor sup(sim, *area, cfg);
+  sup.start();
+  kill_at(seconds(5), 1);
+  sim.run_until(seconds(30));
+  ASSERT_EQ(sup.stats().deaths_seen, 1);
+  ASSERT_EQ(sup.stats().respawns_started, 1);
+  sup.stop();
+  sim.run_until(seconds(300));
+
+  EXPECT_EQ(sup.stats().respawns_joined, 0);  // the armed timer was a no-op
+  EXPECT_EQ(area->alive_count(), 2u);
+}
+
+TEST_F(SupervisorTest, FeedsMembershipChangesIntoTheAutoScaler) {
+  boot(3);
+  AutoScalePolicy policy;
+  policy.window = 1;
+  policy.cooldown_iterations = 1;
+  policy.target_execute = seconds(10);
+  AutoScaler scaler(policy);
+  // In-band observation (between down_factor and up_factor of the target).
+  ASSERT_EQ(scaler.observe(seconds(5), 3), ScaleDecision::hold);
+
+  Supervisor sup(sim, *area, {});
+  sup.set_autoscaler(&scaler);
+  sup.start();
+  kill_at(seconds(5), 0);
+  sim.run_until(seconds(60));
+  ASSERT_EQ(sup.stats().respawns_joined, 1);
+
+  // Both the death and the respawn join re-armed the cooldown, so the
+  // post-recovery spike is absorbed instead of triggering a scale-up.
+  EXPECT_EQ(scaler.observe(seconds(60), 3), ScaleDecision::hold);
+  EXPECT_EQ(scaler.observe(seconds(60), 3), ScaleDecision::up);
+}
+
+// ------------------------------------------------------ crash-storm smoke
+
+// Tier-1 smoke of the tier-2 storm: one server killed per iteration for 3
+// Mandelbulb iterations. With replication 2 and a live supervisor every
+// iteration commits on the first client-visible attempt chain (no failed
+// iterations) and no attempt ever re-stages the full iteration -- recovery
+// is buddy promotion plus at most targeted re-stages.
+TEST(SelfHealStorm, ThreeIterationSmokeZeroFailuresZeroFullRestages) {
+  testing::ScenarioConfig cfg;
+  cfg.seed = 11;
+  cfg.servers = 4;
+  cfg.iterations = 3;
+  cfg.replication = 2;
+  cfg.supervisor = true;
+  cfg.compute_between = seconds(40);
+  cfg.resilient.attempt_timeout = seconds(20);
+  cfg.plan = chaos::crash_storm_plan(/*base_node=*/100, /*nodes=*/4,
+                                     /*start=*/seconds(10),
+                                     /*period=*/seconds(45),
+                                     /*crashes=*/3, /*seed=*/11);
+
+  const auto r = testing::run_elastic_mandelbulb(cfg);
+  ASSERT_TRUE(r.client_done);
+  for (const auto& it : r.iterations) {
+    EXPECT_EQ(it.code, StatusCode::ok) << "iteration " << it.iteration;
+  }
+  EXPECT_EQ(r.resilient.full_restages, 0);
+  EXPECT_EQ(r.supervisor.deaths_seen, 3);
+  EXPECT_EQ(r.supervisor.respawns_joined, 3);
+  // All three crashes actually fired (each found a live victim).
+  int crashes = 0;
+  for (const auto& rec : r.injections) {
+    crashes += rec.kind == chaos::RuleKind::crash ? 1 : 0;
+  }
+  EXPECT_EQ(crashes, 3);
+}
+
+// The degraded baseline the storm is measured against: no supervisor, no
+// replication. A crash mid-iteration forces the old full re-stage path --
+// the run still completes (the resilient loop was always crash-safe), but
+// it pays a scratch re-stage the replicated run never does.
+TEST(SelfHealStorm, WithoutSupervisorDegradesToFullRestage) {
+  testing::ScenarioConfig cfg;
+  cfg.seed = 11;
+  cfg.servers = 4;
+  cfg.iterations = 3;
+  cfg.replication = 1;
+  cfg.supervisor = false;
+  cfg.compute_between = seconds(40);
+  cfg.resilient.attempt_timeout = seconds(20);
+  chaos::Rule crash;
+  crash.kind = chaos::RuleKind::crash;
+  crash.node = 101;
+  crash.at = seconds(3);  // lands inside iteration 1's stage/execute window
+  cfg.plan.seed = 11;
+  cfg.plan.rules = {crash};
+
+  const auto r = testing::run_elastic_mandelbulb(cfg);
+  ASSERT_TRUE(r.client_done);
+  for (const auto& it : r.iterations) {
+    EXPECT_EQ(it.code, StatusCode::ok) << "iteration " << it.iteration;
+  }
+  EXPECT_GT(r.resilient.full_restages, 0);
+  EXPECT_EQ(r.resilient.partial_recoveries, 0);  // R=1: no replica path
+}
+
+}  // namespace
+}  // namespace colza

@@ -1,0 +1,122 @@
+// The tier2-smoke subset (ctest labels tier2 + tier2smoke, run by the
+// `tier2-smoke` CMake test preset): five representative chaos plans through
+// the full elastic Mandelbulb scenario, each checked against the four
+// paper-level invariants from tests/invariants.hpp. Bounded on purpose --
+// one short scenario per plan -- so it finishes in seconds where the full
+// tier2 sweep and the 30-iteration crash storm take minutes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "invariants.hpp"
+
+namespace colza::testing {
+namespace {
+
+using des::milliseconds;
+using des::seconds;
+
+// The shared scenario shape: 3 iterations, 4 servers, replication 2.
+ScenarioConfig smoke_base() {
+  ScenarioConfig cfg;
+  cfg.seed = 77;
+  cfg.servers = 4;
+  cfg.iterations = 3;
+  cfg.replication = 2;
+  cfg.compute_between = seconds(40);
+  cfg.resilient.attempt_timeout = seconds(20);
+  cfg.deadline = seconds(20000);
+  return cfg;
+}
+
+struct SmokePlan {
+  std::string name;
+  ScenarioConfig cfg;
+};
+
+// The five plans: fault-free baseline, supervised crash storm, lossy RPC,
+// partition-and-heal, and an unsupervised crash recovered by replication.
+std::vector<SmokePlan> smoke_plans() {
+  std::vector<SmokePlan> plans;
+
+  plans.push_back({"fault-free", smoke_base()});
+
+  {
+    SmokePlan p{"supervised-storm", smoke_base()};
+    p.cfg.supervisor = true;
+    p.cfg.plan = chaos::crash_storm_plan(/*base_node=*/100, /*nodes=*/4,
+                                         /*start=*/seconds(10),
+                                         /*period=*/seconds(45),
+                                         /*crashes=*/3, p.cfg.seed);
+    plans.push_back(std::move(p));
+  }
+  {
+    SmokePlan p{"lossy-rpc", smoke_base()};
+    chaos::Rule drop;
+    drop.kind = chaos::RuleKind::drop;
+    drop.probability = 0.03;
+    drop.box = "rpc";
+    drop.after = seconds(3);
+    drop.before = seconds(60);
+    chaos::Rule delay;
+    delay.kind = chaos::RuleKind::delay;
+    delay.probability = 0.2;
+    delay.box = "rpc";
+    delay.delay = milliseconds(1);
+    delay.jitter = milliseconds(20);
+    p.cfg.plan.seed = p.cfg.seed;
+    p.cfg.plan.rules = {drop, delay};
+    plans.push_back(std::move(p));
+  }
+  {
+    SmokePlan p{"partition-heal", smoke_base()};
+    chaos::Rule part;
+    part.kind = chaos::RuleKind::partition;
+    part.group_a = {1};
+    part.group_b = {2, 3, 4};
+    part.at = seconds(8);
+    part.heal_at = seconds(14);
+    p.cfg.plan.seed = p.cfg.seed;
+    p.cfg.plan.rules = {part};
+    plans.push_back(std::move(p));
+  }
+  {
+    SmokePlan p{"unsupervised-crash", smoke_base()};
+    chaos::Rule crash;
+    crash.kind = chaos::RuleKind::crash;
+    crash.node = 102;
+    crash.at = seconds(10);
+    p.cfg.plan.seed = p.cfg.seed;
+    p.cfg.plan.rules = {crash};
+    plans.push_back(std::move(p));
+  }
+  return plans;
+}
+
+TEST(Tier2Smoke, FivePlanSubsetSatisfiesAllInvariants) {
+  const std::vector<SmokePlan> plans = smoke_plans();
+  ASSERT_EQ(plans.size(), 5u);
+
+  // The fault-free plan doubles as the INV4 reference for the rest.
+  const ScenarioResult reference = run_elastic_mandelbulb(plans[0].cfg);
+  ASSERT_TRUE(reference.client_done);
+  const auto ref_hashes = reference_hashes(reference);
+  ASSERT_EQ(ref_hashes.size(), plans[0].cfg.iterations);
+
+  for (const SmokePlan& plan : plans) {
+    SCOPED_TRACE(plan.name);
+    const ScenarioResult res = plan.name == "fault-free"
+                                   ? reference
+                                   : run_elastic_mandelbulb(plan.cfg);
+    EXPECT_EQ(check_bounded_progress(res, plan.cfg), "");
+    EXPECT_EQ(check_two_phase_atomicity(res), "");
+    EXPECT_EQ(check_swim_convergence(res), "");
+    EXPECT_EQ(check_render_hashes(res, ref_hashes), "");
+  }
+}
+
+}  // namespace
+}  // namespace colza::testing
