@@ -8,15 +8,42 @@
 // a one-iteration spike when a new node joins (its pipeline must initialize
 // VTK); activate / stage / deactivate stay negligible (paper: ~4 ms, ~100 ms
 // and ~0.6 ms on average).
+//
+// Observability: `--trace out.json` writes a Chrome trace_event file whose
+// per-phase span sums reproduce the table's totals (verified below), and
+// `--metrics out.json` dumps the metrics registry with one snapshot per
+// iteration. Tracing pins charge_scoped costs (fixed_scoped_charge) so two
+// runs at the same seed produce byte-identical trace files.
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
 
 #include "apps/mandelbulb.hpp"
 #include "bench/bench_util.hpp"
 #include "bench/colza_harness.hpp"
+#include "obs/trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace colza;
   using namespace colza::bench;
+
+  std::string trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace out.json] [--metrics out.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   headline("Fig 9 -- elasticity with Mandelbulb, 2 -> 8 Colza nodes",
            "per-call durations while adding a node every 60 s (paper Fig 9)");
 
@@ -31,6 +58,13 @@ int main() {
   cfg.clients_per_node = 16;
   cfg.pipeline_json = R"({"preset":"mandelbulb","width":128,"height":128})";
   cfg.compute_between_iterations = des::seconds(10);
+  cfg.trace_path = trace_path;
+  cfg.metrics_path = metrics_path;
+  if (!trace_path.empty()) {
+    // Host-independent charge_scoped costs: the virtual timeline (and hence
+    // the trace bytes) depend only on the seed.
+    cfg.fixed_scoped_charge = des::milliseconds(2);
+  }
 
   apps::MandelbulbParams mb;
   mb.nx = mb.ny = mb.nz = 16;
@@ -79,5 +113,50 @@ int main() {
               act_sum / static_cast<double>(times.size()),
               stage_sum / static_cast<double>(times.size()),
               deact_sum / static_cast<double>(times.size()));
+
+  if (!trace_path.empty()) {
+    // Cross-check the trace against the table: the summed duration of the
+    // rank-0 phase spans must equal the totals reported above (the spans
+    // bracket exactly the measured intervals).
+    double exec_sum = 0;
+    for (const auto& t : times) exec_sum += des::to_millis(t.execute);
+    // End events carry neither name nor category (Chrome trace format), so
+    // match them to their begin by span id.
+    std::map<std::uint64_t, std::pair<des::Time, std::string>> open;
+    std::map<std::string, double> span_ms;
+    for (const auto& e : obs::Tracer::global().events()) {
+      if (e.phase == obs::TraceEvent::Phase::begin &&
+          std::strcmp(e.cat, "phase") == 0) {
+        open[e.span_id] = {e.ts, e.name};
+      } else if (e.phase == obs::TraceEvent::Phase::end) {
+        auto it = open.find(e.span_id);
+        if (it != open.end()) {
+          span_ms[it->second.second] += des::to_millis(e.ts - it->second.first);
+          open.erase(it);
+        }
+      }
+    }
+    std::printf("\ntrace written to %s\n", trace_path.c_str());
+    bool ok = true;
+    const std::pair<const char*, double> expected[] = {
+        {"phase.activate", act_sum},
+        {"phase.stage", stage_sum},
+        {"phase.execute", exec_sum},
+        {"phase.deactivate", deact_sum}};
+    for (const auto& [name, want] : expected) {
+      const double got = span_ms[name];
+      const bool match = std::abs(got - want) < 1e-6;
+      ok = ok && match;
+      std::printf("  %-16s span sum %10.3f ms  table sum %10.3f ms  %s\n",
+                  name, got, want, match ? "match" : "MISMATCH");
+    }
+    if (!ok) {
+      std::fprintf(stderr, "trace/table phase sums disagree\n");
+      return 1;
+    }
+  }
+  if (!metrics_path.empty()) {
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -6,8 +6,10 @@
 // real MPI simulation would use its own world communicator.
 #pragma once
 
+#include <cstdio>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,8 +19,11 @@
 #include "colza/client.hpp"
 #include "colza/deploy.hpp"
 #include "colza/server.hpp"
+#include "common/buffer_pool.hpp"
 #include "des/simulation.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "vis/data.hpp"
 
 namespace colza::bench {
@@ -36,6 +41,14 @@ struct HarnessConfig {
   // (0 = stage as fast as possible).
   des::Duration compute_between_iterations = 0;
   std::uint64_t seed = 33;
+  // Observability (src/obs). Non-empty trace_path enables the virtual-time
+  // tracer and writes a Chrome trace_event JSON there after run(); non-empty
+  // metrics_path dumps the metrics registry (with one snapshot per
+  // iteration) there. For byte-identical traces across runs, also set
+  // fixed_scoped_charge so charge_scoped() costs are host-independent.
+  std::string trace_path;
+  std::string metrics_path;
+  des::Duration fixed_scoped_charge = 0;
 };
 
 struct IterationTimes {
@@ -65,8 +78,15 @@ class ColzaPipelineHarness {
  public:
   ColzaPipelineHarness(const HarnessConfig& config)
       : config_(config),
-        sim_(des::SimConfig{.seed = config.seed}),
+        sim_(des::SimConfig{.seed = config.seed,
+                            .fixed_scoped_charge = config.fixed_scoped_charge}),
         net_(sim_) {
+    if (!config_.trace_path.empty() || !config_.metrics_path.empty()) {
+      obs::MetricsRegistry::global().reset();
+    }
+    if (!config_.trace_path.empty()) {
+      obs::Tracer::global().enable(sim_);
+    }
     ServerConfig scfg;
     scfg.profile = config_.server_profile;
     // Fast, deterministic launches for pipeline benches: launch latency is
@@ -151,7 +171,10 @@ class ColzaPipelineHarness {
               if (c == 0) {
                 if (before) before(it);
                 const des::Time t0 = sim_.now();
-                h->activate(it).check();
+                {
+                  obs::SpanScope phase("phase.activate", "phase");
+                  h->activate(it).check();
+                }
                 times.activate = sim_.now() - t0;
                 // Share the agreed view with the other clients.
                 std::vector<net::ProcId> view = h->view();
@@ -186,32 +209,75 @@ class ColzaPipelineHarness {
               }
 
               // Stage phase, bracketed by barriers so rank 0 measures the
-              // slowest client.
+              // slowest client. Rank 0's phase span covers the same
+              // barrier-to-barrier interval the reported time does.
               barrier(c);
+              std::optional<obs::SpanScope> stage_phase;
+              if (c == 0) stage_phase.emplace("phase.stage", "phase");
               const des::Time s0 = sim_.now();
               for (auto& [block_id, ds] : blocks) {
                 h->stage(it, block_id, ds).check();
               }
               barrier(c);
               times.stage = sim_.now() - s0;
+              stage_phase.reset();
 
               if (c == 0) {
                 des::Time t0 = sim_.now();
-                h->execute(it).check();
+                {
+                  obs::SpanScope phase("phase.execute", "phase");
+                  h->execute(it).check();
+                }
                 times.execute = sim_.now() - t0;
                 t0 = sim_.now();
-                h->deactivate(it).check();
+                {
+                  obs::SpanScope phase("phase.deactivate", "phase");
+                  h->deactivate(it).check();
+                }
                 times.deactivate = sim_.now() - t0;
                 times.servers = h->server_count();
                 results.push_back(times);
                 if (after) after(times);
+                if (!config_.metrics_path.empty()) {
+                  obs::MetricsRegistry::global().snapshot(
+                      "iteration-" + std::to_string(it));
+                }
               }
               barrier(c);
             }
           });
     }
     sim_.run();
+    finish_observability();
     return results;
+  }
+
+  // Writes the trace / metrics files configured in HarnessConfig. Called
+  // automatically at the end of run(); idempotent (later calls rewrite the
+  // same files with the same content).
+  void finish_observability() {
+    if (!config_.trace_path.empty()) {
+      obs::Tracer::global().disable();
+      obs::Tracer::global().write_chrome_trace(config_.trace_path);
+    }
+    if (!config_.metrics_path.empty()) {
+      auto& reg = obs::MetricsRegistry::global();
+      // BufferPool keeps its own counters (common/ cannot depend on obs/);
+      // sample them into gauges at export time.
+      auto& pool = common::BufferPool::global();
+      const double hits = static_cast<double>(pool.hits());
+      const double misses = static_cast<double>(pool.misses());
+      reg.gauge("buffer_pool.hits").set(hits);
+      reg.gauge("buffer_pool.misses").set(misses);
+      reg.gauge("buffer_pool.hit_rate")
+          .set(hits + misses > 0 ? hits / (hits + misses) : 0.0);
+      std::FILE* f = std::fopen(config_.metrics_path.c_str(), "wb");
+      if (f != nullptr) {
+        const std::string out = reg.dump_json();
+        std::fwrite(out.data(), 1, out.size(), f);
+        std::fclose(f);
+      }
+    }
   }
 
  private:

@@ -1,7 +1,11 @@
 #include "colza/autoscale.hpp"
 
 #include <algorithm>
+#include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace colza {
 
@@ -29,19 +33,32 @@ ScaleDecision AutoScaler::observe(des::Duration execute_time,
 
   const des::Duration m = median();
   const auto target = static_cast<double>(policy_.target_execute);
+  ScaleDecision decision = ScaleDecision::hold;
   if (static_cast<double>(m) > target * policy_.up_factor &&
       servers < policy_.max_servers) {
     cooldown_ = policy_.cooldown_iterations;
     window_.clear();
-    return ScaleDecision::up;
-  }
-  if (static_cast<double>(m) < target * policy_.down_factor &&
-      servers > policy_.min_servers) {
+    decision = ScaleDecision::up;
+    obs::MetricsRegistry::global().counter("autoscale.up").inc();
+  } else if (static_cast<double>(m) < target * policy_.down_factor &&
+             servers > policy_.min_servers) {
     cooldown_ = policy_.cooldown_iterations;
     window_.clear();
-    return ScaleDecision::down;
+    decision = ScaleDecision::down;
+    obs::MetricsRegistry::global().counter("autoscale.down").inc();
   }
-  return ScaleDecision::hold;
+  if (decision != ScaleDecision::hold) {
+    // Decision audit log entry: the evidence (median vs target) alongside
+    // the verdict, so a trace explains every resize.
+    obs::Tracer::global().instant(
+        "autoscale.decision", "autoscale",
+        std::string("\"decision\":\"") +
+            (decision == ScaleDecision::up ? "up" : "down") +
+            "\",\"median_us\":" + std::to_string(m / 1000) +
+            ",\"target_us\":" + std::to_string(policy_.target_execute / 1000) +
+            ",\"servers\":" + std::to_string(servers));
+  }
+  return decision;
 }
 
 }  // namespace colza

@@ -4,6 +4,8 @@
 
 #include "colza/placement.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace colza {
 
@@ -80,15 +82,20 @@ Status DistributedPipelineHandle::parallel_over(
   auto first_error = std::make_shared<Status>();
   if (servers.empty()) return Status::Ok();
   // Fan-out fibers are fresh fibers, so they would lose the calling fiber's
-  // ambient RPC deadline; re-install it explicitly in each.
+  // ambient RPC deadline and ambient trace span; re-install both explicitly
+  // in each (the per-fiber span also makes every fan leg visible in traces).
   auto* engine = &client_->engine();
   const des::Time ambient = engine->ambient_deadline();
+  const obs::TraceContext parent = obs::Tracer::global().current();
   for (net::ProcId server : servers) {
     client_->process().spawn(
         "colza-rpc-fan",
-        [fn, server, done, remaining, first_error, engine, ambient] {
+        [fn, server, done, remaining, first_error, engine, ambient, parent] {
           rpc::DeadlineScope scope(*engine, ambient);
+          obs::SpanScope span("colza.fan:", net::to_string(server), "colza",
+                              parent);
           Status s = fn(server);
+          span.arg("status", static_cast<std::uint64_t>(s.code()));
           if (!s.ok() && first_error->ok()) *first_error = s;
           if (--*remaining == 0) done->set_value(*first_error);
         },
@@ -112,6 +119,9 @@ Status DistributedPipelineHandle::reactivate(std::uint64_t iteration,
 Status DistributedPipelineHandle::activate_impl(std::uint64_t iteration,
                                                 int max_attempts,
                                                 bool recover) {
+  obs::SpanScope span(recover ? "colza.reactivate" : "colza.activate",
+                      "colza");
+  span.arg("iteration", iteration);
   auto& engine = client_->engine();
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (view_.empty()) {
@@ -217,6 +227,17 @@ Status DistributedPipelineHandle::stage_to(
   }
   auto& proc = client_->process();
 
+  obs::SpanScope span("colza.stage", "colza");
+  span.arg("block", block_id);
+  span.arg("bytes", static_cast<std::uint64_t>(data.size()));
+  span.arg("copies", static_cast<std::uint64_t>(copyset.size()));
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("colza.bytes_staged").inc(data.size());
+  if (copyset.size() > 1) {
+    metrics.counter("colza.bytes_replicated")
+        .inc(data.size() * (copyset.size() - 1));
+  }
+
   StageMetadata meta;
   meta.pipeline = name_;
   meta.iteration = iteration;
@@ -264,6 +285,8 @@ Status DistributedPipelineHandle::stage(std::uint64_t iteration,
 // ------------------------------------------------------------------ exec
 
 Status DistributedPipelineHandle::execute(std::uint64_t iteration) {
+  obs::SpanScope span("colza.execute", "colza");
+  span.arg("iteration", iteration);
   return parallel_over(view_, [&](net::ProcId server) {
     // Pipeline execution can be long (minutes of rendering); use a generous
     // timeout.
@@ -279,6 +302,8 @@ Status DistributedPipelineHandle::deactivate(std::uint64_t iteration) {
 
 Status DistributedPipelineHandle::deactivate_on(
     std::uint64_t iteration, const std::vector<net::ProcId>& servers) {
+  obs::SpanScope span("colza.deactivate", "colza");
+  span.arg("iteration", iteration);
   return parallel_over(servers, [&](net::ProcId server) {
     auto r = client_->engine().call_raw(server, "colza.deactivate",
                                         pack(name_, iteration));

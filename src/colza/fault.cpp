@@ -8,6 +8,8 @@
 #include "colza/placement.hpp"
 #include "common/log.hpp"
 #include "des/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace colza {
 
@@ -95,7 +97,13 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
       }
 
       if (!failed) {
-        if (attempt > 1 && any_staged) ++st.full_restages;
+        if (attempt > 1 && any_staged) {
+          ++st.full_restages;
+          obs::MetricsRegistry::global().counter("colza.restage.full").inc();
+          obs::Tracer::global().instant(
+              "recovery.full_restage", "colza",
+              "\"iteration\":" + std::to_string(iteration));
+        }
         for (const auto& [id, bytes] : blocks) {
           const auto copyset = handle.copyset_for(id);
           Status ss = handle.stage(iteration, id, bytes);
@@ -140,6 +148,12 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
 
       if (!failed) {
         ++st.partial_recoveries;
+        obs::MetricsRegistry::global()
+            .counter("colza.recovery.partial")
+            .inc();
+        obs::Tracer::global().instant(
+            "recovery.partial", "colza",
+            "\"iteration\":" + std::to_string(iteration));
         // Coverage check: a block is covered iff some member of its
         // recorded copyset is in the recovery view (that member either fed
         // its backend already or will promote its replica at execute).
@@ -158,6 +172,13 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
             placed[id] = fresh;
             any_staged = true;
             ++st.targeted_restages;
+            obs::MetricsRegistry::global()
+                .counter("colza.restage.targeted")
+                .inc();
+            obs::Tracer::global().instant(
+                "recovery.targeted_restage", "colza",
+                "\"iteration\":" + std::to_string(iteration) +
+                    ",\"block\":" + std::to_string(id));
             continue;
           }
           if (!retriable(ss)) {

@@ -4,6 +4,7 @@
 
 #include "colza/placement.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace colza {
 
@@ -329,6 +330,9 @@ void Server::install_handlers() {
       rb.data.resize(meta.data.size);
       Status s = engine_->rdma_pull(meta.data, 0, rb.data);
       if (!s.ok()) return s;
+      obs::MetricsRegistry::global()
+          .counter("colza.server.replica_bytes_pulled")
+          .inc(meta.data.size);
       replicas_[meta.pipeline][meta.iteration]
                [ReplicaKey{meta.block_id, meta.field_name}] = std::move(rb);
       return Status::Ok();
@@ -342,6 +346,9 @@ void Server::install_handlers() {
     block.data.resize(meta.data.size);
     Status s = engine_->rdma_pull(meta.data, 0, block.data);
     if (!s.ok()) return s;
+    obs::MetricsRegistry::global()
+        .counter("colza.server.bytes_pulled")
+        .inc(meta.data.size);
     return p->stage(std::move(block));
   });
 

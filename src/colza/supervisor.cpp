@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace colza {
 
@@ -82,6 +84,10 @@ void Supervisor::handle_death(net::ProcId dead) {
   if (!running_) return;
   if (!handled_deaths_.insert(dead).second) return;  // already being handled
   ++stats_.deaths_seen;
+  obs::MetricsRegistry::global().counter("supervisor.deaths_seen").inc();
+  obs::Tracer::global().instant(
+      "supervisor.death", "supervisor",
+      "\"member\":" + std::to_string(dead));
   if (scaler_ != nullptr) scaler_->notify_membership_change();
 
   const auto nit = node_of_.find(dead);
@@ -100,9 +106,17 @@ void Supervisor::handle_death(net::ProcId dead) {
   if (jit != last_join_at_.end() &&
       sim_->now() - jit->second <= config_.flap_window) {
     ++stats_.flaps;
+    obs::MetricsRegistry::global().counter("supervisor.flaps").inc();
     if (++strikes_[node] >= config_.flap_threshold) {
       quarantined_.insert(node);
       ++stats_.nodes_quarantined;
+      obs::MetricsRegistry::global()
+          .counter("supervisor.nodes_quarantined")
+          .inc();
+      obs::Tracer::global().instant(
+          "supervisor.quarantine", "supervisor",
+          "\"node\":" + std::to_string(node) +
+              ",\"strikes\":" + std::to_string(strikes_[node]));
       COLZA_LOG_WARN("colza-sup", "node %llu quarantined after %d flaps",
                      static_cast<unsigned long long>(node), strikes_[node]);
       return;
@@ -113,6 +127,11 @@ void Supervisor::handle_death(net::ProcId dead) {
 
   if (stats_.respawns_started >= config_.restart_budget) {
     ++stats_.budget_exhausted;
+    obs::MetricsRegistry::global()
+        .counter("supervisor.budget_exhausted")
+        .inc();
+    obs::Tracer::global().instant("supervisor.budget_exhausted", "supervisor",
+                                  "\"node\":" + std::to_string(node));
     return;
   }
   schedule_respawn(node);
@@ -131,6 +150,13 @@ Backoff& Supervisor::node_backoff(net::NodeId node) {
 void Supervisor::schedule_respawn(net::NodeId node) {
   ++stats_.respawns_started;
   const des::Duration delay = node_backoff(node).next();
+  obs::MetricsRegistry::global().counter("supervisor.respawns_started").inc();
+  // Decision audit log entry: which node, and how long the backoff holds
+  // the replacement back.
+  obs::Tracer::global().instant(
+      "supervisor.respawn_scheduled", "supervisor",
+      "\"node\":" + std::to_string(node) +
+          ",\"delay_us\":" + std::to_string(delay / 1000));
   std::weak_ptr<int> token = token_;
   sim_->schedule_after(delay, [this, node, token] {
     if (token.expired() || !running_) return;
@@ -139,6 +165,13 @@ void Supervisor::schedule_respawn(net::NodeId node) {
       last_join_at_[node] = sim_->now();
       node_backoff(node).reset();
       ++stats_.respawns_joined;
+      obs::MetricsRegistry::global()
+          .counter("supervisor.respawns_joined")
+          .inc();
+      obs::Tracer::global().instant(
+          "supervisor.respawn_joined", "supervisor",
+          "\"node\":" + std::to_string(node) +
+              ",\"member\":" + std::to_string(replacement.address()));
       if (on_respawn_) on_respawn_(replacement);
       watch(replacement);
     });

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <stdexcept>
 
 namespace colza::json {
@@ -118,6 +120,46 @@ class Parser {
     return Value(std::move(arr));
   }
 
+  // Reads the four hex digits of a \uXXXX escape (the "\u" is already
+  // consumed). Fails at the offending digit's offset on malformed input.
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      unsigned d = 0;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        d = static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        --pos_;  // point the error at the bad digit itself
+        fail("bad \\u escape: expected 4 hex digits");
+      }
+      v = (v << 4) | d;
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -135,11 +177,29 @@ class Parser {
           case 'n': out += '\n'; break;
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
-          case 'u':
-            // Keep \uXXXX escapes verbatim; configs in this codebase are ASCII.
-            out += "\\u";
-            for (int i = 0; i < 4; ++i) out += next();
+          case 'u': {
+            // Decode to UTF-8. BMP code points directly; surrogate pairs
+            // combine into one supplementary-plane code point; lone or
+            // misordered surrogates are malformed input.
+            std::uint32_t cp = parse_hex4();
+            if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              fail("bad \\u escape: unpaired low surrogate");
+            }
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                fail("bad \\u escape: high surrogate not followed by \\u");
+              }
+              pos_ += 2;
+              const std::uint32_t lo = parse_hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                fail("bad \\u escape: high surrogate not followed by low");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            }
+            append_utf8(out, cp);
             break;
+          }
           default: fail("bad escape");
         }
       } else {
@@ -178,7 +238,19 @@ void dump_string(const std::string& s, std::string& out) {
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
-      default: out += c;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Remaining control characters have no short escape; \u00XX keeps
+          // the dump parseable by the (now stricter) parser.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   out += '"';

@@ -1,7 +1,9 @@
 // Minimal JSON value + parser, used for the pipeline configuration strings
-// that Colza's admin interface passes when creating a pipeline (paper §II-B).
-// Supports objects, arrays, strings, numbers, booleans, null; UTF-8 is passed
-// through verbatim ( \uXXXX escapes are not decoded, kept as-is ).
+// that Colza's admin interface passes when creating a pipeline (paper §II-B)
+// and for the chaos-plan / trace / metrics files. Supports objects, arrays,
+// strings, numbers, booleans, null; raw UTF-8 passes through verbatim and
+// \uXXXX escapes (including surrogate pairs) are decoded to UTF-8. Malformed
+// escapes are rejected with the offending offset.
 #pragma once
 
 #include <cstdint>

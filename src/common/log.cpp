@@ -39,9 +39,10 @@ Level level() noexcept { return g_level; }
 void set_level(Level lvl) noexcept { g_level = lvl; }
 
 namespace detail {
-void emit(Level lvl, std::string_view tag, const std::string& msg) {
-  std::fprintf(stderr, "[%s] [%.*s] %s\n", level_name(lvl),
-               static_cast<int>(tag.size()), tag.data(), msg.c_str());
+void emit(Level lvl, std::string_view tag, std::string_view msg) {
+  std::fprintf(stderr, "[%s] [%.*s] %.*s\n", level_name(lvl),
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(msg.size()), msg.data());
 }
 }  // namespace detail
 

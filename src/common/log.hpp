@@ -2,6 +2,7 @@
 // thread); writes to stderr. Level settable via COLZA_LOG env var or API.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -14,21 +15,32 @@ Level level() noexcept;
 void set_level(Level lvl) noexcept;
 
 namespace detail {
-void emit(Level lvl, std::string_view tag, const std::string& msg);
+void emit(Level lvl, std::string_view tag, std::string_view msg);
 }
 
 template <typename... Args>
 void logf(Level lvl, std::string_view tag, const char* fmt, Args&&... args) {
   if (lvl < level()) return;
-  char buf[1024];
   if constexpr (sizeof...(Args) == 0) {
     detail::emit(lvl, tag, fmt);
   } else {
+    // Stack buffer covers the overwhelmingly common short message; when
+    // snprintf reports the output didn't fit, re-format into a heap buffer
+    // sized from its return value so nothing is silently cut.
+    char buf[1024];
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wformat-security"
-    std::snprintf(buf, sizeof(buf), fmt, std::forward<Args>(args)...);
+    const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+    if (n < 0) {
+      detail::emit(lvl, tag, "[log format error]");
+    } else if (static_cast<std::size_t>(n) < sizeof(buf)) {
+      detail::emit(lvl, tag, std::string_view(buf, static_cast<std::size_t>(n)));
+    } else {
+      std::string big(static_cast<std::size_t>(n), '\0');
+      std::snprintf(big.data(), big.size() + 1, fmt, args...);
+      detail::emit(lvl, tag, big);
+    }
 #pragma GCC diagnostic pop
-    detail::emit(lvl, tag, buf);
   }
 }
 

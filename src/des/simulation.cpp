@@ -288,6 +288,10 @@ void Simulation::charge(Duration d) {
                  static_cast<unsigned long long>(current_->tag()),
                  static_cast<unsigned long long>(current_->id()));
   }
+  if (charge_listener_ != nullptr && current_ != nullptr && d > 0) {
+    charge_listener_(charge_ctx_, *this, current_->name().c_str(),
+                     current_->tag(), current_->id(), now_, d);
+  }
   sleep_for(d);
 }
 

@@ -188,6 +188,20 @@ class Simulation {
   void stop_trace();
   [[nodiscard]] bool tracing() const noexcept { return trace_ != nullptr; }
 
+  // External charge observer (the obs tracer folds compute spans into its
+  // unified trace through this). Called from inside charge() BEFORE the
+  // fiber advances, with the charged interval's start and duration; it must
+  // not block, schedule, or recurse into charge. A plain function pointer so
+  // des keeps zero link-time dependencies on observers.
+  using ChargeListener = void (*)(void* ctx, Simulation& sim,
+                                  const char* fiber_name, std::uint64_t tag,
+                                  std::uint64_t fiber_id, Time start,
+                                  Duration d);
+  void set_charge_listener(ChargeListener fn, void* ctx) noexcept {
+    charge_listener_ = fn;
+    charge_ctx_ = ctx;
+  }
+
  private:
   friend class Fiber;
 
@@ -287,6 +301,8 @@ class Simulation {
 #endif
   std::FILE* trace_ = nullptr;
   bool trace_first_event_ = true;
+  ChargeListener charge_listener_ = nullptr;
+  void* charge_ctx_ = nullptr;
   std::size_t nondaemon_fibers_ = 0;
   std::size_t nondaemon_events_ = 0;
   std::exception_ptr pending_error_;

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
+
 namespace colza::icet {
 
 namespace {
@@ -367,6 +369,10 @@ Expected<CompositeStats> composite(render::FrameBuffer& fb,
   if (size == 1) return stats;
   Channel ch{&comm, &stats};
 
+  obs::SpanScope span("icet.composite", "icet");
+  span.arg("strategy", static_cast<std::uint64_t>(strategy));
+  span.arg("ranks", static_cast<std::uint64_t>(size));
+
   Status s;
   switch (strategy) {
     case Strategy::tree:
@@ -401,6 +407,9 @@ Expected<CompositeStats> composite(render::FrameBuffer& fb,
     }
   }
   if (!s.ok()) return s;
+  span.arg("bytes_sent", stats.bytes_sent);
+  span.arg("bytes_received", stats.bytes_received);
+  span.arg("rounds", static_cast<std::uint64_t>(stats.rounds));
   return stats;
 }
 

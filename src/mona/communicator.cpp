@@ -10,6 +10,7 @@
 
 #include "common/buffer_pool.hpp"
 #include "mona/mona.hpp"
+#include "obs/trace.hpp"
 #include "mona/tags.hpp"
 
 namespace colza::mona {
@@ -139,6 +140,7 @@ Request Communicator::irecv(std::span<std::byte> out, int source, Tag tag,
 // ------------------------------------------------------------- barrier
 
 Status Communicator::barrier() {
+  obs::SpanScope obs_span("mona.barrier", "mona");
   const std::uint64_t tag = coll_tag(kBarrier);
   const int n = size();
   std::byte token{};
@@ -156,6 +158,8 @@ Status Communicator::barrier() {
 // ------------------------------------------------------------- bcast
 
 Status Communicator::bcast(std::span<std::byte> data, int root) {
+  obs::SpanScope obs_span("mona.bcast", "mona");
+  obs_span.arg("bytes", static_cast<std::uint64_t>(data.size()));
   const std::uint64_t tag = coll_tag(kBcast);
   const int n = size();
   if (root < 0 || root >= n)
@@ -192,6 +196,7 @@ Status Communicator::bcast(std::span<std::byte> data, int root) {
 Status Communicator::reduce(std::span<const std::byte> send,
                             std::span<std::byte> recv, std::size_t count,
                             const ReduceOp& op, int root) {
+  obs::SpanScope obs_span("mona.reduce", "mona");
   const std::uint64_t tag = coll_tag(kReduce);
   const int n = size();
   const std::size_t bytes = count * op.elem_size;
@@ -252,6 +257,7 @@ Status Communicator::reduce(std::span<const std::byte> send,
 Status Communicator::allreduce(std::span<const std::byte> send,
                                std::span<std::byte> recv, std::size_t count,
                                const ReduceOp& op) {
+  obs::SpanScope obs_span("mona.allreduce", "mona");
   const std::uint64_t tag = coll_tag(kAllreduce);
   const int n = size();
   const std::size_t bytes = count * op.elem_size;
@@ -312,6 +318,7 @@ Status Communicator::allreduce(std::span<const std::byte> send,
 
 Status Communicator::gather(std::span<const std::byte> send,
                             std::span<std::byte> recv, int root) {
+  obs::SpanScope obs_span("mona.gather", "mona");
   const std::uint64_t tag = coll_tag(kGather);
   const int n = size();
   const std::size_t blk = send.size();
@@ -366,6 +373,7 @@ Status Communicator::gather(std::span<const std::byte> send,
 Status Communicator::gatherv(std::span<const std::byte> send,
                              std::span<std::byte> recv,
                              std::span<const std::size_t> counts, int root) {
+  obs::SpanScope obs_span("mona.gatherv", "mona");
   const std::uint64_t tag = coll_tag(kGatherv);
   const int n = size();
   if (counts.size() != static_cast<std::size_t>(n))
@@ -410,6 +418,7 @@ Status Communicator::gatherv(std::span<const std::byte> send,
 
 Status Communicator::scatter(std::span<const std::byte> send,
                              std::span<std::byte> recv, int root) {
+  obs::SpanScope obs_span("mona.scatter", "mona");
   const std::uint64_t tag = coll_tag(kScatter);
   const int n = size();
   const std::size_t blk = recv.size();
@@ -458,6 +467,7 @@ Status Communicator::scatter(std::span<const std::byte> send,
 
 Status Communicator::allgather(std::span<const std::byte> send,
                                std::span<std::byte> recv) {
+  obs::SpanScope obs_span("mona.allgather", "mona");
   const std::uint64_t tag = coll_tag(kAllgather);
   const int n = size();
   const std::size_t blk = send.size();
@@ -487,6 +497,7 @@ Status Communicator::allgather(std::span<const std::byte> send,
 Status Communicator::alltoall(std::span<const std::byte> send,
                               std::span<std::byte> recv,
                               std::size_t block_bytes) {
+  obs::SpanScope obs_span("mona.alltoall", "mona");
   const std::uint64_t tag = coll_tag(kAlltoall);
   const int n = size();
   if (send.size() < block_bytes * static_cast<std::size_t>(n) ||
@@ -575,6 +586,7 @@ Status Communicator::exscan(std::span<const std::byte> send,
 Status Communicator::allgatherv(std::span<const std::byte> send,
                                 std::span<std::byte> recv,
                                 std::span<const std::size_t> counts) {
+  obs::SpanScope obs_span("mona.allgatherv", "mona");
   const std::uint64_t tag = coll_tag(kAllgatherv);
   const int n = size();
   if (counts.size() != static_cast<std::size_t>(n))
@@ -616,6 +628,7 @@ Status Communicator::reduce_scatter_block(std::span<const std::byte> send,
                                           std::span<std::byte> recv,
                                           std::size_t count_per_rank,
                                           const ReduceOp& op) {
+  obs::SpanScope obs_span("mona.reduce_scatter_block", "mona");
   const std::uint64_t tag = coll_tag(kReduceScatter);
   const int n = size();
   const std::size_t block = count_per_rank * op.elem_size;

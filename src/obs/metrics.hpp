@@ -1,0 +1,102 @@
+// Process-local metrics registry: counters, gauges and log2-bucketed
+// histograms with O(1) hot-path recording.
+//
+// The registry hands out stable references (the maps are node-based), so hot
+// paths look a metric up once and keep the pointer; recording is then a bare
+// increment. Everything is single-threaded by design, like the DES it
+// observes, and recording never touches the virtual clock -- enabling
+// metrics cannot change a timeline.
+//
+// Snapshots: snapshot("label") deep-copies the current values into an epoch
+// list, so the bench harness can dump per-virtual-epoch (per-iteration)
+// metric states next to the final totals. to_json()/dump_json() produce the
+// machine-readable form the benches and tier2 sweeps write to disk.
+//
+// Naming convention (see docs/observability.md): dot-separated lowercase
+// paths, subsystem first -- e.g. "rpc.breaker.open", "colza.bytes_staged",
+// "supervisor.respawns_joined", "rpc.latency.colza.stage".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace colza::obs {
+
+struct Counter {
+  std::uint64_t value = 0;
+  void inc(std::uint64_t n = 1) noexcept { value += n; }
+};
+
+struct Gauge {
+  double value = 0.0;
+  void set(double v) noexcept { value = v; }
+  void add(double v) noexcept { value += v; }
+};
+
+// Power-of-two bucketed histogram: bucket i counts samples v with
+// 2^(i-1) < v <= 2^i (bucket 0 counts v == 0). Recording is a few integer
+// ops -- no allocation, no search.
+struct Histogram {
+  static constexpr int kBuckets = 65;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = ~std::uint64_t{0};
+  std::uint64_t max = 0;
+  std::uint64_t buckets[kBuckets] = {};
+
+  void record(std::uint64_t v) noexcept {
+    ++count;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+    int b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    ++buckets[b];
+  }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry. Outlives every Simulation; tests and benches
+  // call reset() at scenario start so runs are comparable.
+  static MetricsRegistry& global();
+
+  // Stable references: look up once, record through the pointer.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  // Read-only access for tests; returns 0 / nullptr when absent.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  // Deep-copies the current values into the epoch list under `label`
+  // (e.g. "iteration-7"): the per-virtual-epoch snapshot facility.
+  void snapshot(const std::string& label);
+
+  // Current values as JSON; dump_json() adds the recorded epoch snapshots.
+  [[nodiscard]] json::Value to_json() const;
+  [[nodiscard]] std::string dump_json() const;
+
+  // Drops every metric and every snapshot.
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::vector<std::pair<std::string, json::Value>> epochs_;
+};
+
+}  // namespace colza::obs

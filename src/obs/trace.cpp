@@ -1,0 +1,328 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "des/simulation.hpp"
+
+namespace colza::obs {
+namespace {
+
+// Virtual nanoseconds -> chrome "ts" microseconds with the sub-microsecond
+// part as exactly three decimals. Integer math only: the emitted bytes are a
+// pure function of the virtual timestamp, never of host float formatting.
+void append_ts(std::string& out, des::Time ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void hash_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+}
+
+void hash_u64(std::uint64_t& h, std::uint64_t v) { hash_bytes(h, &v, 8); }
+
+void on_charge(void* ctx, des::Simulation& sim, const char* fiber_name,
+               std::uint64_t tag, std::uint64_t fiber_id, des::Time start,
+               des::Duration d) {
+  auto* tracer = static_cast<Tracer*>(ctx);
+  if (!tracer->enabled() || tracer->sim() != &sim) return;
+  tracer->compute_span(fiber_name, tag, fiber_id, start, d);
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(des::Simulation& sim) {
+  enabled_ = true;
+  sim_ = &sim;
+  next_span_id_ = 0;
+  next_trace_id_ = 0;
+  events_.clear();
+  stacks_.clear();
+  sim.set_charge_listener(&on_charge, this);
+}
+
+void Tracer::disable() {
+  // Events are kept for post-run export/inspection; the charge listener
+  // stays installed on the (possibly already destroyed) simulation and is
+  // gated by enabled_ here.
+  enabled_ = false;
+}
+
+TraceContext Tracer::current() const {
+  if (!enabled_ || sim_ == nullptr) return {};
+  auto it = stacks_.find(sim_->current_fiber_id());
+  if (it == stacks_.end() || it->second.empty()) return {};
+  const ActiveSpan& top = it->second.back();
+  return TraceContext{top.trace_id, top.span_id};
+}
+
+std::uint64_t Tracer::push_span(std::string name, const char* cat,
+                                TraceContext remote_parent) {
+  if (!enabled_ || sim_ == nullptr) return 0;
+  const std::uint64_t fiber = sim_->current_fiber_id();
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_id = 0;
+  if (remote_parent.valid()) {
+    trace_id = remote_parent.trace_id;
+    parent_id = remote_parent.span_id;
+  } else if (auto it = stacks_.find(fiber);
+             it != stacks_.end() && !it->second.empty()) {
+    trace_id = it->second.back().trace_id;
+    parent_id = it->second.back().span_id;
+  } else {
+    trace_id = ++next_trace_id_;
+  }
+  const std::uint64_t span_id = ++next_span_id_;
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::begin;
+  ev.ts = sim_->now();
+  ev.pid = sim_->current_tag();
+  ev.tid = fiber;
+  ev.trace_id = trace_id;
+  ev.span_id = span_id;
+  ev.parent_id = parent_id;
+  ev.name = std::move(name);
+  ev.cat = cat;
+  events_.push_back(std::move(ev));
+  stacks_[fiber].push_back(ActiveSpan{trace_id, span_id});
+  return span_id;
+}
+
+void Tracer::pop_span(std::uint64_t span_id, std::string args) {
+  if (span_id == 0 || !enabled_ || sim_ == nullptr) return;
+  const std::uint64_t fiber = sim_->current_fiber_id();
+  auto it = stacks_.find(fiber);
+  if (it == stacks_.end() || it->second.empty() ||
+      it->second.back().span_id != span_id) {
+    // Mis-nested pop: only possible through a code bug, never data.
+    throw std::logic_error("Tracer::pop_span: span stack mismatch");
+  }
+  const ActiveSpan top = it->second.back();
+  it->second.pop_back();
+  if (it->second.empty()) stacks_.erase(it);
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::end;
+  ev.ts = sim_->now();
+  ev.pid = sim_->current_tag();
+  ev.tid = fiber;
+  ev.trace_id = top.trace_id;
+  ev.span_id = top.span_id;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(std::string name, const char* cat, std::string args) {
+  if (!enabled_ || sim_ == nullptr) return;
+  const TraceContext ambient = current();
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::instant;
+  ev.ts = sim_->now();
+  ev.pid = sim_->current_tag();
+  ev.tid = sim_->current_fiber_id();
+  ev.trace_id = ambient.trace_id;
+  ev.parent_id = ambient.span_id;
+  ev.name = std::move(name);
+  ev.cat = cat;
+  ev.args = std::move(args);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::compute_span(const char* fiber_name, std::uint64_t tag,
+                          std::uint64_t fiber_id, des::Time start,
+                          des::Duration d) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.phase = TraceEvent::Phase::complete;
+  ev.ts = start;
+  ev.dur = d;
+  ev.pid = tag;
+  ev.tid = fiber_id;
+  if (auto it = stacks_.find(fiber_id);
+      it != stacks_.end() && !it->second.empty()) {
+    ev.trace_id = it->second.back().trace_id;
+    ev.parent_id = it->second.back().span_id;
+  }
+  ev.name = fiber_name;
+  ev.name += " [compute]";
+  ev.cat = "compute";
+  events_.push_back(std::move(ev));
+}
+
+std::string Tracer::chrome_json() const {
+  std::string out;
+  out.reserve(events_.size() * 160 + 64);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":";
+    append_escaped(out, ev.name);
+    out += ",\"cat\":";
+    append_escaped(out, ev.cat);
+    out += ",\"ph\":\"";
+    switch (ev.phase) {
+      case TraceEvent::Phase::begin: out += 'B'; break;
+      case TraceEvent::Phase::end: out += 'E'; break;
+      case TraceEvent::Phase::instant: out += "i\",\"s\":\"t"; break;
+      case TraceEvent::Phase::complete: out += 'X'; break;
+    }
+    out += "\",\"ts\":";
+    append_ts(out, ev.ts);
+    if (ev.phase == TraceEvent::Phase::complete) {
+      out += ",\"dur\":";
+      append_ts(out, ev.dur);
+    }
+    out += ",\"pid\":";
+    append_u64(out, ev.pid);
+    out += ",\"tid\":";
+    append_u64(out, ev.tid);
+    out += ",\"args\":{";
+    bool comma = false;
+    if (ev.trace_id != 0) {
+      out += "\"trace\":";
+      append_u64(out, ev.trace_id);
+      comma = true;
+    }
+    if (ev.span_id != 0) {
+      if (comma) out += ',';
+      out += "\"span\":";
+      append_u64(out, ev.span_id);
+      comma = true;
+    }
+    if (ev.parent_id != 0) {
+      if (comma) out += ',';
+      out += "\"parent\":";
+      append_u64(out, ev.parent_id);
+      comma = true;
+    }
+    if (!ev.args.empty()) {
+      if (comma) out += ',';
+      out += ev.args;
+    }
+    out += "}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  const std::string body = chrome_json();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+std::uint64_t Tracer::timeline_hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const TraceEvent& ev : events_) {
+    hash_u64(h, static_cast<std::uint64_t>(ev.phase));
+    hash_u64(h, ev.ts);
+    hash_u64(h, ev.dur);
+    hash_u64(h, ev.pid);
+    hash_u64(h, ev.tid);
+    hash_u64(h, ev.trace_id);
+    hash_u64(h, ev.span_id);
+    hash_u64(h, ev.parent_id);
+    hash_bytes(h, ev.name.data(), ev.name.size());
+    hash_bytes(h, ev.cat, std::char_traits<char>::length(ev.cat));
+    hash_bytes(h, ev.args.data(), ev.args.size());
+  }
+  return h;
+}
+
+// ---- SpanScope -------------------------------------------------------------
+
+SpanScope::SpanScope(const char* name, const char* cat) {
+  Tracer& t = Tracer::global();
+  if (t.enabled()) span_id_ = t.push_span(name, cat);
+}
+
+SpanScope::SpanScope(const char* prefix, const std::string& suffix,
+                     const char* cat) {
+  Tracer& t = Tracer::global();
+  if (t.enabled()) span_id_ = t.push_span(prefix + suffix, cat);
+}
+
+SpanScope::SpanScope(const char* prefix, const std::string& suffix,
+                     const char* cat, TraceContext remote_parent) {
+  Tracer& t = Tracer::global();
+  if (t.enabled()) span_id_ = t.push_span(prefix + suffix, cat, remote_parent);
+}
+
+SpanScope::~SpanScope() {
+  if (span_id_ != 0) Tracer::global().pop_span(span_id_, std::move(args_));
+}
+
+void SpanScope::arg(const char* key, std::uint64_t value) {
+  if (span_id_ == 0) return;
+  if (!args_.empty()) args_ += ',';
+  append_escaped(args_, key);
+  args_ += ':';
+  append_u64(args_, value);
+}
+
+void SpanScope::arg(const char* key, double value) {
+  if (span_id_ == 0) return;
+  if (!args_.empty()) args_ += ',';
+  append_escaped(args_, key);
+  args_ += ':';
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  args_ += buf;
+}
+
+void SpanScope::arg(const char* key, const std::string& value) {
+  if (span_id_ == 0) return;
+  if (!args_.empty()) args_ += ',';
+  append_escaped(args_, key);
+  args_ += ':';
+  append_escaped(args_, value);
+}
+
+}  // namespace colza::obs

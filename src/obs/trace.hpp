@@ -1,0 +1,156 @@
+// Virtual-time distributed tracing for the DES runtime.
+//
+// A TraceContext (trace id + span id) rides the RPC request frame exactly
+// like the absolute deadline does: it is ALWAYS serialized (zeros when
+// tracing is off), so enabling tracing never changes a message's size and
+// therefore never changes its modeled latency -- the virtual timeline is
+// identical with tracing on or off, and bit-identical across runs at the
+// same seed.
+//
+// Propagation mirrors the ambient-deadline design: each fiber carries a
+// stack of open spans (SpanScope pushes/pops), nested RPCs pick up the
+// current fiber's top span as parent, and the server-side handler fiber
+// opens its span as a child of the remote caller's context. Fan-out fibers
+// (e.g. the client's parallel_over) capture Tracer::current() before
+// spawning and re-parent explicitly, the same way they re-install the
+// ambient deadline.
+//
+// Timestamps are DES virtual time. Recording never blocks, never charges,
+// and never touches the simulation RNG, so the tracer is invisible to the
+// timeline by construction. Export is Chrome trace_event JSON (B/E pairs +
+// X compute spans + i instants), loadable in chrome://tracing / Perfetto:
+// pid = simulated process tag, tid = fiber id. See docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace colza::des {
+class Simulation;
+}
+
+namespace colza::obs {
+
+// Rides the RPC request frame next to the deadline; 16 bytes on the wire,
+// zeros when tracing is disabled (span_id 0 = "no context").
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return span_id != 0; }
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar & trace_id;
+    ar & span_id;
+  }
+};
+
+struct TraceEvent {
+  enum class Phase : std::uint8_t { begin, end, instant, complete };
+  Phase phase = Phase::instant;
+  des::Time ts = 0;
+  des::Duration dur = 0;  // complete events only
+  std::uint64_t pid = 0;  // simulated process tag
+  std::uint64_t tid = 0;  // fiber id
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::string name;
+  const char* cat = "";
+  std::string args;  // preformatted JSON object body ("\"k\":v,..."), may be empty
+};
+
+// Process-wide span recorder. Disabled by default: every record call is a
+// single branch. enable(sim) clears prior events and restarts the span-id
+// counter, so two identically-seeded runs produce identical event lists.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  void enable(des::Simulation& sim);
+  void disable();
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] des::Simulation* sim() const noexcept { return sim_; }
+
+  // Ambient context of the currently running fiber ({} when none/disabled).
+  [[nodiscard]] TraceContext current() const;
+
+  // Opens a span as a child of `remote_parent` when valid, else of the
+  // current fiber's ambient span, and makes it the fiber's ambient span.
+  // Returns the span id (0 when disabled -- callers must treat 0 as no-op).
+  std::uint64_t push_span(std::string name, const char* cat,
+                          TraceContext remote_parent = {});
+  // Closes the fiber's ambient span (must match `span_id`). `args` is a
+  // preformatted JSON object body attached to the end event.
+  void pop_span(std::uint64_t span_id, std::string args);
+
+  // Zero-duration annotated event (decision audit log entries).
+  void instant(std::string name, const char* cat, std::string args = {});
+
+  // Complete (X) compute span, fed by the Simulation charge listener.
+  void compute_span(const char* fiber_name, std::uint64_t tag,
+                    std::uint64_t fiber_id, des::Time start, des::Duration d);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+
+  // Chrome trace_event JSON. Deterministic bytes: fixed field order,
+  // integer-math timestamp formatting, events in recording order.
+  [[nodiscard]] std::string chrome_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+  // FNV-1a over every event field in recording order: the "span timeline
+  // hash" the determinism test compares across runs.
+  [[nodiscard]] std::uint64_t timeline_hash() const;
+
+ private:
+  struct ActiveSpan {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+  };
+
+  bool enabled_ = false;
+  des::Simulation* sim_ = nullptr;
+  std::uint64_t next_span_id_ = 0;
+  std::uint64_t next_trace_id_ = 0;
+  std::vector<TraceEvent> events_;
+  // Ambient open-span stack per fiber id. Entries of crashed fibers are
+  // simply abandoned (their spans stay open in the trace -- truthful: the
+  // fiber never finished); fiber ids are never reused within a run.
+  std::unordered_map<std::uint64_t, std::vector<ActiveSpan>> stacks_;
+};
+
+// RAII span tied to the current fiber. Constructing with a plain C-string
+// name performs no allocation when tracing is disabled; the (prefix,
+// suffix) form concatenates only when enabled.
+class SpanScope {
+ public:
+  SpanScope(const char* name, const char* cat);
+  SpanScope(const char* prefix, const std::string& suffix, const char* cat);
+  // Server-side form: parent is the caller's wire context, not the ambient.
+  SpanScope(const char* prefix, const std::string& suffix, const char* cat,
+            TraceContext remote_parent);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  // Attach a key/value to the span's end event.
+  void arg(const char* key, std::uint64_t value);
+  void arg(const char* key, double value);
+  void arg(const char* key, const std::string& value);
+
+  [[nodiscard]] bool active() const noexcept { return span_id_ != 0; }
+
+ private:
+  std::uint64_t span_id_ = 0;  // 0: tracer was disabled at construction
+  std::string args_;
+};
+
+}  // namespace colza::obs

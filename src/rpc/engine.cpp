@@ -52,20 +52,87 @@ des::Time Engine::ambient_deadline() noexcept {
 
 bool Engine::circuit_open(net::ProcId dest) noexcept {
   auto it = breakers_.find(dest);
-  return it != breakers_.end() && it->second.open_until > sim().now();
+  return it != breakers_.end() && it->second.state == Breaker::State::open &&
+         it->second.open_until > sim().now();
+}
+
+Status Engine::breaker_admit(net::ProcId dest, des::Time now) {
+  auto it = breakers_.find(dest);
+  if (it == breakers_.end()) return Status::Ok();
+  Breaker& b = it->second;
+  if (b.state == Breaker::State::open) {
+    if (now < b.open_until) {
+      obs::MetricsRegistry::global().counter("rpc.breaker.rejected").inc();
+      return Status::Unavailable("circuit open to " + net::to_string(dest));
+    }
+    // Cooldown elapsed: go half-open and let exactly one probe through.
+    b.state = Breaker::State::half_open;
+    b.probe_in_flight = false;
+    obs::MetricsRegistry::global().counter("rpc.breaker.half_open").inc();
+    obs::Tracer::global().instant("breaker.half_open", "rpc");
+  }
+  if (b.state == Breaker::State::half_open) {
+    if (b.probe_in_flight) {
+      // The trial call is still out; don't pile more load on a peer we
+      // have good reason to distrust.
+      obs::MetricsRegistry::global().counter("rpc.breaker.rejected").inc();
+      return Status::Unavailable("circuit half-open to " +
+                                 net::to_string(dest) + ", probe in flight");
+    }
+    b.probe_in_flight = true;  // this call is the probe
+  }
+  return Status::Ok();
 }
 
 void Engine::breaker_failure(net::ProcId dest) {
   if (config_.breaker_threshold <= 0) return;
   auto& b = breakers_[dest];
-  if (++b.failures >= config_.breaker_threshold) {
-    b.open_until = sim().now() + config_.breaker_cooldown;
+  auto& metrics = obs::MetricsRegistry::global();
+  switch (b.state) {
+    case Breaker::State::half_open:
+      // The probe failed: straight back to open for a fresh cooldown.
+      b.state = Breaker::State::open;
+      b.open_until = sim().now() + config_.breaker_cooldown;
+      b.probe_in_flight = false;
+      b.failures = config_.breaker_threshold;
+      metrics.counter("rpc.breaker.open").inc();
+      obs::Tracer::global().instant("breaker.reopen", "rpc");
+      break;
+    case Breaker::State::closed:
+      if (++b.failures >= config_.breaker_threshold) {
+        b.state = Breaker::State::open;
+        b.open_until = sim().now() + config_.breaker_cooldown;
+        metrics.counter("rpc.breaker.open").inc();
+        obs::Tracer::global().instant("breaker.open", "rpc");
+      }
+      break;
+    case Breaker::State::open:
+      // A straggler that was already in flight when the circuit opened;
+      // the breaker is doing its job, nothing to update.
+      break;
   }
 }
 
 void Engine::breaker_success(net::ProcId dest) {
   if (config_.breaker_threshold <= 0) return;
-  breakers_.erase(dest);
+  auto it = breakers_.find(dest);
+  if (it == breakers_.end()) return;
+  // Success proves the peer alive: close and forget, whatever the state
+  // (a half-open probe succeeding is the designed recovery path; an
+  // in-flight call outliving the open transition is equally good news).
+  if (it->second.state != Breaker::State::closed) {
+    obs::MetricsRegistry::global().counter("rpc.breaker.close").inc();
+    obs::Tracer::global().instant("breaker.close", "rpc");
+  }
+  breakers_.erase(it);
+}
+
+void Engine::record_latency(const std::string& name, des::Duration elapsed) {
+  obs::Histogram*& slot = latency_cache_[name];
+  if (slot == nullptr) {
+    slot = &obs::MetricsRegistry::global().histogram("rpc.latency." + name);
+  }
+  slot->record(elapsed);
 }
 
 void Engine::shutdown() {
@@ -90,12 +157,14 @@ void Engine::demux_loop() {
     in.load(id);
     if (kind == kRequest) {
       des::Time deadline = 0;
+      obs::TraceContext trace;
       std::string name;
       in.load(deadline);
+      in.load(trace);
       in.load(name);
       std::vector<std::byte> body(in.remaining());
       in.read_raw(body.data(), body.size());
-      handle_request(msg->source, id, std::move(name), deadline,
+      handle_request(msg->source, id, std::move(name), deadline, trace,
                      std::move(body));
     } else {
       auto it = pending_.find(id);
@@ -119,13 +188,17 @@ void Engine::demux_loop() {
 
 void Engine::handle_request(net::ProcId caller, std::uint64_t id,
                             std::string name, des::Time deadline,
+                            obs::TraceContext trace,
                             std::vector<std::byte> body) {
   // Each request runs in its own fiber so handlers can block (collectives,
   // RDMA, nested RPCs) without stalling the demux loop.
   proc_->spawn(
       "rpc:" + name,
-      [this, caller, id, name = std::move(name), deadline,
+      [this, caller, id, name = std::move(name), deadline, trace,
        body = std::move(body)] {
+        // Server-side span: child of the caller's wire context, and the
+        // ambient parent for any nested RPCs this handler makes.
+        obs::SpanScope span("rpc.handle:", name, "rpc", trace);
         OutArchive reply;
         Status st;
         if (deadline != 0 && sim().now() >= deadline) {
@@ -138,7 +211,7 @@ void Engine::handle_request(net::ProcId caller, std::uint64_t id,
           if (it == handlers_.end()) {
             st = Status::NotFound("no handler for rpc '" + name + "'");
           } else {
-            RequestInfo info{caller, name, deadline};
+            RequestInfo info{caller, name, deadline, trace};
             InArchive in(body);
             // Nested RPCs made by this handler inherit the caller's
             // remaining budget instead of a fresh full timeout.
@@ -150,6 +223,7 @@ void Engine::handle_request(net::ProcId caller, std::uint64_t id,
             }
           }
         }
+        span.arg("status", static_cast<std::uint64_t>(st.code()));
         if (id == 0) return;  // notification: no response wanted
         OutArchive out;
         out.save(kResponse);
@@ -166,11 +240,12 @@ void Engine::handle_request(net::ProcId caller, std::uint64_t id,
 
 void Engine::send_request(net::ProcId dest, const std::string& name,
                           std::vector<std::byte> args, std::uint64_t id,
-                          des::Time deadline) {
+                          des::Time deadline, obs::TraceContext trace) {
   OutArchive out;
   out.save(kRequest);
   out.save(id);
   out.save(deadline);
+  out.save(trace);  // always on the wire (zeros untraced): constant frame size
   out.save(name);
   out.write_raw(args.data(), args.size());
   proc_->network().transmit(*proc_, dest, kMailbox, profile_,
@@ -193,23 +268,29 @@ Expected<std::vector<std::byte>> Engine::call_raw(net::ProcId dest,
                            net::to_string(dest));
   }
   if (config_.breaker_threshold > 0) {
-    const auto it = breakers_.find(dest);
-    if (it != breakers_.end() && it->second.open_until > now) {
-      return Status::Unavailable("circuit open to " + net::to_string(dest));
-    }
+    if (Status admit = breaker_admit(dest, now); !admit.ok()) return admit;
   }
+  // Client-side span; its context rides the frame so the server-side
+  // handler span becomes its child.
+  obs::SpanScope span("rpc.call:", name, "rpc");
+  const obs::TraceContext trace = obs::Tracer::global().current();
   const std::uint64_t id = next_id_++;
   auto ev = std::make_shared<des::Eventual<Expected<std::vector<std::byte>>>>(
       sim());
   pending_.emplace(id, ev);
-  send_request(dest, name, std::move(args), id, deadline);
+  send_request(dest, name, std::move(args), id, deadline, trace);
   auto* result = ev->wait_for(deadline - now);
+  record_latency(name, sim().now() - now);
   if (result == nullptr) {
     pending_.erase(id);
     breaker_failure(dest);
+    span.arg("status", static_cast<std::uint64_t>(StatusCode::timeout));
     return Status::Timeout("rpc '" + name + "' to " + net::to_string(dest));
   }
   breaker_success(dest);
+  span.arg("status",
+           static_cast<std::uint64_t>(
+               result->has_value() ? StatusCode::ok : result->status().code()));
   return std::move(*result);
 }
 

@@ -6,8 +6,14 @@
 // Margo's Argobots binding that the paper relies on (S II-C).
 //
 // Wire format (over net::Mailbox "rpc"):
-//   request : [kind=0][id][deadline][name][args...]
+//   request : [kind=0][id][deadline][trace_id][span_id][name][args...]
 //   response: [kind=1][id][status_code][status_msg][body...]
+//
+// Trace context: every request carries the caller's span context next to the
+// deadline (zeros when tracing is disabled -- the 16 bytes are ALWAYS on the
+// wire so enabling tracing never changes message sizes, and therefore never
+// changes modeled latencies). The handler fiber opens its span as a child of
+// the wire context, so cross-process traces stitch into one tree.
 //
 // Deadlines: every call carries an absolute virtual-time deadline (0 = none).
 // The callee installs it as the handler fiber's *ambient* deadline, so nested
@@ -35,6 +41,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/archive.hpp"
@@ -42,6 +49,8 @@
 #include "des/sync.hpp"
 #include "net/network.hpp"
 #include "net/profile.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace colza::rpc {
 
@@ -50,6 +59,7 @@ struct RequestInfo {
   net::ProcId caller = net::kInvalidProc;
   std::string name;
   des::Time deadline = 0;  // absolute virtual time; 0 = none
+  obs::TraceContext trace;  // caller's span context (zeros when untraced)
 };
 
 // A handler consumes arguments from `in`, writes its reply into `out`, and
@@ -147,7 +157,8 @@ class Engine {
   template <typename... Args>
   void notify(net::ProcId dest, const std::string& name, const Args&... args) {
     // id 0: no reply slot; deadline 0: notifications are never abandoned.
-    send_request(dest, name, pack(args...), /*id=*/0, /*deadline=*/0);
+    send_request(dest, name, pack(args...), /*id=*/0, /*deadline=*/0,
+                 obs::Tracer::global().current());
   }
 
   // RDMA pull through this engine's protocol profile (the stage() data path).
@@ -166,11 +177,16 @@ class Engine {
   void demux_loop();
   void send_request(net::ProcId dest, const std::string& name,
                     std::vector<std::byte> args, std::uint64_t id,
-                    des::Time deadline);
+                    des::Time deadline, obs::TraceContext trace);
   void handle_request(net::ProcId caller, std::uint64_t id, std::string name,
-                      des::Time deadline, std::vector<std::byte> body);
+                      des::Time deadline, obs::TraceContext trace,
+                      std::vector<std::byte> body);
+  // Returns Unavailable when the breaker rejects the call; ok otherwise
+  // (possibly admitting this call as the half-open probe).
+  Status breaker_admit(net::ProcId dest, des::Time now);
   void breaker_failure(net::ProcId dest);
   void breaker_success(net::ProcId dest);
+  void record_latency(const std::string& name, des::Duration elapsed);
 
   net::Process* proc_;
   net::Profile profile_;
@@ -180,11 +196,23 @@ class Engine {
       pending_;
   // Ambient per-fiber deadlines (DeadlineScope + handler dispatch).
   std::map<std::uint64_t, des::Time> fiber_deadlines_;
+  // Per-peer breaker state machine: closed -> (threshold consecutive
+  // transport failures) -> open -> (cooldown elapses) -> half_open, where
+  // exactly one probe call is admitted (concurrent calls fail fast); the
+  // probe's outcome closes or re-opens the circuit. A breakers_ entry only
+  // exists while non-closed or counting failures; closed-and-clean = erased.
   struct Breaker {
+    enum class State : std::uint8_t { closed, open, half_open };
+    State state = State::closed;
     int failures = 0;
     des::Time open_until = 0;
+    bool probe_in_flight = false;
   };
   std::map<net::ProcId, Breaker> breakers_;
+  // Cached per-method latency histogram handles ("rpc.latency.<method>"),
+  // so steady-state recording is one hash lookup + pointer bump. Valid as
+  // long as the global registry is not reset() while this engine lives.
+  std::unordered_map<std::string, obs::Histogram*> latency_cache_;
   std::uint64_t next_id_ = 1;
   bool stopped_ = false;
 };

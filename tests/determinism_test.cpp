@@ -176,5 +176,71 @@ TEST(Determinism, CrashScheduleRecoveryIsBitIdentical) {
   EXPECT_GT(a.supervisor.respawns_joined, 0);
 }
 
+// Trace determinism: with tracing on, two same-seed runs of a crashing,
+// self-healing scenario must produce the exact same span timeline -- the
+// FNV hash covers every event's phase, timestamps, ids and payload, so a
+// single reordered or re-timed span (including those cut short by the
+// crash schedule) changes it.
+TEST(Determinism, TraceTimelineIsBitIdentical) {
+  testing::ScenarioConfig cfg;
+  cfg.seed = 5150;
+  cfg.servers = 3;
+  cfg.iterations = 3;
+  cfg.replication = 2;
+  cfg.supervisor = true;
+  cfg.compute_between = des::seconds(40);
+  cfg.resilient.attempt_timeout = des::seconds(20);
+  cfg.deadline = des::seconds(20000);
+  cfg.trace = true;
+  cfg.plan = chaos::crash_storm_plan(/*base_node=*/100, /*nodes=*/3,
+                                     /*start=*/des::seconds(3),
+                                     /*period=*/des::seconds(45),
+                                     /*crashes=*/2, cfg.seed);
+
+  const testing::ScenarioResult a = testing::run_elastic_mandelbulb(cfg);
+  const testing::ScenarioResult b = testing::run_elastic_mandelbulb(cfg);
+
+  ASSERT_TRUE(a.client_done);
+  ASSERT_TRUE(b.client_done);
+  EXPECT_NE(a.trace_hash, 0u);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.end_time, b.end_time);
+  // The schedule really crashed daemons, so the identical hashes cover
+  // abandoned spans and recovery traffic, not just the happy path.
+  EXPECT_EQ(a.injections.size(), 2u);
+}
+
+// Observability neutrality: turning tracing + metrics on must not move a
+// single virtual timestamp. The trace context is always on the wire (zeros
+// when untraced), so frame sizes -- and therefore modeled latencies -- are
+// identical either way.
+TEST(Determinism, TracingDoesNotPerturbTimeline) {
+  testing::ScenarioConfig cfg;
+  cfg.seed = 77;
+  cfg.servers = 3;
+  cfg.iterations = 3;
+  cfg.compute_between = des::seconds(5);
+
+  testing::ScenarioConfig traced = cfg;
+  traced.trace = true;
+
+  const testing::ScenarioResult off = testing::run_elastic_mandelbulb(cfg);
+  const testing::ScenarioResult on = testing::run_elastic_mandelbulb(traced);
+
+  ASSERT_TRUE(off.client_done);
+  ASSERT_TRUE(on.client_done);
+  EXPECT_EQ(off.end_time, on.end_time);
+  ASSERT_EQ(off.iterations.size(), on.iterations.size());
+  for (std::size_t i = 0; i < off.iterations.size(); ++i) {
+    EXPECT_EQ(off.iterations[i].started, on.iterations[i].started)
+        << "iteration " << i;
+    EXPECT_EQ(off.iterations[i].finished, on.iterations[i].finished)
+        << "iteration " << i;
+  }
+  EXPECT_EQ(testing::reference_hashes(off), testing::reference_hashes(on));
+  EXPECT_EQ(off.trace_hash, 0u);
+  EXPECT_NE(on.trace_hash, 0u);
+}
+
 }  // namespace
 }  // namespace colza

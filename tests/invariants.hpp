@@ -43,6 +43,8 @@
 #include "colza/supervisor.hpp"
 #include "des/simulation.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "vis/data.hpp"
 
 namespace colza::testing {
@@ -73,6 +75,10 @@ struct ScenarioConfig {
   // Per-iteration resilient-loop options (stats pointer is overwritten to
   // collect into ScenarioResult::resilient).
   ResilientOptions resilient;
+  // Record a virtual-time trace (src/obs) for the whole scenario and store
+  // its FNV hash in ScenarioResult::trace_hash. Also resets the global
+  // metrics registry at scenario start so counters are per-scenario.
+  bool trace = false;
 };
 
 struct IterationOutcome {
@@ -100,12 +106,17 @@ struct ScenarioResult {
   std::string chaos_log;
   ResilientStats resilient;      // summed over all iterations
   SupervisorStats supervisor;    // zero when cfg.supervisor is false
+  std::uint64_t trace_hash = 0;  // timeline hash when cfg.trace is set
 };
 
 inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
   ScenarioResult res;
   des::Simulation sim(des::SimConfig{
       .seed = cfg.seed, .fixed_scoped_charge = des::milliseconds(2)});
+  if (cfg.trace) {
+    obs::MetricsRegistry::global().reset();
+    obs::Tracer::global().enable(sim);
+  }
   net::Network net(sim);
   chaos::ChaosEngine engine(cfg.plan);
   engine.attach(net);
@@ -222,6 +233,10 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
       sum.records = b->records();
     }
     res.servers.push_back(std::move(sum));
+  }
+  if (cfg.trace) {
+    obs::Tracer::global().disable();
+    res.trace_hash = obs::Tracer::global().timeline_hash();
   }
   engine.detach();
   return res;

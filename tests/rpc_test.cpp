@@ -7,6 +7,7 @@
 
 #include "des/simulation.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/engine.hpp"
 
 namespace colza::rpc {
@@ -343,6 +344,133 @@ TEST_F(RpcTest, BreakerOpensAfterConsecutiveTimeoutsAndRecovers) {
   EXPECT_EQ(codes[1], StatusCode::timeout);
   EXPECT_EQ(codes[2], StatusCode::unavailable);  // fail-fast while open
   EXPECT_EQ(codes[3], StatusCode::ok);
+}
+
+// Half-open lifecycle: after the cooldown the breaker lets one probe
+// through; a failing probe re-opens the circuit for a fresh cooldown
+// (immediate fail-fast again), and only a successful probe closes it. The
+// transition counters record every state change.
+TEST_F(RpcTest, BreakerHalfOpenProbeFailureReopens) {
+  obs::MetricsRegistry::global().reset();
+  auto& proc = net.create_process(2);
+  EngineConfig cfg;
+  cfg.default_timeout = seconds(1);
+  cfg.breaker_threshold = 2;
+  cfg.breaker_cooldown = seconds(10);
+  Engine caller(proc, net::Profile::mona(), cfg);
+  server.define("ping", [](const RequestInfo&, InArchive&, OutArchive&) {
+    return Status::Ok();
+  });
+  proc.spawn("caller", [&] {
+    net.set_link_down(proc.id(), server_proc.id(), true);
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(caller.call<None>(server_proc.id(), "ping").status().code(),
+                StatusCode::timeout);
+    }
+    EXPECT_TRUE(caller.circuit_open(server_proc.id()));
+
+    // Cooldown elapses but the link is still down: the half-open probe
+    // fails and the circuit re-opens...
+    sim.sleep_for(cfg.breaker_cooldown + seconds(1));
+    EXPECT_EQ(caller.call<None>(server_proc.id(), "ping").status().code(),
+              StatusCode::timeout);
+    EXPECT_TRUE(caller.circuit_open(server_proc.id()));
+    // ...so the next call fails fast without consuming virtual time.
+    const des::Time t0 = sim.now();
+    EXPECT_EQ(caller.call<None>(server_proc.id(), "ping").status().code(),
+              StatusCode::unavailable);
+    EXPECT_EQ(sim.now(), t0);
+
+    // Second cooldown with the link healed: the probe succeeds and closes.
+    net.set_link_down(proc.id(), server_proc.id(), false);
+    sim.sleep_for(cfg.breaker_cooldown + seconds(1));
+    EXPECT_EQ(caller.call<None>(server_proc.id(), "ping").status().code(),
+              StatusCode::ok);
+    EXPECT_FALSE(caller.circuit_open(server_proc.id()));
+  });
+  sim.run();
+  auto& reg = obs::MetricsRegistry::global();
+  EXPECT_EQ(reg.counter_value("rpc.breaker.open"), 2u);  // open + re-open
+  EXPECT_EQ(reg.counter_value("rpc.breaker.half_open"), 2u);
+  EXPECT_EQ(reg.counter_value("rpc.breaker.close"), 1u);
+  EXPECT_EQ(reg.counter_value("rpc.breaker.rejected"), 1u);
+}
+
+// While a half-open probe is in flight, concurrent calls to the same peer
+// are rejected immediately -- exactly one request may test the waters.
+TEST_F(RpcTest, BreakerHalfOpenAdmitsSingleProbe) {
+  auto& proc = net.create_process(2);
+  EngineConfig cfg;
+  cfg.default_timeout = seconds(1);
+  cfg.breaker_threshold = 2;
+  cfg.breaker_cooldown = seconds(10);
+  Engine caller(proc, net::Profile::mona(), cfg);
+  server.define("slow", [&](const RequestInfo&, InArchive&, OutArchive&) {
+    sim.sleep_for(milliseconds(500));
+    return Status::Ok();
+  });
+  StatusCode probe = StatusCode::ok, rejected = StatusCode::ok;
+  proc.spawn("caller", [&] {
+    net.set_link_down(proc.id(), server_proc.id(), true);
+    for (int i = 0; i < 2; ++i) {
+      (void)caller.call<None>(server_proc.id(), "slow");
+    }
+    net.set_link_down(proc.id(), server_proc.id(), false);
+    sim.sleep_for(cfg.breaker_cooldown + seconds(1));
+    // This call is the probe; it holds the half-open slot for ~500 ms.
+    probe = caller.call<None>(server_proc.id(), "slow").status().code();
+  });
+  proc.spawn("second", [&] {
+    // Arrive while the probe is in flight: the two 1 s timeouts put the
+    // probe at t = 13 s, holding the slot until ~13.5 s.
+    sim.sleep_for(seconds(2) + cfg.breaker_cooldown + seconds(1) +
+                  milliseconds(100));
+    const des::Time t0 = sim.now();
+    rejected = caller.call<None>(server_proc.id(), "slow").status().code();
+    EXPECT_EQ(sim.now(), t0);  // fail-fast, no waiting
+  });
+  sim.run();
+  EXPECT_EQ(probe, StatusCode::ok);
+  EXPECT_EQ(rejected, StatusCode::unavailable);
+}
+
+// A recovered peer starts with a clean slate: closing through a successful
+// probe clears the consecutive-failure count, so a single later blip stays
+// below the threshold and must not re-open the circuit.
+TEST_F(RpcTest, BreakerFailureCountResetsAfterRecovery) {
+  auto& proc = net.create_process(2);
+  EngineConfig cfg;
+  cfg.default_timeout = seconds(1);
+  cfg.breaker_threshold = 2;
+  cfg.breaker_cooldown = seconds(10);
+  Engine caller(proc, net::Profile::mona(), cfg);
+  server.define("ping", [](const RequestInfo&, InArchive&, OutArchive&) {
+    return Status::Ok();
+  });
+  proc.spawn("caller", [&] {
+    // Trip the breaker, then recover through a successful probe.
+    net.set_link_down(proc.id(), server_proc.id(), true);
+    for (int i = 0; i < 2; ++i) {
+      (void)caller.call<None>(server_proc.id(), "ping");
+    }
+    EXPECT_TRUE(caller.circuit_open(server_proc.id()));
+    net.set_link_down(proc.id(), server_proc.id(), false);
+    sim.sleep_for(cfg.breaker_cooldown + seconds(1));
+    EXPECT_EQ(caller.call<None>(server_proc.id(), "ping").status().code(),
+              StatusCode::ok);
+    EXPECT_FALSE(caller.circuit_open(server_proc.id()));
+
+    // One isolated failure afterwards is below the threshold: the breaker
+    // must stay closed and the next call must go through normally.
+    net.set_link_down(proc.id(), server_proc.id(), true);
+    EXPECT_EQ(caller.call<None>(server_proc.id(), "ping").status().code(),
+              StatusCode::timeout);
+    EXPECT_FALSE(caller.circuit_open(server_proc.id()));
+    net.set_link_down(proc.id(), server_proc.id(), false);
+    EXPECT_EQ(caller.call<None>(server_proc.id(), "ping").status().code(),
+              StatusCode::ok);
+  });
+  sim.run();
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "common/backoff.hpp"
 #include "des/simulation.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "invariants.hpp"
 
 namespace colza {
@@ -290,6 +291,7 @@ TEST(SelfHealStorm, ThreeIterationSmokeZeroFailuresZeroFullRestages) {
                                      /*start=*/seconds(10),
                                      /*period=*/seconds(45),
                                      /*crashes=*/3, /*seed=*/11);
+  cfg.trace = true;  // also resets the metrics registry for this scenario
 
   const auto r = testing::run_elastic_mandelbulb(cfg);
   ASSERT_TRUE(r.client_done);
@@ -305,6 +307,26 @@ TEST(SelfHealStorm, ThreeIterationSmokeZeroFailuresZeroFullRestages) {
     crashes += rec.kind == chaos::RuleKind::crash ? 1 : 0;
   }
   EXPECT_EQ(crashes, 3);
+
+  // The metrics registry saw the same story the stats structs tell: the
+  // supervisor decision counters mirror SupervisorStats, the recovery
+  // counters mirror ResilientStats, and staging moved real bytes (with
+  // replication 2, at least as many replicated as primary-staged).
+  const auto& reg = obs::MetricsRegistry::global();
+  EXPECT_EQ(reg.counter_value("supervisor.deaths_seen"),
+            static_cast<std::uint64_t>(r.supervisor.deaths_seen));
+  EXPECT_EQ(reg.counter_value("supervisor.respawns_started"),
+            static_cast<std::uint64_t>(r.supervisor.respawns_started));
+  EXPECT_EQ(reg.counter_value("supervisor.respawns_joined"),
+            static_cast<std::uint64_t>(r.supervisor.respawns_joined));
+  EXPECT_EQ(reg.counter_value("colza.restage.full"),
+            static_cast<std::uint64_t>(r.resilient.full_restages));
+  EXPECT_EQ(reg.counter_value("colza.recovery.partial"),
+            static_cast<std::uint64_t>(r.resilient.partial_recoveries));
+  EXPECT_EQ(reg.counter_value("colza.restage.targeted"),
+            static_cast<std::uint64_t>(r.resilient.targeted_restages));
+  EXPECT_GT(reg.counter_value("colza.bytes_staged"), 0u);
+  EXPECT_GT(reg.counter_value("colza.bytes_replicated"), 0u);
 }
 
 // The degraded baseline the storm is measured against: no supervisor, no
