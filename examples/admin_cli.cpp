@@ -1,7 +1,16 @@
 // Admin walkthrough: exercises the separate admin library the way an
 // external operator tool would (paper S II-B) -- listing and managing
-// pipelines, inspecting the membership, and requesting a server to leave.
+// pipelines, inspecting the membership, requesting a server to leave, and
+// driving the flow-control QoS knobs (docs/flow.md).
+//
+// Besides the default walkthrough, two operator verbs run a minimal
+// staging area and issue exactly one admin RPC each:
+//   admin_cli set-weight <pipeline> <w>   # weight the pipeline's DRR share
+//   admin_cli show-quota                  # dump a server's quota document
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "colza/admin.hpp"
 #include "colza/client.hpp"
@@ -11,10 +20,78 @@
 
 using namespace colza;
 
-int main() {
+namespace {
+
+// A staging area with flow control on, so the QoS verbs have real state to
+// touch (the default ServerConfig keeps flow disabled).
+ServerConfig flow_config() {
+  ServerConfig config;
+  config.flow.budget_bytes = 64 << 20;
+  return config;
+}
+
+int run_verb(int argc, char** argv) {
+  const std::string verb = argv[1];
   des::Simulation sim;
   net::Network net(sim);
-  StagingArea area(net, ServerConfig{});
+  StagingArea area(net, flow_config());
+  area.launch_initial(2, /*base_node=*/10);
+  sim.run_until(des::seconds(30));
+
+  auto& tool_proc = net.create_process(0);
+  rpc::Engine tool(tool_proc, net::Profile::mona());
+  int rc = 0;
+
+  tool_proc.spawn("admin-tool", [&] {
+    Admin admin(tool);
+    const auto servers = area.alive_addresses();
+
+    if (verb == "set-weight") {
+      if (argc != 4) {
+        std::fprintf(stderr, "usage: admin_cli set-weight <pipeline> <w>\n");
+        rc = 2;
+        return;
+      }
+      const std::string pipeline = argv[2];
+      const auto weight =
+          static_cast<std::uint32_t>(std::strtoul(argv[3], nullptr, 10));
+      for (net::ProcId s : servers) {
+        admin.create_pipeline(s, pipeline, "catalyst").check();
+        Status st = admin.set_weight(s, pipeline, weight);
+        std::printf("set-weight %s w=%u on %s: %s\n", pipeline.c_str(),
+                    weight, net::to_string(s).c_str(),
+                    st.to_string().c_str());
+        if (!st.ok()) rc = 1;
+      }
+      return;
+    }
+
+    if (verb == "show-quota") {
+      for (net::ProcId s : servers) {
+        auto quota = admin.get_quota(s);
+        quota.status().check();
+        std::printf("quota on %s: %s\n", net::to_string(s).c_str(),
+                    quota->dump().c_str());
+      }
+      return;
+    }
+
+    std::fprintf(stderr, "unknown verb '%s' (set-weight | show-quota)\n",
+                 verb.c_str());
+    rc = 2;
+  });
+  sim.run();
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) return run_verb(argc, argv);
+
+  des::Simulation sim;
+  net::Network net(sim);
+  StagingArea area(net, flow_config());
   area.launch_initial(3, /*base_node=*/10);
   sim.run_until(des::seconds(30));
 
@@ -43,11 +120,21 @@ int main() {
     for (const auto& n : *names) std::printf(" %s", n.c_str());
     std::printf("\n");
 
+    // QoS: give 'iso' a 3x staging-bandwidth share over 'vol', then read
+    // the quota document back the way a monitor would.
+    for (net::ProcId s : servers) admin.set_weight(s, "iso", 3).check();
+    auto quota = admin.get_quota(servers[0]);
+    quota.status().check();
+    std::printf("quota on %s: %s\n", net::to_string(servers[0]).c_str(),
+                quota->dump().c_str());
+
     // Error handling: duplicate names and unknown types are rejected.
     auto dup = admin.create_pipeline(servers[0], "iso", "catalyst");
     std::printf("re-creating 'iso': %s\n", dup.to_string().c_str());
     auto bad = admin.create_pipeline(servers[0], "x", "no-such-type");
     std::printf("unknown type: %s\n", bad.to_string().c_str());
+    auto zero = admin.set_weight(servers[0], "iso", 0);
+    std::printf("zero weight: %s\n", zero.to_string().c_str());
 
     // Tear one pipeline down everywhere.
     for (net::ProcId s : servers) admin.destroy_pipeline(s, "vol").check();

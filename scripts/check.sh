@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Pre-PR gate (docs/testing.md): the tier-1 suite, the bounded tier-2 smoke
+# subset, and tier-1 again under AddressSanitizer -- one command, fails fast.
+#
+#   scripts/check.sh            # full gate
+#   SKIP_ASAN=1 scripts/check.sh  # skip the sanitizer build (quick local loop)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+ctest --preset tier1
+ctest --preset tier2-smoke
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$jobs"
+  ctest --preset asan-tier1
+fi
+
+echo "check.sh: all green"

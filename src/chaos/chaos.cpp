@@ -5,6 +5,7 @@
 
 #include "common/json.hpp"
 #include "des/simulation.hpp"
+#include "flow/flow.hpp"
 
 namespace colza::chaos {
 
@@ -20,6 +21,7 @@ bool is_message_rule(RuleKind k) noexcept {
       return true;
     case RuleKind::partition:
     case RuleKind::crash:
+    case RuleKind::shed:
       return false;
   }
   return false;
@@ -33,6 +35,7 @@ RuleKind kind_from_string(const std::string& s) {
   if (s == "slow_node") return RuleKind::slow_node;
   if (s == "partition") return RuleKind::partition;
   if (s == "crash") return RuleKind::crash;
+  if (s == "shed") return RuleKind::shed;
   throw std::runtime_error("chaos: unknown rule kind '" + s + "'");
 }
 
@@ -57,7 +60,7 @@ constexpr const char* kRuleKeys[] = {
     "kind",      "probability", "from",    "to",      "box",
     "after_us",  "before_us",   "delay_us", "jitter_us", "copies",
     "spacing_us", "node",       "factor",  "at_us",   "heal_us",
-    "group_a",   "group_b",     "target",
+    "group_a",   "group_b",     "target",  "bytes",
 };
 
 bool known_rule_key(const std::string& key) {
@@ -78,6 +81,7 @@ std::string_view to_string(RuleKind k) noexcept {
     case RuleKind::slow_node: return "slow_node";
     case RuleKind::partition: return "partition";
     case RuleKind::crash: return "crash";
+    case RuleKind::shed: return "shed";
   }
   return "?";
 }
@@ -127,6 +131,7 @@ ChaosPlan ChaosPlan::from_json(std::string_view text) {
     r.group_a = proc_list(rv, "group_a");
     r.group_b = proc_list(rv, "group_b");
     r.target = static_cast<net::ProcId>(rv.number_or("target", 0.0));
+    r.bytes = static_cast<std::uint64_t>(rv.number_or("bytes", 0.0));
     plan.rules.push_back(std::move(r));
   }
   return plan;
@@ -143,6 +148,31 @@ ChaosPlan crash_storm_plan(net::NodeId base_node, std::size_t nodes,
     r.kind = RuleKind::crash;
     r.node = base_node + static_cast<net::NodeId>(i % nodes);
     r.at = start + static_cast<des::Duration>(i) * period;
+    plan.rules.push_back(std::move(r));
+  }
+  return plan;
+}
+
+ChaosPlan overload_plan(net::ProcId base_server, std::size_t servers,
+                        des::Time start, des::Duration period,
+                        des::Duration burst, std::size_t bursts,
+                        std::uint64_t bytes, std::uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.rules.reserve(bursts);
+  // The victim sequence comes from a dedicated RNG seeded by the plan seed,
+  // so the same (seed, shape) always squeezes the same servers at the same
+  // virtual times -- the plan itself is the replay artifact.
+  Rng pick(seed);
+  for (std::size_t i = 0; i < bursts; ++i) {
+    Rule r;
+    r.kind = RuleKind::shed;
+    r.target = base_server + static_cast<net::ProcId>(
+                                 pick.below(static_cast<std::uint64_t>(
+                                     servers == 0 ? 1 : servers)));
+    r.at = start + static_cast<des::Duration>(i) * period;
+    r.heal_at = r.at + burst;
+    r.bytes = bytes;
     plan.rules.push_back(std::move(r));
   }
   return plan;
@@ -179,6 +209,12 @@ void ChaosEngine::attach(net::Network& net) {
         break;
       case RuleKind::crash:
         sim_->schedule_at(r.at, [this, i] { apply_crash(i); });
+        break;
+      case RuleKind::shed:
+        sim_->schedule_at(r.at, [this, i] { apply_shed(i, true); });
+        if (r.heal_at > r.at) {
+          sim_->schedule_at(r.heal_at, [this, i] { apply_shed(i, false); });
+        }
         break;
       default:
         break;
@@ -221,6 +257,29 @@ void ChaosEngine::apply_crash(std::size_t rule) {
   if (p == nullptr || !p->alive()) return;
   p->kill();
   record(RuleKind::crash, rule, p->id(), 0, 0, 0, 0);
+}
+
+void ChaosEngine::apply_shed(std::size_t rule, bool on) {
+  if (net_ == nullptr) return;
+  const Rule& r = plan_.rules[rule];
+  // target=0 with node set squeezes whatever process is alive on the node
+  // right now, mirroring the node-targeted crash semantics.
+  net::ProcId target = r.target;
+  if (target == 0 && r.node != 0) {
+    net::Process* p = net_->find_alive_on_node(r.node);
+    if (p == nullptr) return;
+    target = p->id();
+  }
+  flow::ServerFlow* fl = flow::Registry::find(sim_, target);
+  if (fl == nullptr || !fl->enabled()) return;
+  if (on) {
+    fl->inject_pressure(r.bytes);
+  } else {
+    fl->release_pressure();
+  }
+  // Release is logged with delta=1, like partition heals, so the replay
+  // signature distinguishes squeeze from lift.
+  record(RuleKind::shed, rule, target, 0, 0, r.bytes, on ? 0 : 1);
 }
 
 void ChaosEngine::record(RuleKind kind, std::size_t rule, net::ProcId src,

@@ -35,6 +35,9 @@ enum class RuleKind : std::uint8_t {
   slow_node,  // scale the base delay of traffic touching `node` by `factor`
   partition,  // cut all links between group_a and group_b at `at` (heal_at)
   crash,      // kill process `target` at virtual time `at`
+  shed,       // inject `bytes` of flow-control budget pressure on server
+              // `target` at `at` (released at heal_at; 0 = never) -- the
+              // server sheds stage traffic with Status::Busy while squeezed
 };
 
 [[nodiscard]] std::string_view to_string(RuleKind k) noexcept;
@@ -64,7 +67,9 @@ struct Rule {
   std::vector<net::ProcId> group_b;
   net::ProcId target = 0;    // crash victim; 0 with node != 0 kills whatever
                              // process is alive on `node` at fire time (so a
-                             // storm keeps hitting supervisor respawns too)
+                             // storm keeps hitting supervisor respawns too).
+                             // shed: the squeezed server (node fallback too)
+  std::uint64_t bytes = 0;   // shed: injected budget pressure in bytes
 };
 
 struct ChaosPlan {
@@ -89,6 +94,20 @@ struct ChaosPlan {
                                          des::Duration period,
                                          std::size_t crashes,
                                          std::uint64_t seed);
+
+// An overload plan: a seeded bursty phantom tenant. Every `period` starting
+// at `start`, one of `servers` consecutive server processes (base_server +
+// seeded pick) gets `bytes` of flow-control budget pressure injected for
+// `burst` of virtual time, then released -- as if a hot co-tenant filled and
+// drained its share of staging memory. Real traffic on the squeezed server
+// is shed with Status::Busy until the burst lifts; the flow_test/tier2
+// acceptance is that clients resolve every shed by retry with zero visible
+// failures while per-server staged bytes stay within budget.
+[[nodiscard]] ChaosPlan overload_plan(net::ProcId base_server,
+                                      std::size_t servers, des::Time start,
+                                      des::Duration period,
+                                      des::Duration burst, std::size_t bursts,
+                                      std::uint64_t bytes, std::uint64_t seed);
 
 // One injected fault, stamped with the virtual time it was decided. The
 // concatenation of these records is the replay signature: two runs of the
@@ -144,6 +163,7 @@ class ChaosEngine final : public net::FaultInjector {
                              std::size_t bytes, des::Duration base);
   void apply_partition(std::size_t rule, bool down);
   void apply_crash(std::size_t rule);
+  void apply_shed(std::size_t rule, bool on);
   void record(RuleKind kind, std::size_t rule, net::ProcId src, net::ProcId dst,
               std::uint64_t tag, std::size_t bytes, des::Duration delta);
 

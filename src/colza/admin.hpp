@@ -52,6 +52,26 @@ class Admin {
     return json::parse(dump);
   }
 
+  // QoS: sets a pipeline's weight in the server's deficit-round-robin grant
+  // queue (docs/flow.md). Weights are per server; apply to the whole view
+  // for a fleet-wide policy.
+  Status set_weight(net::ProcId server, const std::string& pipeline,
+                    std::uint32_t weight) {
+    auto r = engine_->call_raw(server, "colza.admin.set_weight",
+                               pack(pipeline, weight));
+    return r.status();
+  }
+
+  // Fetches a server's flow-control quota document: budget, bytes in use,
+  // peak, grant-queue depth, shed counts and the per-pipeline weights.
+  Expected<json::Value> get_quota(net::ProcId server) {
+    auto r = engine_->call_raw(server, "colza.admin.quota", {});
+    if (!r.has_value()) return r.status();
+    std::string dump;
+    unpack(*r, dump);
+    return json::parse(dump);
+  }
+
   Expected<std::vector<std::string>> list_pipelines(net::ProcId server) {
     auto r = engine_->call_raw(server, "colza.admin.list_pipelines", {});
     if (!r.has_value()) return r.status();

@@ -69,8 +69,18 @@ Status DistributedPipelineHandle::refresh_view() {
 
 void DistributedPipelineHandle::set_view(std::vector<net::ProcId> view,
                                          std::uint64_t hash) {
+  if (flow_.enabled && hash != view_hash_) {
+    // Elastic resize: the learned AIMD operating point belongs to the old
+    // server population; restart probing so shares re-converge (docs/flow.md).
+    window_.on_view_change();
+  }
   view_ = std::move(view);
   view_hash_ = hash;
+}
+
+void DistributedPipelineHandle::set_flow_control(FlowClientOptions options) {
+  flow_ = std::move(options);
+  window_ = flow::AimdWindow(flow_.aimd);
 }
 
 Status DistributedPipelineHandle::parallel_over(
@@ -246,10 +256,16 @@ Status DistributedPipelineHandle::stage_to(
   meta.data = proc.expose(data);
   meta.copyset = copyset;
 
+  // Client-side flow control: bound the bytes this pipeline keeps in flight
+  // across all copies (AIMD window) before touching any server.
+  const std::uint64_t reserved =
+      flow_.enabled ? static_cast<std::uint64_t>(data.size()) * copyset.size()
+                    : 0;
+  if (flow_.enabled) window_reserve(reserved);
+
   Status s;
   if (copyset.size() == 1) {
-    auto r = client_->engine().call_raw(copyset[0], "colza.stage", pack(meta));
-    s = r.status();
+    s = stage_copy(copyset[0], meta);
   } else {
     // One RPC per copy; each server pulls the same exposed region. All
     // copies must land: a failed buddy write would silently erode the
@@ -260,12 +276,74 @@ Status DistributedPipelineHandle::stage_to(
       m.replica_rank = static_cast<std::uint32_t>(
           std::find(copyset.begin(), copyset.end(), server) -
           copyset.begin());
-      auto r = client_->engine().call_raw(server, "colza.stage", pack(m));
-      return r.status();
+      return stage_copy(server, m);
     });
   }
+  if (flow_.enabled) window_.release(reserved);
   proc.unexpose(meta.data);
   return s;
+}
+
+void DistributedPipelineHandle::window_reserve(std::uint64_t bytes) {
+  auto& sim = client_->process().sim();
+  // Bounded poll: concurrent istages drain the window as their copies land.
+  // If it stays pinned (e.g. every server shedding for a long time), proceed
+  // anyway after the cap -- the servers still protect themselves; the window
+  // only shapes client concurrency.
+  for (int i = 0; i < 20000 && !window_.try_reserve(bytes); ++i) {
+    sim.sleep_for(des::microseconds(500));
+  }
+}
+
+Status DistributedPipelineHandle::stage_copy(net::ProcId server,
+                                             const StageMetadata& meta) {
+  auto& engine = client_->engine();
+  if (!flow_.enabled) {
+    auto r = engine.call_raw(server, "colza.stage", pack(meta));
+    return r.status();
+  }
+  auto& sim = client_->process().sim();
+  auto& metrics = obs::MetricsRegistry::global();
+  Backoff backoff(flow_.busy_backoff);
+  Status last;
+  for (int attempt = 0; attempt <= flow_.max_busy_retries; ++attempt) {
+    // 1. Credit: ask the target server for a byte lease.
+    auto grant = engine.call_raw(
+        server, "colza.flow.acquire",
+        pack(name_, static_cast<std::uint64_t>(meta.data.size)));
+    if (!grant.has_value()) {
+      last = grant.status();
+      if (last.code() != StatusCode::busy) return last;
+      metrics.counter("flow.client.busy").inc();
+      window_.on_busy();
+      sim.sleep_for(
+          backoff.next_at_least(des::microseconds(last.retry_after_us())));
+      continue;
+    }
+    std::uint64_t grant_id = 0;
+    unpack(*grant, grant_id);
+    window_.on_grant();
+    // 2. Stage under the credit.
+    StageMetadata m = meta;
+    m.grant_id = grant_id;
+    auto r = engine.call_raw(server, "colza.stage", pack(m));
+    if (r.has_value()) return Status::Ok();
+    last = r.status();
+    if (last.code() == StatusCode::busy) {
+      // The server consumed the lease but shed the stage (budget shifted
+      // between grant and pull); back off and re-acquire.
+      metrics.counter("flow.client.busy").inc();
+      window_.on_busy();
+      sim.sleep_for(
+          backoff.next_at_least(des::microseconds(last.retry_after_us())));
+      continue;
+    }
+    // Unrelated failure: return the unconsumed lease so it doesn't hold
+    // budget until its TTL (best effort; the TTL is the backstop).
+    (void)engine.call_raw(server, "colza.flow.release", pack(grant_id));
+    return last;
+  }
+  return last;  // Busy after max retries: still retriable upstream
 }
 
 Status DistributedPipelineHandle::stage(std::uint64_t iteration,

@@ -15,12 +15,29 @@
 #include <vector>
 
 #include "colza/types.hpp"
+#include "common/backoff.hpp"
 #include "des/sync.hpp"
+#include "flow/aimd.hpp"
 #include "rpc/engine.hpp"
 #include "ssg/ssg.hpp"
 #include "vis/data.hpp"
 
 namespace colza {
+
+// Client-side flow control (docs/flow.md). When enabled, every stage copy
+// first obtains a byte credit from its target server (colza.flow.acquire)
+// and retries Busy sheds under a backoff floored at the server's
+// retry-after hint, while an AIMD window per pipeline adapts how many bytes
+// this client keeps in flight. Off by default: a non-flow-controlled client
+// stages exactly like the pre-flow one (grant_id 0 on the wire).
+struct FlowClientOptions {
+  bool enabled = false;
+  flow::AimdConfig aimd;
+  // Backoff between Busy retries; the server hint only ever raises a delay.
+  BackoffPolicy busy_backoff{des::milliseconds(10), 2.0, des::seconds(2),
+                             0.25, 0};
+  int max_busy_retries = 16;
+};
 
 // Handle to a non-blocking client operation.
 class AsyncOp {
@@ -86,6 +103,16 @@ class DistributedPipelineHandle {
 
   void set_distribution_policy(DistributionPolicy policy) {
     policy_ = std::move(policy);
+  }
+
+  // Enables (or reconfigures) client-side flow control for this handle.
+  // Resets the AIMD window to its initial size.
+  void set_flow_control(FlowClientOptions options);
+  [[nodiscard]] bool flow_control_enabled() const noexcept {
+    return flow_.enabled;
+  }
+  [[nodiscard]] const flow::AimdWindow& flow_window() const noexcept {
+    return window_;
   }
 
   // Replication factor R: each block is staged to its primary owner plus
@@ -159,6 +186,12 @@ class DistributedPipelineHandle {
   Status activate_impl(std::uint64_t iteration, int max_attempts,
                        bool recover);
 
+  // One stage RPC to one copyset member, with the flow-control acquire /
+  // Busy-retry loop wrapped around it when enabled.
+  Status stage_copy(net::ProcId server, const StageMetadata& meta);
+  // Blocks (bounded) until the AIMD window admits `bytes` more in flight.
+  void window_reserve(std::uint64_t bytes);
+
   // Runs `fn(server)` concurrently for every server in `servers`; returns
   // the first non-ok status (all calls complete regardless). Fan-out fibers
   // inherit the calling fiber's ambient RPC deadline.
@@ -176,6 +209,8 @@ class DistributedPipelineHandle {
   std::uint64_t epoch_ = 0;
   DistributionPolicy policy_;
   std::size_t replication_ = 2;
+  FlowClientOptions flow_;
+  flow::AimdWindow window_;
 };
 
 }  // namespace colza

@@ -21,10 +21,24 @@ namespace {
     case StatusCode::unreachable:
     case StatusCode::aborted:
     case StatusCode::shutting_down:
+    // A shed (flow-control load shedding, docs/flow.md) is transient by
+    // definition: the server is alive and asking for a later retry, so it
+    // must not count as a failure -- and because a Busy reply *is* a reply,
+    // it never feeds the RPC circuit breaker either.
+    case StatusCode::busy:
       return true;
     default:
       return false;
   }
+}
+
+// The retry delay for `last`: the backoff schedule, floored at the server's
+// retry-after hint when the failure was a shed.
+[[nodiscard]] des::Duration retry_delay(Backoff& backoff, const Status& last) {
+  if (last.code() == StatusCode::busy && last.retry_after_us() > 0) {
+    return backoff.next_at_least(des::microseconds(last.retry_after_us()));
+  }
+  return backoff.next();
 }
 
 void sleep(des::Duration d) {
@@ -211,7 +225,7 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
           COLZA_LOG_INFO("colza-ft", "iteration %llu: deactivate failed: %s",
                          static_cast<unsigned long long>(iteration),
                          d.to_string().c_str());
-          sleep(backoff.next());
+          sleep(retry_delay(backoff, d));
           (void)handle.refresh_view();
           d = handle.deactivate(iteration);
         }
@@ -252,8 +266,9 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
                              " attempts: " + last.to_string());
     }
     // Give the membership protocol time to converge on the failure, then
-    // refresh the view before the next 2PC.
-    sleep(backoff.next());
+    // refresh the view before the next 2PC. A Busy shed floors the delay at
+    // the server's retry-after hint.
+    sleep(retry_delay(backoff, last));
     (void)handle.refresh_view();
   }
 }

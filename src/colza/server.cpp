@@ -15,7 +15,9 @@ Server::Server(net::Process& proc, ServerConfig config,
       bootstrap_(bootstrap),
       engine_(std::make_unique<rpc::Engine>(
           proc, config_.profile, rpc::EngineConfig{config_.rpc_timeout})),
-      mona_(std::make_unique<mona::Instance>(proc, config_.profile)) {}
+      mona_(std::make_unique<mona::Instance>(proc, config_.profile)),
+      flow_(std::make_unique<flow::ServerFlow>(proc.sim(), proc.id(),
+                                               config_.flow)) {}
 
 Server::Server(net::Process& proc, ServerConfig config,
                std::vector<net::ProcId> initial_group,
@@ -75,6 +77,7 @@ Status Server::create_pipeline(const std::string& name,
 Status Server::destroy_pipeline(const std::string& name) {
   if (pipelines_.erase(name) == 0)
     return Status::NotFound("pipeline '" + name + "' does not exist");
+  flow_->free_pipeline(name);  // its staged bytes no longer hold budget
   return Status::Ok();
 }
 
@@ -295,10 +298,12 @@ void Server::install_handlers() {
       return Status::Ok();
     }
     // Fresh activation: replicas of a previous incarnation of this
-    // iteration are stale (the client re-stages everything).
+    // iteration are stale (the client re-stages everything), and so are
+    // their flow-control charges.
     if (auto rit = replicas_.find(pipeline); rit != replicas_.end()) {
       rit->second.erase(iteration);
     }
+    flow_->free_iteration(pipeline, iteration);
     return p->activate(iteration);
   });
 
@@ -316,10 +321,23 @@ void Server::install_handlers() {
     Backend* p = this->pipeline(meta.pipeline);
     if (p == nullptr)
       return Status::NotFound("pipeline '" + meta.pipeline + "'");
+    // Admission before the RDMA pull: over-budget stages are shed (Busy)
+    // before any bytes move. Consuming spends the grant lease; if the pull
+    // then fails, the charge is rolled back below.
+    Status admit =
+        flow_->consume(meta.grant_id, meta.pipeline, meta.iteration,
+                       meta.block_id, meta.field_name, meta.replica_rank,
+                       meta.data.size);
+    if (!admit.ok()) return admit;
+    auto uncharge_on_failure = [&] {
+      flow_->uncharge_block(meta.pipeline, meta.iteration, meta.block_id,
+                            meta.field_name, meta.replica_rank);
+    };
     if (meta.replica_rank > 0) {
       // Buddy copy: held in the server-level replica store, invisible to
       // the backend unless promoted during a recovery execute.
       if (active_set_.count(meta.iteration) == 0) {
+        uncharge_on_failure();
         return Status::FailedPrecondition("replica stage: iteration " +
                                           std::to_string(meta.iteration) +
                                           " not active");
@@ -329,7 +347,10 @@ void Server::install_handlers() {
       rb.sender = info.caller;
       rb.data.resize(meta.data.size);
       Status s = engine_->rdma_pull(meta.data, 0, rb.data);
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        uncharge_on_failure();
+        return s;
+      }
       obs::MetricsRegistry::global()
           .counter("colza.server.replica_bytes_pulled")
           .inc(meta.data.size);
@@ -345,11 +366,16 @@ void Server::install_handlers() {
     block.sender = info.caller;
     block.data.resize(meta.data.size);
     Status s = engine_->rdma_pull(meta.data, 0, block.data);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      uncharge_on_failure();
+      return s;
+    }
     obs::MetricsRegistry::global()
         .counter("colza.server.bytes_pulled")
         .inc(meta.data.size);
-    return p->stage(std::move(block));
+    s = p->stage(std::move(block));
+    if (!s.ok()) uncharge_on_failure();
+    return s;
   });
 
   engine_->define("colza.execute", [this](const rpc::RequestInfo&,
@@ -381,8 +407,35 @@ void Server::install_handlers() {
     if (auto rit = replicas_.find(pipeline); rit != replicas_.end()) {
       rit->second.erase(iteration);
     }
+    flow_->free_iteration(pipeline, iteration);
     if (active_set_.empty() && leave_pending_) finish_leave();
     return s;
+  });
+
+  // ---- flow control (docs/flow.md) ---------------------------------------
+  // Credit acquisition: the client asks for a byte lease before shipping a
+  // stage handle. Blocks in the DRR grant queue when the budget is full;
+  // sheds with Busy + retry-after hint when waiting is pointless. The
+  // caller's RPC deadline doubles as the grant-wait deadline.
+  engine_->define("colza.flow.acquire", [this](const rpc::RequestInfo& info,
+                                               InArchive& in, OutArchive& out) {
+    if (left_) return Status::ShuttingDown();
+    std::string pipeline;
+    std::uint64_t bytes = 0;
+    in.load(pipeline);
+    in.load(bytes);
+    flow::AcquireResult r = flow_->acquire(pipeline, bytes, info.deadline);
+    if (!r.status.ok()) return r.status;
+    out.save(r.grant_id);
+    return Status::Ok();
+  });
+
+  engine_->define("colza.flow.release", [this](const rpc::RequestInfo&,
+                                               InArchive& in, OutArchive&) {
+    std::uint64_t grant_id = 0;
+    in.load(grant_id);
+    flow_->release(grant_id);
+    return Status::Ok();
   });
 
   // ---- admin protocol (paper S II-B: a separate library of RPCs) ---------
@@ -428,6 +481,24 @@ void Server::install_handlers() {
     Backend* p = this->pipeline(name);
     if (p == nullptr) return Status::NotFound("pipeline '" + name + "'");
     out.save(p->stats().dump());
+    return Status::Ok();
+  });
+
+  engine_->define("colza.admin.set_weight",
+                  [this](const rpc::RequestInfo&, InArchive& in, OutArchive&) {
+                    std::string pipeline;
+                    std::uint32_t weight = 0;
+                    in.load(pipeline);
+                    in.load(weight);
+                    if (weight == 0)
+                      return Status::InvalidArgument("weight must be >= 1");
+                    flow_->set_weight(pipeline, weight);
+                    return Status::Ok();
+                  });
+
+  engine_->define("colza.admin.quota", [this](const rpc::RequestInfo&,
+                                              InArchive&, OutArchive& out) {
+    out.save(flow_->quota_json().dump());
     return Status::Ok();
   });
 

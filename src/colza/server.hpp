@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "colza/backend.hpp"
+#include "flow/flow.hpp"
 #include "net/network.hpp"
 #include "rpc/engine.hpp"
 #include "ssg/ssg.hpp"
@@ -34,6 +35,9 @@ struct ServerConfig {
   // Modeled one-time daemon initialization cost (library loading, Mercury
   // init...) charged before the server becomes reachable.
   des::Duration init_cost = des::milliseconds(800);
+  // Flow control / multi-tenant QoS (docs/flow.md). The default budget of 0
+  // keeps admission wide open, byte-for-byte identical to a pre-flow server.
+  flow::FlowConfig flow;
 };
 
 class Server {
@@ -87,6 +91,13 @@ class Server {
   [[nodiscard]] std::size_t replica_count(const std::string& pipeline,
                                           std::uint64_t iteration) const;
 
+  // Flow-control state (budget, grant queue, weights). Always present;
+  // inert when the configured budget is 0.
+  [[nodiscard]] flow::ServerFlow& flow() noexcept { return *flow_; }
+  [[nodiscard]] const flow::ServerFlow& flow() const noexcept {
+    return *flow_;
+  }
+
   // Leaves the group and stops serving (deferred while iterations are
   // active). The underlying simulated process is killed once out.
   void leave();
@@ -135,6 +146,7 @@ class Server {
   ssg::Bootstrap* bootstrap_;
   std::unique_ptr<rpc::Engine> engine_;
   std::unique_ptr<mona::Instance> mona_;
+  std::unique_ptr<flow::ServerFlow> flow_;
   std::unique_ptr<ssg::Group> group_;
   std::map<std::string, PipelineEntry> pipelines_;
 

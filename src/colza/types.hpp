@@ -24,11 +24,16 @@ struct StageMetadata {
   // a crash the survivors can agree locally on who promotes which replica.
   std::vector<net::ProcId> copyset;
   std::uint32_t replica_rank = 0;  // 0 = primary (feeds the backend)
+  // Flow-control credit backing this stage (colza.flow.acquire). 0 = the
+  // client is not flow-controlled; the server then admits directly against
+  // its budget (and may shed with Busy). Always serialized, so the frame
+  // size is the same with and without flow control.
+  std::uint64_t grant_id = 0;
 
   template <typename Ar>
   void serialize(Ar& ar) {
     ar & pipeline & iteration & block_id & field_name & data & copyset &
-        replica_rank;
+        replica_rank & grant_id;
   }
 };
 

@@ -45,6 +45,13 @@ class Backoff {
     return d;
   }
 
+  // Like next(), but never below `floor` — used to honor a server-supplied
+  // retry-after hint (Status::Busy) while keeping the exponential schedule
+  // (and its RNG stream) advancing normally.
+  des::Duration next_at_least(des::Duration floor) noexcept {
+    return std::max(next(), floor);
+  }
+
   // Restarts the schedule from the base delay (the RNG stream continues,
   // so restarting is not a replay).
   void reset() noexcept { next_ = policy_.base; }

@@ -6,6 +6,7 @@
 // through Status / Expected so callers are forced to handle them.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -26,6 +27,7 @@ enum class StatusCode {
   shutting_down,
   unavailable,       // resource temporarily exhausted (e.g. no free nodes)
   internal,
+  busy,              // server shed the request; retry after the hinted delay
 };
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode c) noexcept {
@@ -41,6 +43,7 @@ enum class StatusCode {
     case StatusCode::shutting_down: return "shutting_down";
     case StatusCode::unavailable: return "unavailable";
     case StatusCode::internal: return "internal";
+    case StatusCode::busy: return "busy";
   }
   return "unknown";
 }
@@ -82,10 +85,22 @@ class Status {
   static Status Internal(std::string m) {
     return {StatusCode::internal, std::move(m)};
   }
+  // A shed request. `retry_after_us` is the server's backoff hint in
+  // microseconds of virtual time (0 = no hint); it rides a constant-size
+  // response-frame field, so carrying it never changes message sizes.
+  static Status Busy(std::string m, std::uint64_t retry_after_us = 0) {
+    Status s{StatusCode::busy, std::move(m)};
+    s.retry_after_us_ = retry_after_us;
+    return s;
+  }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::ok; }
   [[nodiscard]] StatusCode code() const noexcept { return code_; }
   [[nodiscard]] const std::string& message() const noexcept { return message_; }
+  [[nodiscard]] std::uint64_t retry_after_us() const noexcept {
+    return retry_after_us_;
+  }
+  void set_retry_after_us(std::uint64_t us) noexcept { retry_after_us_ = us; }
 
   [[nodiscard]] std::string to_string() const {
     std::string s{colza::to_string(code_)};
@@ -109,6 +124,7 @@ class Status {
  private:
   StatusCode code_ = StatusCode::ok;
   std::string message_;
+  std::uint64_t retry_after_us_ = 0;  // busy only; not part of equality
 };
 
 // Minimal expected-like wrapper: either a value or a non-ok Status.

@@ -1,0 +1,73 @@
+// Client-side AIMD credit window, one per pipeline.
+//
+// The window bounds the bytes a client keeps reserved (granted or requested)
+// against the staging fleet at once. Additive increase on every grant,
+// multiplicative decrease on every Busy shed — the TCP-Reno shape, which is
+// what makes concurrent clients sharing one server budget converge to equal
+// (or, with server-side DRR weights, proportional) shares without any
+// explicit coordination. An elastic view change (AutoScaler join/leave)
+// resets the window to its initial value so the population re-probes for the
+// new fair point instead of coasting on a stale one; the convergence bound
+// is pinned by flow_test's AIMD invariant.
+//
+// Pure arithmetic on integers — no RNG, no clock — so the adaptation
+// sequence is a deterministic function of the grant/shed history.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace colza::flow {
+
+struct AimdConfig {
+  std::uint64_t initial_bytes = 1ull << 20;   // 1 MiB starting window
+  std::uint64_t min_bytes = 64ull << 10;      // floor after decreases
+  std::uint64_t max_bytes = 256ull << 20;     // ceiling after increases
+  std::uint64_t increase_bytes = 256ull << 10;  // additive step per grant
+  double decrease_factor = 0.5;               // multiplicative step per Busy
+};
+
+class AimdWindow {
+ public:
+  AimdWindow() : AimdWindow(AimdConfig{}) {}
+  explicit AimdWindow(const AimdConfig& config) noexcept
+      : config_(config), window_(config.initial_bytes) {}
+
+  // Reserve `bytes` of window headroom before asking a server for credit.
+  // A single request larger than the whole window is admitted alone (the
+  // window caps concurrency, it must not wedge on an oversized block).
+  [[nodiscard]] bool try_reserve(std::uint64_t bytes) noexcept {
+    if (in_flight_ + bytes > window_ && in_flight_ != 0) return false;
+    in_flight_ += bytes;
+    return true;
+  }
+
+  void release(std::uint64_t bytes) noexcept {
+    in_flight_ = bytes > in_flight_ ? 0 : in_flight_ - bytes;
+  }
+
+  void on_grant() noexcept {
+    window_ = std::min(window_ + config_.increase_bytes, config_.max_bytes);
+  }
+
+  void on_busy() noexcept {
+    const auto shrunk = static_cast<std::uint64_t>(
+        static_cast<double>(window_) * config_.decrease_factor);
+    window_ = std::max(shrunk, config_.min_bytes);
+  }
+
+  // Elastic resize: forget the learned operating point and re-converge.
+  void on_view_change() noexcept { window_ = config_.initial_bytes; }
+
+  [[nodiscard]] std::uint64_t window_bytes() const noexcept { return window_; }
+  [[nodiscard]] std::uint64_t in_flight_bytes() const noexcept {
+    return in_flight_;
+  }
+
+ private:
+  AimdConfig config_;
+  std::uint64_t window_;
+  std::uint64_t in_flight_ = 0;
+};
+
+}  // namespace colza::flow

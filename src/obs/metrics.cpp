@@ -43,6 +43,12 @@ const Histogram* MetricsRegistry::find_histogram(
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+const Watermark* MetricsRegistry::find_watermark(
+    const std::string& name) const {
+  auto it = watermarks_.find(name);
+  return it == watermarks_.end() ? nullptr : &it->second;
+}
+
 json::Value MetricsRegistry::to_json() const {
   json::Object root;
   json::Object counters;
@@ -60,6 +66,14 @@ json::Value MetricsRegistry::to_json() const {
     histograms[name] = histogram_json(h);
   }
   root["histograms"] = json::Value(std::move(histograms));
+  json::Object watermarks;
+  for (const auto& [name, w] : watermarks_) {
+    json::Object v;
+    v["value"] = json::Value(static_cast<double>(w.value));
+    v["peak"] = json::Value(static_cast<double>(w.peak));
+    watermarks[name] = json::Value(std::move(v));
+  }
+  root["watermarks"] = json::Value(std::move(watermarks));
   return json::Value(std::move(root));
 }
 
@@ -85,6 +99,7 @@ void MetricsRegistry::reset() {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  watermarks_.clear();
   epochs_.clear();
 }
 

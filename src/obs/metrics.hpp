@@ -37,6 +37,24 @@ struct Gauge {
   void add(double v) noexcept { value += v; }
 };
 
+// Level gauge that remembers its high-water mark. Used for resource
+// occupancy (e.g. staged bytes against a flow-control budget) where the
+// acceptance question is "did the level *ever* exceed X", which a plain
+// Gauge sampled at snapshot time cannot answer.
+struct Watermark {
+  std::uint64_t value = 0;
+  std::uint64_t peak = 0;
+  void add(std::uint64_t n) noexcept {
+    value += n;
+    if (value > peak) peak = value;
+  }
+  void sub(std::uint64_t n) noexcept { value = n > value ? 0 : value - n; }
+  void set(std::uint64_t v) noexcept {
+    value = v;
+    if (value > peak) peak = value;
+  }
+};
+
 // Power-of-two bucketed histogram: bucket i counts samples v with
 // 2^(i-1) < v <= 2^i (bucket 0 counts v == 0). Recording is a few integer
 // ops -- no allocation, no search.
@@ -76,10 +94,12 @@ class MetricsRegistry {
   Counter& counter(const std::string& name) { return counters_[name]; }
   Gauge& gauge(const std::string& name) { return gauges_[name]; }
   Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  Watermark& watermark(const std::string& name) { return watermarks_[name]; }
 
   // Read-only access for tests; returns 0 / nullptr when absent.
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
   [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+  [[nodiscard]] const Watermark* find_watermark(const std::string& name) const;
 
   // Deep-copies the current values into the epoch list under `label`
   // (e.g. "iteration-7"): the per-virtual-epoch snapshot facility.
@@ -96,6 +116,7 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Watermark> watermarks_;
   std::vector<std::pair<std::string, json::Value>> epochs_;
 };
 

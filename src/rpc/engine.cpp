@@ -173,14 +173,18 @@ void Engine::demux_loop() {
       pending_.erase(it);
       StatusCode code{};
       std::string status_msg;
+      std::uint64_t retry_after_us = 0;
       in.load(code);
       in.load(status_msg);
+      in.load(retry_after_us);
       if (code == StatusCode::ok) {
         std::vector<std::byte> body(in.remaining());
         in.read_raw(body.data(), body.size());
         ev->set_value(std::move(body));
       } else {
-        ev->set_value(Status(code, std::move(status_msg)));
+        Status st(code, std::move(status_msg));
+        st.set_retry_after_us(retry_after_us);
+        ev->set_value(std::move(st));
       }
     }
   }
@@ -230,6 +234,10 @@ void Engine::handle_request(net::ProcId caller, std::uint64_t id,
         out.save(id);
         out.save(st.code());
         out.save(st.message());
+        // Retry-after hint (busy shedding): always on the wire, zero when
+        // unset, so the response frame stays constant-size like the trace
+        // context in the request frame.
+        out.save(st.retry_after_us());
         out.write_raw(reply.bytes().data(), reply.size());
         proc_->network().transmit(
             *proc_, caller, kMailbox, profile_,

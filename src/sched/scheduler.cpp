@@ -56,10 +56,41 @@ Expected<JobId> Scheduler::submit(std::uint32_t nodes) {
   return id;
 }
 
+void Scheduler::set_job_weight(JobId job, std::uint32_t weight) {
+  weights_[job] = std::max<std::uint32_t>(weight, 1);
+}
+
+std::uint32_t Scheduler::job_weight(JobId job) const noexcept {
+  auto it = weights_.find(job);
+  return it == weights_.end() ? 1 : it->second;
+}
+
+std::uint32_t Scheduler::fair_cap(JobId job) const noexcept {
+  std::uint64_t weight_sum = 0;
+  for (const auto& [id, held] : jobs_) weight_sum += job_weight(id);
+  const std::uint64_t share =
+      flow::fair_share(config_.total_nodes, job_weight(job), weight_sum);
+  // Every job keeps at least one node regardless of how the weights divide.
+  return static_cast<std::uint32_t>(std::max<std::uint64_t>(share, 1));
+}
+
 Expected<std::vector<net::NodeId>> Scheduler::grow(JobId job,
                                                    std::uint32_t nodes) {
   auto it = jobs_.find(job);
   if (it == jobs_.end()) return Status::NotFound("grow: unknown job");
+  if (fair_shares_) {
+    // QoS cap: the job may not grow past its weighted fair share. A capped
+    // grow is refused whole (no silent partial grant) so callers see the
+    // same all-or-nothing contract as a scarce cluster.
+    const std::uint32_t cap = fair_cap(job);
+    const auto held = static_cast<std::uint32_t>(it->second.size());
+    if (held + nodes > cap) {
+      return Status::Unavailable(
+          "grow: job " + std::to_string(job) + " holds " +
+          std::to_string(held) + " node(s), fair share is " +
+          std::to_string(cap));
+    }
+  }
   if (free_.size() < nodes)
     return Status::Unavailable("grow: only " + std::to_string(free_.size()) +
                                " free node(s)");
@@ -90,6 +121,7 @@ Status Scheduler::complete(JobId job) {
   if (it == jobs_.end()) return Status::NotFound("complete: unknown job");
   for (net::NodeId n : it->second) free_.insert(n);
   jobs_.erase(it);
+  weights_.erase(job);
   return Status::Ok();
 }
 

@@ -29,6 +29,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "des/simulation.hpp"
+#include "flow/drr.hpp"
 #include "net/address.hpp"
 
 namespace colza::sched {
@@ -78,8 +79,22 @@ class Scheduler {
   // the foreground job was submitted).
   void set_background_utilization(double utilization);
 
+  // Opt-in multi-tenant QoS: once enabled, grow() caps each job's total
+  // allocation at its weighted fair share of the cluster (flow::fair_share
+  // over the weights of all live jobs; unweighted jobs count as 1). Off by
+  // default so existing elasticity experiments are untouched.
+  void enable_fair_shares() noexcept { fair_shares_ = true; }
+  [[nodiscard]] bool fair_shares_enabled() const noexcept {
+    return fair_shares_;
+  }
+  // Sets a job's share weight (clamped to >= 1). May be called before or
+  // after enable_fair_shares(); weights of completed jobs are forgotten.
+  void set_job_weight(JobId job, std::uint32_t weight);
+  [[nodiscard]] std::uint32_t job_weight(JobId job) const noexcept;
+
  private:
   void churn();
+  [[nodiscard]] std::uint32_t fair_cap(JobId job) const noexcept;
 
   des::Simulation* sim_;
   SchedulerConfig config_;
@@ -87,7 +102,9 @@ class Scheduler {
   std::set<net::NodeId> free_;
   std::map<JobId, std::vector<net::NodeId>> jobs_;
   std::deque<JobId> background_;  // tenant jobs, oldest first
+  std::map<JobId, std::uint32_t> weights_;  // absent = weight 1
   JobId next_job_ = 1;
+  bool fair_shares_ = false;
   bool churner_started_ = false;
   std::shared_ptr<int> token_ = std::make_shared<int>(0);
 };

@@ -210,6 +210,55 @@ TEST(Determinism, TraceTimelineIsBitIdentical) {
   EXPECT_EQ(a.injections.size(), 2u);
 }
 
+// Determinism under overload: the same seeded overload plan (bursty phantom
+// tenant squeezing flow-controlled servers, max_queue=0 so every squeeze
+// sheds with Busy) must replay bit-identically -- the shed/release injection
+// log, every iteration's retry-delayed start/finish times, the end-of-run
+// clock, and the image bits. This pins the whole flow-control path (DRR,
+// credits, AIMD, backoff hints) as a pure function of the virtual timeline.
+TEST(Determinism, OverloadShedScheduleIsBitIdentical) {
+  testing::ScenarioConfig cfg;
+  cfg.seed = 909;
+  cfg.servers = 4;
+  cfg.iterations = 3;
+  cfg.replication = 2;
+  cfg.compute_between = des::seconds(40);
+  cfg.resilient.attempt_timeout = des::seconds(20);
+  cfg.deadline = des::seconds(20000);
+  cfg.flow.budget_bytes = 256 << 10;
+  cfg.flow.max_queue = 0;
+  cfg.client_flow = true;
+  cfg.plan = chaos::overload_plan(
+      /*base_server=*/1, /*servers=*/cfg.servers, /*start=*/des::seconds(1),
+      /*period=*/des::seconds(5), /*burst=*/des::milliseconds(4500),
+      /*bursts=*/40, /*bytes=*/cfg.flow.budget_bytes, cfg.seed);
+
+  const testing::ScenarioResult a = testing::run_elastic_mandelbulb(cfg);
+  const testing::ScenarioResult b = testing::run_elastic_mandelbulb(cfg);
+
+  ASSERT_TRUE(a.client_done);
+  ASSERT_TRUE(b.client_done);
+  EXPECT_TRUE(a.injections == b.injections);
+  EXPECT_EQ(a.chaos_log, b.chaos_log);
+  EXPECT_EQ(a.end_time, b.end_time);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].code, b.iterations[i].code) << "iteration " << i;
+    EXPECT_EQ(a.iterations[i].started, b.iterations[i].started)
+        << "iteration " << i;
+    EXPECT_EQ(a.iterations[i].finished, b.iterations[i].finished)
+        << "iteration " << i;
+  }
+  EXPECT_EQ(testing::reference_hashes(a), testing::reference_hashes(b));
+  // Sanity: the overload actually bit -- sheds happened, identically.
+  std::uint64_t sheds_a = 0;
+  std::uint64_t sheds_b = 0;
+  for (const auto& s : a.servers) sheds_a += s.flow_sheds;
+  for (const auto& s : b.servers) sheds_b += s.flow_sheds;
+  EXPECT_GT(sheds_a, 0u);
+  EXPECT_EQ(sheds_a, sheds_b);
+}
+
 // Observability neutrality: turning tracing + metrics on must not move a
 // single virtual timestamp. The trace context is always on the wire (zeros
 // when untraced), so frame sizes -- and therefore modeled latencies -- are

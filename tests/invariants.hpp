@@ -75,6 +75,10 @@ struct ScenarioConfig {
   // Per-iteration resilient-loop options (stats pointer is overwritten to
   // collect into ScenarioResult::resilient).
   ResilientOptions resilient;
+  // Flow control (docs/flow.md): the servers' staging budget (0 keeps flow
+  // disabled) and whether the client handle stages flow-controlled.
+  flow::FlowConfig flow;
+  bool client_flow = false;
   // Record a virtual-time trace (src/obs) for the whole scenario and store
   // its FNV hash in ScenarioResult::trace_hash. Also resets the global
   // metrics registry at scenario start so counters are per-scenario.
@@ -95,6 +99,11 @@ struct ServerSummary {
   int active_iterations = 0;
   std::vector<net::ProcId> view;  // SSG view (alive servers only)
   std::vector<CatalystBackend::Record> records;
+  // Flow-control evidence (zero when flow is disabled): the high-water mark
+  // of staged bytes must never exceed the budget, and sheds_total counts the
+  // Busy fast-fails the clients had to absorb.
+  std::uint64_t peak_staged_bytes = 0;
+  std::uint64_t flow_sheds = 0;
 };
 
 struct ScenarioResult {
@@ -123,6 +132,7 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
 
   ServerConfig scfg;
   scfg.init_cost = des::milliseconds(10);
+  scfg.flow = cfg.flow;
   LaunchModel instant{des::milliseconds(10), 0.0, des::milliseconds(10)};
   StagingArea area(net, scfg, instant, cfg.seed);
   area.launch_initial(cfg.servers, /*base_node=*/100);
@@ -181,6 +191,7 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
         client, area.bootstrap().contacts(), "render");
     if (!h.has_value()) return;  // client_done stays false -> INV1 fails
     h->set_replication(cfg.replication);
+    if (cfg.client_flow) h->set_flow_control(FlowClientOptions{.enabled = true});
     ResilientOptions opts = cfg.resilient;
     opts.stats = &res.resilient;
     for (std::uint64_t it = 1; it <= cfg.iterations; ++it) {
@@ -213,6 +224,10 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
     if (r.kind == chaos::RuleKind::crash) {
       settle = std::max<des::Time>(settle, r.at + des::seconds(30));
     }
+    if (r.kind == chaos::RuleKind::shed) {
+      settle = std::max<des::Time>(
+          settle, std::max(r.at, r.heal_at) + des::seconds(30));
+    }
   }
   sim.run_until(settle);
 
@@ -232,6 +247,8 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
     if (auto* b = dynamic_cast<CatalystBackend*>(s->pipeline("render"))) {
       sum.records = b->records();
     }
+    sum.peak_staged_bytes = s->flow().peak_staged_bytes();
+    sum.flow_sheds = s->flow().sheds_total();
     res.servers.push_back(std::move(sum));
   }
   if (cfg.trace) {

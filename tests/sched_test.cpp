@@ -173,5 +173,30 @@ TEST(SchedulerIntegration, ReleaseReturnsNodeAfterLeave) {
   EXPECT_EQ(sched.nodes_of(*job)->size(), 2u);
 }
 
+TEST(Scheduler, FairSharesCapGrow) {
+  des::Simulation sim;
+  Scheduler sched(sim, SchedulerConfig{.total_nodes = 16});
+  auto a = sched.submit(2);
+  auto b = sched.submit(2);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+
+  // Off by default: a can grab far past an even split.
+  auto g = sched.grow(*a, 10);
+  ASSERT_TRUE(g.has_value());
+  ASSERT_TRUE(sched.shrink(*a, *g).ok());
+
+  sched.enable_fair_shares();
+  sched.set_job_weight(*a, 3);
+  sched.set_job_weight(*b, 1);
+  // Shares: a = 16*3/4 = 12, b = 16*1/4 = 4.
+  EXPECT_FALSE(sched.grow(*a, 11).has_value());  // 2 + 11 > 12
+  EXPECT_TRUE(sched.grow(*a, 10).has_value());
+  EXPECT_FALSE(sched.grow(*b, 3).has_value());   // 2 + 3 > 4
+  EXPECT_TRUE(sched.grow(*b, 2).has_value());
+  // Weights are forgotten with the job; the survivor's share expands.
+  ASSERT_TRUE(sched.complete(*a).ok());
+  EXPECT_TRUE(sched.grow(*b, 10).has_value());  // share is now all 16
+}
+
 }  // namespace
 }  // namespace colza::sched

@@ -96,6 +96,55 @@ std::vector<SmokePlan> smoke_plans() {
   return plans;
 }
 
+// Overload sweep: a flow-controlled staging area squeezed by the seeded
+// bursty phantom tenant of chaos::overload_plan. max_queue=0 forces every
+// squeezed acquire onto the Busy/shed path, so this exercises the full
+// retry-after loop. Acceptance (docs/flow.md): zero client-visible failures
+// -- every shed is resolved by retry -- while no server's staged bytes ever
+// exceed its budget, and the rendered images stay bit-identical to the
+// fault-free reference.
+TEST(Tier2Smoke, OverloadShedsResolveByRetryWithinBudget) {
+  ScenarioConfig cfg = smoke_base();
+  cfg.flow.budget_bytes = 256 << 10;
+  cfg.flow.max_queue = 0;  // shed instead of queueing: all pain is Busy
+  cfg.client_flow = true;
+  // 90% duty cycle over the first ~200 s of virtual time, so every
+  // iteration's staging window lands inside a squeeze on some server.
+  cfg.plan = chaos::overload_plan(
+      /*base_server=*/1, /*servers=*/cfg.servers, /*start=*/seconds(1),
+      /*period=*/seconds(5), /*burst=*/milliseconds(4500), /*bursts=*/40,
+      /*bytes=*/cfg.flow.budget_bytes, cfg.seed);
+
+  ScenarioConfig ref_cfg = smoke_base();
+  const ScenarioResult reference = run_elastic_mandelbulb(ref_cfg);
+  ASSERT_TRUE(reference.client_done);
+
+  const ScenarioResult res = run_elastic_mandelbulb(cfg);
+  EXPECT_EQ(check_bounded_progress(res, cfg), "");
+  EXPECT_EQ(check_two_phase_atomicity(res), "");
+  EXPECT_EQ(check_swim_convergence(res), "");
+  EXPECT_EQ(check_render_hashes(res, reference_hashes(reference)), "");
+
+  // Zero client-visible failures: every iteration committed despite sheds.
+  for (const auto& it : res.iterations) {
+    EXPECT_EQ(it.code, StatusCode::ok) << "iteration " << it.iteration;
+  }
+  // The squeeze actually bit (the plan injected and servers shed) ...
+  std::uint64_t sheds = 0;
+  for (const auto& s : res.servers) sheds += s.flow_sheds;
+  EXPECT_GT(sheds, 0u);
+  std::size_t shed_injections = 0;
+  for (const auto& inj : res.injections) {
+    shed_injections += inj.kind == chaos::RuleKind::shed ? 1 : 0;
+  }
+  EXPECT_EQ(shed_injections, 80u);  // 40 bursts x (squeeze + release)
+  // ... and admission held the line: staged bytes never passed the budget.
+  for (const auto& s : res.servers) {
+    EXPECT_GT(s.peak_staged_bytes, 0u);
+    EXPECT_LE(s.peak_staged_bytes, cfg.flow.budget_bytes);
+  }
+}
+
 TEST(Tier2Smoke, FivePlanSubsetSatisfiesAllInvariants) {
   const std::vector<SmokePlan> plans = smoke_plans();
   ASSERT_EQ(plans.size(), 5u);
