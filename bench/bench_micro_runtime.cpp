@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -199,6 +200,12 @@ BENCHMARK(BM_MonaMessageFlood)->Arg(64)->Arg(65536);
 // time, and reports how fast the simulator core itself chews through it:
 // DES events/sec and delivered payload bytes/sec. Emits BENCH_runtime.json
 // so speedups of the runtime substrate are measurable across commits.
+//
+// --procs=N selects the scenario scale. N=8 is the historical scenario
+// (comparable across PRs); 512 and 4096 shrink the per-proc message counts
+// so one run stays in the seconds range while the simulated-process count --
+// and with it the pending-event population and fiber table -- grows by two
+// to three orders of magnitude.
 
 struct RuntimeReport {
   double wall_seconds = 0;
@@ -210,17 +217,38 @@ struct RuntimeReport {
   double messages_per_sec = 0;
 };
 
-RuntimeReport run_runtime_scenario() {
-  constexpr int kProcs = 8;
-  constexpr int kMsgs = 4000;          // per sender, small messages
+struct ScenarioScale {
+  int procs = 8;
+  int msgs = 4000;      // per sender, small messages
+  int big_msgs = 200;   // per sender, large messages
+  int collectives = 60; // allreduce + barrier rounds over the ring
+  std::size_t stack_size = 0;  // 0 = simulation default
+};
+
+ScenarioScale scale_for(int procs) {
+  // The 8-proc numbers are the cross-PR comparable ones; the large scales
+  // trade per-proc message counts for proc count so wall time stays bounded.
+  if (procs <= 8) return ScenarioScale{8, 4000, 200, 60, 0};
+  if (procs <= 512) return ScenarioScale{procs, 300, 12, 8, 0};
+  // At 4k procs the default 512 KiB fiber stacks alone would cost ~4 GiB of
+  // host RAM; the ring fibers need far less. Stack size does not affect the
+  // virtual timeline.
+  return ScenarioScale{procs, 50, 4, 2, 96 * 1024};
+}
+
+RuntimeReport run_runtime_scenario(const ScenarioScale& sc) {
+  const int kProcs = sc.procs;
+  const int kMsgs = sc.msgs;           // per sender, small messages
   constexpr std::size_t kSmall = 64;
-  constexpr int kBigMsgs = 200;        // per sender, large messages
+  const int kBigMsgs = sc.big_msgs;    // per sender, large messages
   constexpr std::size_t kBig = 64 * 1024;
-  constexpr int kCollectives = 60;     // allreduce rounds over the ring
+  const int kCollectives = sc.collectives;
   RuntimeReport rep;
 
+  des::SimConfig simcfg;
+  if (sc.stack_size != 0) simcfg.default_stack_size = sc.stack_size;
   const auto t0 = std::chrono::steady_clock::now();
-  des::Simulation sim;
+  des::Simulation sim(simcfg);
   net::Network net(sim);
   std::vector<net::Process*> procs;
   std::vector<std::unique_ptr<mona::Instance>> insts;
@@ -282,13 +310,15 @@ RuntimeReport run_runtime_scenario() {
   return rep;
 }
 
-int run_runtime_report(const std::string& path) {
+int run_runtime_report(const std::string& path, int procs, int repeats) {
+  const ScenarioScale sc = scale_for(procs);
   // Warm-up run (populates buffer/stack pools, page cache), then measure
-  // the best of three to damp host noise.
-  (void)run_runtime_scenario();
+  // the best of `repeats` to damp host noise. The 4k scenario skips the
+  // warm-up and runs fewer repeats -- one run is already seconds long.
+  if (sc.procs <= 512) (void)run_runtime_scenario(sc);
   RuntimeReport best;
-  for (int i = 0; i < 3; ++i) {
-    RuntimeReport r = run_runtime_scenario();
+  for (int i = 0; i < repeats; ++i) {
+    RuntimeReport r = run_runtime_scenario(sc);
     if (best.wall_seconds == 0 || r.wall_seconds < best.wall_seconds) best = r;
   }
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -299,6 +329,10 @@ int run_runtime_report(const std::string& path) {
   std::fprintf(f,
                "{\n"
                "  \"scenario\": \"mona ring flood + collectives\",\n"
+               "  \"procs\": %d,\n"
+               "  \"msgs_per_proc\": %d,\n"
+               "  \"big_msgs_per_proc\": %d,\n"
+               "  \"collectives\": %d,\n"
                "  \"wall_seconds\": %.6f,\n"
                "  \"events\": %llu,\n"
                "  \"messages\": %llu,\n"
@@ -307,27 +341,39 @@ int run_runtime_report(const std::string& path) {
                "  \"messages_per_sec\": %.0f,\n"
                "  \"delivered_bytes_per_sec\": %.0f\n"
                "}\n",
+               sc.procs, sc.msgs, sc.big_msgs, sc.collectives,
                best.wall_seconds, static_cast<unsigned long long>(best.events),
                static_cast<unsigned long long>(best.messages),
                static_cast<unsigned long long>(best.delivered_bytes),
                best.events_per_sec, best.messages_per_sec, best.bytes_per_sec);
   std::fclose(f);
   std::printf(
-      "runtime report: %.3fs wall, %.0f events/s, %.2f MB/s delivered, "
-      "%.0f msgs/s -> %s\n",
-      best.wall_seconds, best.events_per_sec, best.bytes_per_sec / 1e6,
-      best.messages_per_sec, path.c_str());
+      "runtime report (%d procs): %.3fs wall, %.0f events/s, "
+      "%.2f MB/s delivered, %.0f msgs/s -> %s\n",
+      sc.procs, best.wall_seconds, best.events_per_sec,
+      best.bytes_per_sec / 1e6, best.messages_per_sec, path.c_str());
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  int procs = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--procs=", 8) == 0) {
+      procs = std::atoi(argv[i] + 8);
+      if (procs <= 0) {
+        std::fprintf(stderr, "bad --procs value: %s\n", argv[i] + 8);
+        return 1;
+      }
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--runtime-report", 16) == 0) {
       const char* eq = std::strchr(argv[i], '=');
-      return run_runtime_report(eq != nullptr ? eq + 1
-                                              : "BENCH_runtime.json");
+      const int repeats = procs >= 4096 ? 2 : 3;
+      return run_runtime_report(
+          eq != nullptr ? eq + 1 : "BENCH_runtime.json", procs, repeats);
     }
   }
   benchmark::Initialize(&argc, argv);
