@@ -1,5 +1,7 @@
 #include "des/simulation.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <ctime>
 
 #include "common/log.hpp"
@@ -77,20 +79,31 @@ void Fiber::trampoline() {
 // ---------------------------------------------------------------------------
 // Simulation
 
+namespace {
+EventQueue::Impl resolve_queue_impl(QueueImpl q) {
+  if (q == QueueImpl::heap) return EventQueue::Impl::heap;
+  if (q == QueueImpl::ladder) return EventQueue::Impl::ladder;
+  const char* env = std::getenv("COLZA_DES_QUEUE");
+  if (env != nullptr && std::strcmp(env, "heap") == 0)
+    return EventQueue::Impl::heap;
+  return EventQueue::Impl::ladder;
+}
+}  // namespace
+
 Simulation::Simulation(SimConfig config)
-    : config_(config), rng_(config.seed) {}
+    : config_(config),
+      rng_(config.seed),
+      queue_(resolve_queue_impl(config.queue_impl)) {}
 
 Simulation::~Simulation() {
   stop_trace();
   // Destroy callback state still sitting in the queue, then the freelist.
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
+  queue_.drain([](Event& ev) {
     if (ev.fiber == nullptr && ev.cb != nullptr) {
       ev.cb->destroy(*ev.cb);
       delete ev.cb;
     }
-  }
+  });
   while (free_nodes_ != nullptr) {
     CallbackNode* n = free_nodes_;
     free_nodes_ = n->next;
@@ -102,7 +115,7 @@ bool Simulation::current_daemon() const noexcept {
   return current_ != nullptr && current_->daemon();
 }
 
-Simulation::CallbackNode* Simulation::acquire_node() {
+CallbackNode* Simulation::acquire_node() {
   if (free_nodes_ != nullptr) {
     CallbackNode* n = free_nodes_;
     free_nodes_ = n->next;
@@ -275,7 +288,7 @@ void Simulation::sleep_until(Time t) {
   self->state_ = FiberState::running;
 }
 
-void Simulation::sleep_for(Duration d) { sleep_until(now_ + d); }
+void Simulation::sleep_for(Duration d) { sleep_until(saturating_after(d)); }
 
 void Simulation::charge(Duration d) {
   if (trace_ != nullptr && current_ != nullptr && d > 0) {
@@ -358,8 +371,7 @@ void Simulation::fiber_finished(Fiber* f) {
 bool Simulation::step() {
   drain_reap();
   if (queue_.empty()) return false;
-  const Event ev = queue_.top();
-  queue_.pop();
+  const Event ev = queue_.pop();
   if ((ev.seq & kDaemonBit) == 0) --nondaemon_events_;
   now_ = ev.time;
   ++events_processed_;
@@ -426,7 +438,7 @@ void Simulation::run() {
 }
 
 void Simulation::run_until(Time horizon) {
-  while (!queue_.empty() && queue_.top().time <= horizon) {
+  while (!queue_.empty() && queue_.min_time() <= horizon) {
     if (!step()) break;
   }
   if (now_ < horizon) now_ = horizon;

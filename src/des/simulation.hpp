@@ -23,6 +23,7 @@
 //     run() throws DeadlockError naming them.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -30,7 +31,6 @@
 #include <map>
 #include <memory>
 #include <new>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "des/event_queue.hpp"
 #include "des/fiber.hpp"
 #include "des/time.hpp"
 
@@ -46,6 +47,11 @@ namespace colza::des {
 struct SimConfig {
   std::uint64_t seed = 42;
   std::size_t default_stack_size = 512 * 1024;
+  // Pending-event store selection; auto_select honors COLZA_DES_QUEUE
+  // ("heap"/"ladder") and defaults to the ladder queue. Both implementations
+  // produce bit-identical timelines; the knob exists for invariance testing
+  // and for bisecting perf regressions.
+  QueueImpl queue_impl = QueueImpl::auto_select;
   // Multiplier applied by charge_scoped to measured wall time before
   // charging, to model faster/slower simulated cores. 1.0 = host speed.
   double compute_time_scale = 1.0;
@@ -94,6 +100,11 @@ class Simulation {
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return events_processed_;
   }
+  // The pending-event store (depth, ladder stats, active implementation);
+  // obs/bench sample this for the per-iteration runtime gauges.
+  [[nodiscard]] const EventQueue& event_queue() const noexcept {
+    return queue_;
+  }
 
   // ---- fiber creation & control ----------------------------------------
   FiberHandle spawn(std::string name, std::function<void()> body,
@@ -118,11 +129,12 @@ class Simulation {
   }
   template <typename F>
   void schedule_after(Duration d, F&& fn) {
-    schedule_callback(now_ + d, std::forward<F>(fn), current_daemon());
+    schedule_callback(saturating_after(d), std::forward<F>(fn),
+                      current_daemon());
   }
   template <typename F>
   void schedule_after(Duration d, F&& fn, bool daemon) {
-    schedule_callback(now_ + d, std::forward<F>(fn), daemon);
+    schedule_callback(saturating_after(d), std::forward<F>(fn), daemon);
   }
 
   // ---- fiber-facing operations (must run inside a fiber) ----------------
@@ -205,40 +217,20 @@ class Simulation {
  private:
   friend class Fiber;
 
-  // Type-erased scheduler callback. Callables whose captures fit the inline
-  // storage are constructed in place; nodes are recycled through a freelist
-  // so a steady-state message flood allocates nothing per event.
-  struct CallbackNode {
-    static constexpr std::size_t kInlineSize = 128;
-    alignas(std::max_align_t) unsigned char storage[kInlineSize];
-    void (*invoke)(CallbackNode&) = nullptr;
-    void (*destroy)(CallbackNode&) = nullptr;
-    std::function<void()> big;  // fallback for oversized callables
-    CallbackNode* next = nullptr;
-  };
-
-  // 32 bytes and trivially copyable: the priority queue's sift operations
-  // move Events constantly, so keeping them POD (daemon flag packed into the
-  // sequence number's top bit, callback state behind a pooled pointer) is a
-  // large share of the event-loop speedup.
-  struct Event {
-    Time time = 0;
-    std::uint64_t seq = 0;  // bit 63 carries the daemon flag
-    Fiber* fiber = nullptr;  // non-null: resume this fiber...
-    union {
-      std::uint64_t fiber_id;  // guards against stale fiber pointers
-      CallbackNode* cb;        // ...null fiber: run this callback
-    };
-  };
-  static constexpr std::uint64_t kDaemonBit = 1ULL << 63;
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return (a.seq & ~kDaemonBit) > (b.seq & ~kDaemonBit);
-    }
-  };
+  // Event, CallbackNode, EventOrder and kDaemonBit live in des/event_queue.hpp
+  // (the pending-event store needs them at namespace scope).
 
   [[nodiscard]] bool current_daemon() const noexcept;
+
+  // now_ + d with saturation: a "negative" duration arriving through the
+  // unsigned Duration type shows up as a huge value whose sum wraps past
+  // now_, which used to silently schedule in the past. Clamp to the end of
+  // virtual time instead (and trip an assert in debug builds).
+  [[nodiscard]] Time saturating_after(Duration d) const noexcept {
+    assert(d <= kTimeInfinity - now_ &&
+           "schedule_after/sleep_for: duration overflows virtual time");
+    return d > kTimeInfinity - now_ ? kTimeInfinity : now_ + d;
+  }
 
   template <typename F>
   void schedule_callback(Time t, F&& fn, bool daemon) {
@@ -284,7 +276,7 @@ class Simulation {
   std::uint64_t events_processed_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_fiber_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  EventQueue queue_;
   CallbackNode* free_nodes_ = nullptr;  // recycled callback nodes
   std::map<std::uint64_t, std::unique_ptr<Fiber>> fibers_;  // live fibers
   std::vector<std::unique_ptr<Fiber>> reap_;  // finished, free on next step

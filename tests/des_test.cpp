@@ -2,9 +2,13 @@
 // daemon semantics, deadlock detection, and the sync primitives.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "des/event_queue.hpp"
 #include "des/simulation.hpp"
 #include "des/sync.hpp"
 #include "des/time.hpp"
@@ -533,6 +537,234 @@ TEST(Sync, SemaphoreLimitsConcurrency) {
 TEST(Sync, BarrierZeroCountThrows) {
   Simulation sim;
   EXPECT_THROW(Barrier(sim, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue: the ladder implementation must reproduce the heap's pop
+// sequence exactly -- (time, seq & ~kDaemonBit) order -- for any input.
+
+namespace {
+
+Event make_event(Time t, std::uint64_t seq, bool daemon) {
+  Event e;
+  e.time = t;
+  e.seq = seq | (daemon ? kDaemonBit : 0);
+  e.fiber = nullptr;
+  e.cb = nullptr;
+  return e;
+}
+
+// Pops everything from both queues, asserting identical sequences.
+void expect_same_drain(EventQueue& ladder, EventQueue& heap) {
+  ASSERT_EQ(ladder.size(), heap.size());
+  Time prev_time = 0;
+  while (!heap.empty()) {
+    const Event a = ladder.pop();
+    const Event b = heap.pop();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.seq, b.seq);
+    ASSERT_GE(a.time, prev_time);
+    prev_time = a.time;
+  }
+  EXPECT_TRUE(ladder.empty());
+}
+
+}  // namespace
+
+TEST(EventQueue, GoldenSequenceVsHeapWithTies) {
+  // Heavy same-timestamp ties (bursts at identical times), mixed daemon
+  // bits. The daemon bit must not perturb ordering.
+  EventQueue ladder(EventQueue::Impl::ladder);
+  EventQueue heap(EventQueue::Impl::heap);
+  Rng rng(7);
+  std::uint64_t seq = 1;
+  for (int i = 0; i < 5000; ++i) {
+    const Time t = milliseconds(rng.below(40));  // ~125 events per timestamp
+    const bool daemon = rng.below(2) == 0;
+    const Event e = make_event(t, seq++, daemon);
+    ladder.push(e);
+    heap.push(e);
+  }
+  expect_same_drain(ladder, heap);
+}
+
+TEST(EventQueue, InterleavedPushPopSkewedTimestamps) {
+  // Mimics the simulation's access pattern: pop the minimum, then push a few
+  // events at skewed offsets from it (including same-time pushes that land
+  // below the ladder's bottom boundary).
+  EventQueue ladder(EventQueue::Impl::ladder);
+  EventQueue heap(EventQueue::Impl::heap);
+  Rng rng(11);
+  std::uint64_t seq = 1;
+  for (int i = 0; i < 256; ++i) {
+    const Event e = make_event(microseconds(rng.below(1000)), seq++,
+                               rng.below(4) == 0);
+    ladder.push(e);
+    heap.push(e);
+  }
+  for (int round = 0; round < 4000; ++round) {
+    ASSERT_EQ(ladder.min_time(), heap.min_time());
+    const Event a = ladder.pop();
+    const Event b = heap.pop();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.seq, b.seq);
+    const int fanout = static_cast<int>(rng.below(3));
+    for (int f = 0; f < fanout; ++f) {
+      // 0 offset (immediate re-delivery), short, or heavy-tailed far offset.
+      Duration d = 0;
+      switch (rng.below(4)) {
+        case 0: d = 0; break;
+        case 1: d = rng.below(50); break;
+        case 2: d = microseconds(rng.below(200)); break;
+        default: d = seconds(1 + rng.below(3600)); break;
+      }
+      const Event e = make_event(a.time + d, seq++, rng.below(4) == 0);
+      ladder.push(e);
+      heap.push(e);
+    }
+  }
+  expect_same_drain(ladder, heap);
+}
+
+TEST(EventQueue, FarFutureEventsSpanLadderEpochs) {
+  // Each batch sits orders of magnitude beyond the last, forcing repeated
+  // top-region transfers (epochs) and rung subdivision while earlier batches
+  // drain. Also verifies the resize/transfer statistics move.
+  EventQueue ladder(EventQueue::Impl::ladder);
+  EventQueue heap(EventQueue::Impl::heap);
+  Rng rng(13);
+  std::uint64_t seq = 1;
+  Time base = 0;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    for (int i = 0; i < 400; ++i) {
+      const Event e =
+          make_event(base + rng.below(seconds(1)), seq++, rng.below(2) == 0);
+      ladder.push(e);
+      heap.push(e);
+    }
+    // Drain half before the next far-future batch arrives.
+    for (int i = 0; i < 200; ++i) {
+      const Event a = ladder.pop();
+      const Event b = heap.pop();
+      ASSERT_EQ(a.time, b.time);
+      ASSERT_EQ(a.seq, b.seq);
+    }
+    base += seconds(3600) * (Duration{1} << (4 * epoch));
+  }
+  expect_same_drain(ladder, heap);
+  EXPECT_GT(ladder.stats().top_transfers, 1u);
+  EXPECT_GT(ladder.stats().peak_depth, 0u);
+}
+
+TEST(EventQueue, MillionPendingHighOccupancy) {
+  // The tentpole's scaling claim in miniature: 10^5 pending events with a
+  // skewed distribution drain in exact order and spawn finer rungs.
+  EventQueue ladder(EventQueue::Impl::ladder);
+  EventQueue heap(EventQueue::Impl::heap);
+  Rng rng(17);
+  std::uint64_t seq = 1;
+  for (int i = 0; i < 100000; ++i) {
+    Time t;
+    if (rng.below(100) < 70) {
+      t = rng.below(seconds(1));
+    } else if (rng.below(10) < 9) {
+      t = seconds(1) + rng.below(seconds(600));
+    } else {
+      t = milliseconds(rng.below(2000));  // dense tie clusters
+    }
+    const Event e = make_event(t, seq++, rng.below(2) == 0);
+    ladder.push(e);
+    heap.push(e);
+  }
+  EXPECT_EQ(ladder.stats().peak_depth, 100000u);
+  expect_same_drain(ladder, heap);
+  EXPECT_GT(ladder.stats().rung_spawns, 0u);
+}
+
+TEST(Simulation, DaemonEventsDrainedAtShutdown) {
+  // Far-future daemon callbacks (never fired) own callback state in the
+  // queue; destroying the Simulation must release it for both queue
+  // implementations (run under ASan in CI). Includes oversized captures
+  // that take the std::function fallback path.
+  for (QueueImpl impl : {QueueImpl::ladder, QueueImpl::heap}) {
+    SimConfig cfg;
+    cfg.queue_impl = impl;
+    auto shared = std::make_shared<int>(7);
+    {
+      Simulation sim(cfg);
+      sim.spawn("setup", [&] {
+        for (int i = 0; i < 300; ++i) {
+          std::array<char, 200> big{};  // > CallbackNode inline storage
+          sim.schedule_after(
+              seconds(7200 + static_cast<Duration>(i)),
+              [shared, big] { (void)big; },
+              /*daemon=*/true);
+        }
+      });
+      sim.run();  // daemon events remain pending at shutdown
+    }
+    EXPECT_EQ(shared.use_count(), 1);
+  }
+}
+
+TEST(Simulation, LadderAndHeapTimelinesMatch) {
+  // Same workload under both queue implementations: identical event counts
+  // and final clocks.
+  std::array<std::uint64_t, 2> events{};
+  std::array<Time, 2> final_time{};
+  int slot = 0;
+  for (QueueImpl impl : {QueueImpl::ladder, QueueImpl::heap}) {
+    SimConfig cfg;
+    cfg.queue_impl = impl;
+    Simulation sim(cfg);
+    Mutex m(sim);
+    CondVar cv(sim);
+    int stage = 0;
+    for (int i = 0; i < 16; ++i) {
+      sim.spawn("w" + std::to_string(i), [&, i] {
+        sim.sleep_for(microseconds(static_cast<Duration>(i) * 37 % 11));
+        LockGuard g(m);
+        cv.wait(m, [&] { return stage >= i; });
+        ++stage;
+        cv.notify_all();
+        sim.sleep_for(milliseconds(1));
+      });
+    }
+    sim.run();
+    events[static_cast<std::size_t>(slot)] = sim.events_processed();
+    final_time[static_cast<std::size_t>(slot)] = sim.now();
+    ++slot;
+  }
+  EXPECT_EQ(events[0], events[1]);
+  EXPECT_EQ(final_time[0], final_time[1]);
+}
+
+TEST(Simulation, ScheduleAfterOverflowingDurationClamps) {
+  // A "negative"/overflowing Duration must not schedule in the past. In
+  // release builds the sum saturates to the end of virtual time; in debug
+  // builds the assert trips first.
+  const Duration overflowing = kTimeInfinity - milliseconds(1);
+#ifdef NDEBUG
+  Simulation sim;
+  Time fired_at = 0;
+  sim.spawn("f", [&] {
+    sim.sleep_for(seconds(1));  // now + overflowing would wrap
+    sim.schedule_after(overflowing, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, kTimeInfinity);  // clamped, never before now
+#else
+  EXPECT_DEATH(
+      {
+        Simulation sim;
+        sim.spawn("f", [&] {
+          sim.sleep_for(seconds(1));
+          sim.schedule_after(overflowing, [] {});
+        });
+        sim.run();
+      },
+      "overflows virtual time");
+#endif
 }
 
 }  // namespace
