@@ -1,5 +1,6 @@
 #include "des/simulation.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
@@ -405,9 +406,17 @@ void Simulation::check_deadlock() const {
   std::string msg = "simulation deadlock: event queue empty but " +
                     std::to_string(nondaemon_fibers_) +
                     " non-daemon fiber(s) blocked:";
-  std::size_t listed = 0;
+  // fibers_ is hashed; sort the culprits by id so the message (and any test
+  // asserting on it) is deterministic.
+  std::vector<std::pair<std::uint64_t, const Fiber*>> stuck;
   for (const auto& [id, f] : fibers_) {
     if (f->daemon() || f->state() == FiberState::finished) continue;
+    stuck.emplace_back(id, f.get());
+  }
+  std::sort(stuck.begin(), stuck.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t listed = 0;
+  for (const auto& [id, f] : stuck) {
     if (listed++ == 8) {
       msg += " ...";
       break;

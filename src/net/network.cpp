@@ -110,7 +110,8 @@ void Network::set_link_down(ProcId a, ProcId b, bool down) {
 }
 
 bool Network::link_down(ProcId a, ProcId b) const {
-  return down_links_.count({a, b}) != 0;
+  // Fault-free runs (the common case) pay only the empty() check per message.
+  return !down_links_.empty() && down_links_.count({a, b}) != 0;
 }
 
 Network::~Network() = default;
@@ -119,19 +120,19 @@ Process& Network::create_process(NodeId node) {
   const ProcId id = next_proc_++;
   auto proc = std::make_unique<Process>(*this, id, node);
   Process& ref = *proc;
-  procs_.emplace(id, std::move(proc));
+  procs_.push_back(std::move(proc));  // ids are dense: procs_[id - 1]
   nodes_.try_emplace(node);
   return ref;
 }
 
 Process* Network::find(ProcId id) noexcept {
-  auto it = procs_.find(id);
-  return it == procs_.end() ? nullptr : it->second.get();
+  if (id == 0 || id > procs_.size()) return nullptr;
+  return procs_[id - 1].get();
 }
 
 Process* Network::find_alive_on_node(NodeId node) noexcept {
   // procs_ is ordered by ProcId, so the first match is the lowest id.
-  for (auto& [id, p] : procs_) {
+  for (auto& p : procs_) {
     if (p->node() == node && p->alive()) return p.get();
   }
   return nullptr;
@@ -139,7 +140,7 @@ Process* Network::find_alive_on_node(NodeId node) noexcept {
 
 std::size_t Network::alive_count() const noexcept {
   std::size_t n = 0;
-  for (const auto& [id, p] : procs_) n += p->alive() ? 1 : 0;
+  for (const auto& p : procs_) n += p->alive() ? 1 : 0;
   return n;
 }
 

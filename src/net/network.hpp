@@ -23,6 +23,7 @@
 #include <set>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/buffer_pool.hpp"
@@ -252,12 +253,14 @@ class Network {
 
   des::Simulation* sim_;
   NetworkConfig config_;
-  std::map<ProcId, std::unique_ptr<Process>> procs_;
-  std::map<NodeId, Node> nodes_;
+  // ProcIds are dense (allocated sequentially from 1, never reclaimed), so
+  // the per-message destination lookup is a vector index, not a tree walk.
+  std::vector<std::unique_ptr<Process>> procs_;  // index = ProcId - 1
+  std::unordered_map<NodeId, Node> nodes_;
   // Rendezvous handshakes are serviced one at a time by the receiver's
   // single-threaded progress engine; this serialization is what makes
   // incast rendezvous traffic (OpenMPI linear collectives) collapse.
-  std::map<ProcId, des::Time> rndv_free_;
+  std::unordered_map<ProcId, des::Time> rndv_free_;
   std::set<std::pair<ProcId, ProcId>> down_links_;
   FaultInjector* injector_ = nullptr;
   std::unique_ptr<Rng> loss_rng_;
