@@ -23,6 +23,21 @@
 #define COLZA_FAST_CONTEXT 1
 #endif
 
+// Under AddressSanitizer, stack switches must be announced through the
+// sanitizer fiber API (__sanitizer_start_switch_fiber /
+// __sanitizer_finish_switch_fiber): ASan tracks one "current stack" per
+// thread for redzone bookkeeping and for the stack unpoisoning performed
+// when an exception unwinds (__asan_handle_no_return). Without the
+// annotations, a throw inside a fiber makes ASan unpoison the wrong region
+// and recycled fiber stacks keep stale redzone shadow.
+#if defined(__SANITIZE_ADDRESS__)
+#define COLZA_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define COLZA_ASAN_FIBERS 1
+#endif
+#endif
+
 namespace colza::des {
 
 class Simulation;

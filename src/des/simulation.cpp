@@ -7,6 +7,18 @@
 
 #include "common/log.hpp"
 
+// COLZA_ASAN_FIBERS (see fiber.hpp): every context switch below brackets
+// the swap with __sanitizer_start_switch_fiber / finish_switch_fiber so
+// ASan always knows which stack is live. Recycled stacks additionally get
+// their shadow scrubbed in drain_reap: a finished fiber's last frames
+// (trampoline + fiber_finished) never run their epilogues -- fiber_finished
+// context-switches away for good -- so their redzone poison would otherwise
+// survive near the stack top, exactly where the next boot frame is written.
+#if defined(COLZA_ASAN_FIBERS)
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace colza::des {
 
 namespace {
@@ -65,9 +77,21 @@ Fiber::Fiber(Simulation* sim, std::uint64_t id, std::string name,
 
 Fiber::~Fiber() = default;
 
+#if defined(COLZA_ASAN_FIBERS)
+void Simulation::asan_on_fiber_entry() noexcept {
+  __sanitizer_finish_switch_fiber(nullptr, &asan_sched_bottom_,
+                                  &asan_sched_size_);
+}
+#endif
+
 void Fiber::trampoline() {
   Fiber* self = g_starting_fiber;
   g_starting_fiber = nullptr;
+#if defined(COLZA_ASAN_FIBERS)
+  // First entry on this stack: no fake-stack state to restore; capture the
+  // scheduler stack's bounds for the switches back.
+  self->sim_->asan_on_fiber_entry();
+#endif
   try {
     self->body_();
   } catch (...) {
@@ -198,22 +222,23 @@ FiberHandle Simulation::spawn(std::string name, std::function<void()> body,
       std::make_unique<Fiber>(this, id, std::move(name), std::move(body),
                               std::move(stack_mem), stack, daemon, tag);
   Fiber* raw = fiber.get();
-  fibers_.emplace(id, std::move(fiber));
+  fibers_.push_back(std::move(fiber));  // slot id - 1 == old fibers_.size()
+  ++live_fibers_;
   if (!daemon) ++nondaemon_fibers_;
   schedule_resume(raw, now_);
   return FiberHandle(id);
 }
 
 bool Simulation::finished(FiberHandle h) const noexcept {
-  return fibers_.find(h.id()) == fibers_.end();
+  return fiber_at(h.id()) == nullptr;
 }
 
 void Simulation::join(FiberHandle h) {
   if (current_ == nullptr)
     throw std::logic_error("join() must be called from a fiber");
-  auto it = fibers_.find(h.id());
-  if (it == fibers_.end()) return;  // already finished and reclaimed
-  it->second->joiners_.push_back(current_->id());
+  Fiber* f = fiber_at(h.id());
+  if (f == nullptr) return;  // already finished and reclaimed
+  f->joiners_.push_back(current_->id());
   block_current();
 }
 
@@ -237,10 +262,18 @@ void Simulation::block_current() {
   self->timed_out_ = false;
   self->state_ = FiberState::blocked;
   current_ = nullptr;
+#if defined(COLZA_ASAN_FIBERS)
+  void* fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&fake_stack, asan_sched_bottom_,
+                                 asan_sched_size_);
+#endif
 #if COLZA_FAST_CONTEXT
   colza_ctx_switch(&self->sp_, scheduler_sp_);
 #else
   swapcontext(&self->context_, &scheduler_context_);
+#endif
+#if defined(COLZA_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
 #endif
   // resumed
   current_ = self;
@@ -258,9 +291,8 @@ bool Simulation::block_current_for(Duration timeout) {
   schedule_after(
       timeout,
       [this, id, epoch] {
-        auto it = fibers_.find(id);
-        if (it == fibers_.end()) return;
-        Fiber* f = it->second.get();
+        Fiber* f = fiber_at(id);
+        if (f == nullptr) return;
         if (f->state() != FiberState::blocked || f->wake_epoch_ != epoch)
           return;  // already woken (and possibly re-blocked) -- stale timer
         f->timed_out_ = true;
@@ -280,10 +312,18 @@ void Simulation::sleep_until(Time t) {
   Fiber* self = current_;
   self->state_ = FiberState::ready;
   current_ = nullptr;
+#if defined(COLZA_ASAN_FIBERS)
+  void* fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&fake_stack, asan_sched_bottom_,
+                                 asan_sched_size_);
+#endif
 #if COLZA_FAST_CONTEXT
   colza_ctx_switch(&self->sp_, scheduler_sp_);
 #else
   swapcontext(&self->context_, &scheduler_context_);
+#endif
+#if defined(COLZA_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
 #endif
   current_ = self;
   self->state_ = FiberState::running;
@@ -341,10 +381,18 @@ void Simulation::switch_to(Fiber* f) {
   f->state_ = FiberState::running;
   Simulation* prev_sim = g_current_sim;
   g_current_sim = this;
+#if defined(COLZA_ASAN_FIBERS)
+  void* fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&fake_stack, f->stack_.get(),
+                                 f->stack_size_);
+#endif
 #if COLZA_FAST_CONTEXT
   colza_ctx_switch(&scheduler_sp_, f->sp_);
 #else
   swapcontext(&scheduler_context_, &f->context_);
+#endif
+#if defined(COLZA_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
 #endif
   g_current_sim = prev_sim;
 }
@@ -356,11 +404,16 @@ void Simulation::fiber_finished(Fiber* f) {
     pending_error_ = f->error_;
   for (std::uint64_t joiner : f->joiners_) unblock_for_sync(*this, joiner);
   f->joiners_.clear();
-  // Move ownership out of the live map; free after we're off this stack.
-  auto it = fibers_.find(f->id());
-  reap_.push_back(std::move(it->second));
-  fibers_.erase(it);
+  // Move ownership out of the live table; free after we're off this stack.
+  reap_.push_back(std::move(fibers_[f->id() - 1]));
+  --live_fibers_;
   current_ = nullptr;
+#if defined(COLZA_ASAN_FIBERS)
+  // Dying context: null fake_stack_save tells ASan to free this fiber's
+  // fake-stack state instead of preserving it for a return that never comes.
+  __sanitizer_start_switch_fiber(nullptr, asan_sched_bottom_,
+                                 asan_sched_size_);
+#endif
 #if COLZA_FAST_CONTEXT
   colza_ctx_switch(&f->sp_, scheduler_sp_);
 #else
@@ -380,8 +433,7 @@ bool Simulation::step() {
     // The fiber may have been woken by a sync primitive and already run (and
     // even finished) before this timer fires; only resume if it is still the
     // live fiber with this id and is ready.
-    auto it = fibers_.find(ev.fiber_id);
-    if (it == fibers_.end() || it->second.get() != ev.fiber) return true;
+    if (fiber_at(ev.fiber_id) != ev.fiber) return true;
     if (ev.fiber->state_ != FiberState::ready) return true;
     switch_to(ev.fiber);
   } else {
@@ -406,17 +458,12 @@ void Simulation::check_deadlock() const {
   std::string msg = "simulation deadlock: event queue empty but " +
                     std::to_string(nondaemon_fibers_) +
                     " non-daemon fiber(s) blocked:";
-  // fibers_ is hashed; sort the culprits by id so the message (and any test
-  // asserting on it) is deterministic.
-  std::vector<std::pair<std::uint64_t, const Fiber*>> stuck;
-  for (const auto& [id, f] : fibers_) {
-    if (f->daemon() || f->state() == FiberState::finished) continue;
-    stuck.emplace_back(id, f.get());
-  }
-  std::sort(stuck.begin(), stuck.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // fibers_ is indexed by id, so walking it lists culprits in id order --
+  // the message (and any test asserting on it) is deterministic.
   std::size_t listed = 0;
-  for (const auto& [id, f] : stuck) {
+  for (const auto& f : fibers_) {
+    if (f == nullptr || f->daemon() || f->state() == FiberState::finished)
+      continue;
     if (listed++ == 8) {
       msg += " ...";
       break;
@@ -430,6 +477,9 @@ void Simulation::drain_reap() {
   for (auto& f : reap_) {
     if (f->stack_size_ == config_.default_stack_size &&
         stack_pool_.size() < kMaxPooledStacks) {
+#if defined(COLZA_ASAN_FIBERS)
+      __asan_unpoison_memory_region(f->stack_.get(), f->stack_size_);
+#endif
       stack_pool_.push_back(std::move(f->stack_));
     }
   }
@@ -455,9 +505,8 @@ void Simulation::run_until(Time horizon) {
 }
 
 void unblock_for_sync(Simulation& sim, std::uint64_t fiber_id) {
-  auto it = sim.fibers_.find(fiber_id);
-  if (it == sim.fibers_.end()) return;
-  Fiber* f = it->second.get();
+  Fiber* f = sim.fiber_at(fiber_id);
+  if (f == nullptr) return;
   if (f->state() != FiberState::blocked) return;
   sim.schedule_resume(f, sim.now());
 }

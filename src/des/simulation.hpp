@@ -93,7 +93,7 @@ class Simulation {
   [[nodiscard]] std::uint64_t current_tag() const noexcept;
   [[nodiscard]] std::uint64_t current_fiber_id() const noexcept;
   [[nodiscard]] std::size_t live_fiber_count() const noexcept {
-    return fibers_.size();
+    return live_fibers_;
   }
   // Total events processed so far (fiber resumes + scheduler callbacks);
   // the denominator of the runtime microbenchmark's events/sec figure.
@@ -278,11 +278,17 @@ class Simulation {
   std::uint64_t next_fiber_id_ = 1;
   EventQueue queue_;
   CallbackNode* free_nodes_ = nullptr;  // recycled callback nodes
-  // Live fibers by id. Hashed, not ordered: step() resolves a fiber id per
-  // resume event and at 4k simulated procs an ordered map's ~12-compare walk
-  // was measurable. check_deadlock sorts ids before printing so the error
-  // message stays deterministic.
-  std::unordered_map<std::uint64_t, std::unique_ptr<Fiber>> fibers_;
+  // Live fibers, directly indexed by id - 1 (ids are handed out
+  // sequentially, so the slot for a new fiber is always the next index).
+  // step() resolves a fiber id per resume event; at 4k simulated procs even
+  // an unordered_map's hash+probe per event was measurable, while this is a
+  // bounds check and a load. Finished fibers leave a null slot behind --
+  // 8 bytes per fiber ever spawned, which stays small next to the stacks.
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::size_t live_fibers_ = 0;
+  [[nodiscard]] Fiber* fiber_at(std::uint64_t id) const noexcept {
+    return id - 1 < fibers_.size() ? fibers_[id - 1].get() : nullptr;
+  }
   std::vector<std::unique_ptr<Fiber>> reap_;  // finished, free on next step
   // Recycled fiber stacks (default size only -- the dominant case: every
   // mona::async request fiber). Spawning from the pool skips a half-MB
@@ -294,6 +300,16 @@ class Simulation {
   void* scheduler_sp_ = nullptr;
 #else
   ucontext_t scheduler_context_{};
+#endif
+#if defined(COLZA_ASAN_FIBERS)
+  // Bounds of the scheduler's (OS thread's) stack, captured on the first
+  // fiber entry; every switch back to the scheduler announces them to ASan.
+  const void* asan_sched_bottom_ = nullptr;
+  std::size_t asan_sched_size_ = 0;
+  // Called from Fiber::trampoline on first entry to a fiber stack: completes
+  // the pending switch and records the scheduler stack bounds.
+  void asan_on_fiber_entry() noexcept;
+  friend class Fiber;
 #endif
   std::FILE* trace_ = nullptr;
   bool trace_first_event_ = true;

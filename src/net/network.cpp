@@ -65,11 +65,11 @@ des::FiberHandle Process::spawn(std::string name, std::function<void()> body,
 }
 
 Mailbox& Process::mailbox(const std::string& name) {
-  auto it = mailboxes_.find(name);
-  if (it == mailboxes_.end()) {
-    it = mailboxes_.emplace(name, std::make_unique<Mailbox>(sim())).first;
+  for (auto& [box_name, box] : mailboxes_) {
+    if (box_name == name) return *box;
   }
-  return *it->second;
+  mailboxes_.emplace_back(name, std::make_unique<Mailbox>(sim()));
+  return *mailboxes_.back().second;
 }
 
 void Process::kill() {

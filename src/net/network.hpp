@@ -180,7 +180,11 @@ class Process {
   ProcId id_;
   NodeId node_;
   bool alive_ = true;
-  std::map<std::string, std::unique_ptr<Mailbox>> mailboxes_;
+  // A process owns at most a handful of mailboxes ("mona", "rpc", ...), and
+  // mailbox() runs once per transmitted message: a linear scan over a small
+  // vector beats any tree/hash lookup here. Pointers stay stable (boxes are
+  // heap-owned), which transmit() relies on.
+  std::vector<std::pair<std::string, std::unique_ptr<Mailbox>>> mailboxes_;
   std::map<std::uint64_t, std::span<const std::byte>> regions_;
   std::uint64_t next_region_ = 1;
 };

@@ -159,8 +159,11 @@ TEST(GrayScott3D, SingleRankMatchesSlabVersionInitially) {
   p.noise = 0.0;
   GrayScott slab(p, 0, 1);
   GrayScott3D box(p, 0, 1);
-  const auto sv = slab.block().point_data.find("v")->as<float>();
-  const auto bv = box.block().point_data.find("v")->as<float>();
+  // block() returns the grid by value; keep it alive past the span.
+  const vis::UniformGrid sg = slab.block();
+  const vis::UniformGrid bg = box.block();
+  const auto sv = sg.point_data.find("v")->as<float>();
+  const auto bv = bg.point_data.find("v")->as<float>();
   ASSERT_EQ(sv.size(), bv.size());
   for (std::size_t i = 0; i < sv.size(); ++i) ASSERT_EQ(sv[i], bv[i]) << i;
 }
