@@ -147,45 +147,65 @@ void Engine::shutdown() {
 
 void Engine::demux_loop() {
   auto& box = proc_->mailbox(kMailbox);
+  if (!net::batch_delivery_enabled()) {
+    while (!stopped_) {
+      auto msg = box.recv();
+      if (!msg.has_value()) return;  // mailbox closed (shutdown or kill)
+      process_message(std::move(*msg));
+    }
+    return;
+  }
+  // Request/response bursts arrive at one virtual instant (incast replies,
+  // fan-out requests); drain the whole mailbox under a single wakeup.
   while (!stopped_) {
-    auto msg = box.recv();
-    if (!msg.has_value()) return;  // mailbox closed (shutdown or kill)
-    InArchive in(msg->payload);
-    std::uint8_t kind = 0;
-    std::uint64_t id = 0;
-    in.load(kind);
-    in.load(id);
-    if (kind == kRequest) {
-      des::Time deadline = 0;
-      obs::TraceContext trace;
-      std::string name;
-      in.load(deadline);
-      in.load(trace);
-      in.load(name);
+    // Constructed empty (no allocation) every pass: while this fiber is
+    // parked inside recv_batch it must own no heap, because fibers still
+    // blocked at simulation teardown are freed without unwinding.
+    std::vector<net::Message> batch;
+    if (!box.recv_batch(batch)) return;  // mailbox closed
+    for (net::Message& m : batch) {
+      if (stopped_) return;
+      process_message(std::move(m));
+    }
+  }
+}
+
+void Engine::process_message(net::Message msg) {
+  InArchive in(msg.payload);
+  std::uint8_t kind = 0;
+  std::uint64_t id = 0;
+  in.load(kind);
+  in.load(id);
+  if (kind == kRequest) {
+    des::Time deadline = 0;
+    obs::TraceContext trace;
+    std::string name;
+    in.load(deadline);
+    in.load(trace);
+    in.load(name);
+    std::vector<std::byte> body(in.remaining());
+    in.read_raw(body.data(), body.size());
+    handle_request(msg.source, id, std::move(name), deadline, trace,
+                   std::move(body));
+  } else {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // late response after timeout
+    auto ev = it->second;
+    pending_.erase(it);
+    StatusCode code{};
+    std::string status_msg;
+    std::uint64_t retry_after_us = 0;
+    in.load(code);
+    in.load(status_msg);
+    in.load(retry_after_us);
+    if (code == StatusCode::ok) {
       std::vector<std::byte> body(in.remaining());
       in.read_raw(body.data(), body.size());
-      handle_request(msg->source, id, std::move(name), deadline, trace,
-                     std::move(body));
+      ev->set_value(std::move(body));
     } else {
-      auto it = pending_.find(id);
-      if (it == pending_.end()) continue;  // late response after timeout
-      auto ev = it->second;
-      pending_.erase(it);
-      StatusCode code{};
-      std::string status_msg;
-      std::uint64_t retry_after_us = 0;
-      in.load(code);
-      in.load(status_msg);
-      in.load(retry_after_us);
-      if (code == StatusCode::ok) {
-        std::vector<std::byte> body(in.remaining());
-        in.read_raw(body.data(), body.size());
-        ev->set_value(std::move(body));
-      } else {
-        Status st(code, std::move(status_msg));
-        st.set_retry_after_us(retry_after_us);
-        ev->set_value(std::move(st));
-      }
+      Status st(code, std::move(status_msg));
+      st.set_retry_after_us(retry_after_us);
+      ev->set_value(std::move(st));
     }
   }
 }

@@ -175,6 +175,7 @@ class Engine {
   friend class DeadlineScope;
 
   void demux_loop();
+  void process_message(net::Message msg);
   void send_request(net::ProcId dest, const std::string& name,
                     std::vector<std::byte> args, std::uint64_t id,
                     des::Time deadline, obs::TraceContext trace);

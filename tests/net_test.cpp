@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <deque>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "des/simulation.hpp"
@@ -468,6 +470,51 @@ TEST_F(NetTest, DragonflyGroupsAddInterGroupLatency) {
   Network flat(lsim);
   EXPECT_EQ(flat.message_delay(0, 3, 1024, prof),
             flat.message_delay(0, 4, 1024, prof));
+}
+
+TEST_F(NetTest, RecvBatchDrainsBurstInOneWakeup) {
+  auto& b = net.create_process(0);
+  std::vector<std::string> got;
+  std::size_t wakeups = 0;
+  b.spawn("recv", [&] {
+    std::vector<Message> batch;
+    auto& box = b.mailbox("x");
+    while (box.recv_batch(batch)) {
+      ++wakeups;
+      for (auto& m : batch) got.push_back(string_of(m.payload));
+      batch.clear();
+    }
+  });
+  b.spawn("push", [&] {
+    sim.sleep_for(milliseconds(1));
+    // All five land before the receiver runs again: one wakeup, one batch,
+    // FIFO order preserved.
+    for (int i = 0; i < 5; ++i) {
+      b.mailbox("x").push(
+          Message{b.id(), 0, bytes_of("m" + std::to_string(i))});
+    }
+    sim.sleep_for(milliseconds(1));
+    b.mailbox("x").close();
+  });
+  sim.run();
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(got[i], "m" + std::to_string(i));
+  EXPECT_EQ(wakeups, 1u);
+}
+
+TEST_F(NetTest, RecvBatchReturnsFalseWhenClosedEmpty) {
+  auto& b = net.create_process(0);
+  bool returned_false = false;
+  b.spawn("recv", [&] {
+    std::vector<Message> batch;
+    returned_false = !b.mailbox("x").recv_batch(batch);
+  });
+  b.spawn("close", [&] {
+    sim.sleep_for(milliseconds(1));
+    b.mailbox("x").close();
+  });
+  sim.run();
+  EXPECT_TRUE(returned_false);
 }
 
 }  // namespace
