@@ -42,7 +42,10 @@ Status CatalystBackend::activate(std::uint64_t iteration) {
   // Fresh slot even when the iteration was activated before: the client
   // re-stages every block after each activate, so blocks left by an earlier
   // attempt whose deactivate was lost must not leak into this one.
-  staged_[iteration] = StagingSlot{};
+  if (auto it = staged_.find(iteration); it != staged_.end()) {
+    staged_.erase(it);
+  }
+  staged_.try_emplace(iteration, arena_);
   return Status::Ok();
 }
 
@@ -114,6 +117,9 @@ Status CatalystBackend::execute(std::uint64_t iteration) {
 
 Status CatalystBackend::deactivate(std::uint64_t iteration) {
   staged_.erase(iteration);  // staged data can now be cleaned up (S II-B)
+  // Iteration boundary: with no activation alive the arena holds no live
+  // index nodes, so rewind it and let the next activation reuse the slabs.
+  if (staged_.empty()) arena_.reset();
   return Status::Ok();
 }
 

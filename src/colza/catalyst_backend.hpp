@@ -17,6 +17,7 @@
 
 #include "catalyst/catalyst.hpp"
 #include "colza/backend.hpp"
+#include "common/arena.hpp"
 #include "des/time.hpp"
 #include "render/render.hpp"
 #include "vis/communicator.hpp"
@@ -60,13 +61,23 @@ class CatalystBackend final : public Backend {
   // One activation's staged blocks. Keyed storage makes stage() idempotent:
   // a retransmitted or duplicated stage RPC for the same (block, field)
   // replaces the earlier copy instead of compositing the block twice.
+  // Index nodes churn once per staged block and all die at deactivate, so
+  // they live in the backend's slab arena (rewound when no iteration is
+  // active) instead of the heap.
   struct StagingSlot {
+    using IndexKey = std::pair<std::uint64_t, std::string>;
+    using IndexAlloc =
+        common::ArenaAllocator<std::pair<const IndexKey, std::size_t>>;
+
+    explicit StagingSlot(common::Arena& arena) : index(IndexAlloc(arena)) {}
+
     std::vector<vis::DataSet> blocks;
-    std::map<std::pair<std::uint64_t, std::string>, std::size_t> index;
+    std::map<IndexKey, std::size_t, std::less<IndexKey>, IndexAlloc> index;
   };
 
   catalyst::PipelineScript script_;
   bool first_execute_ = true;  // models VTK/Python init on first use
+  common::Arena arena_{16 * 1024};  // must outlive staged_ (declared first)
   std::map<std::uint64_t, StagingSlot> staged_;
   render::FrameBuffer fb_;
   std::vector<Record> records_;

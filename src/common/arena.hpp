@@ -1,0 +1,210 @@
+// Slab arena for per-iteration protocol state.
+//
+// The staging path allocates swarms of small, same-lifetime records every
+// pipeline iteration -- 2PC bookkeeping, staging-slot indexes, flow-charge
+// entries, span stacks -- and frees them all when the iteration deactivates.
+// A bump allocator over pooled slabs turns that churn into pointer arithmetic:
+// allocate() is a bump, and reset() at the iteration boundary rewinds to the
+// first slab *keeping the slabs mapped*, so steady state performs no heap
+// traffic at all.
+//
+// Lifetime rule (documented in docs/performance.md): everything carved from
+// an arena must be dead before reset() -- destructors for non-trivial T are
+// the owner's responsibility (containers using ArenaAllocator handle this by
+// being destroyed/cleared before the reset). Under AddressSanitizer the
+// arena poisons retired slabs on reset and unpoisons on allocate, so a
+// use-after-reset faults instead of silently reading recycled memory.
+//
+// Arena is NOT thread-safe; the DES is single-threaded, matching one arena
+// per owner (server, backend, tracer). Process-wide totals aggregate across
+// arenas for the obs runtime gauges.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define COLZA_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define COLZA_ARENA_ASAN 1
+#endif
+#endif
+#ifdef COLZA_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace colza::common {
+
+// COLZA_ARENA=off makes ArenaAllocator fall back to plain operator new /
+// delete (perf bisection; allocation placement is invisible to the timeline,
+// so behavior is identical either way). Raw Arena::allocate callers are
+// unaffected -- the toggle governs the container-allocator path.
+// Mutable so the invariance tests can flip the path mid-process -- but only
+// while no arena-backed container holds storage: allocate and deallocate
+// must see the same flag value for a given allocation.
+inline bool& arena_enabled_flag() noexcept {
+  static bool on = [] {
+    const char* env = std::getenv("COLZA_ARENA");
+    return env == nullptr || std::string_view(env) != "off";
+  }();
+  return on;
+}
+
+inline bool arena_enabled() noexcept { return arena_enabled_flag(); }
+
+// Monotonic process-wide aggregates (bench/obs sample these into gauges).
+struct ArenaTotals {
+  std::uint64_t bytes_in_use = 0;   // across live arenas, since last resets
+  std::uint64_t high_water = 0;     // max bytes_in_use ever observed
+  std::uint64_t slab_bytes = 0;     // reserved slab capacity across arenas
+  std::uint64_t resets = 0;
+  std::uint64_t allocations = 0;
+};
+
+class Arena {
+ public:
+  explicit Arena(std::size_t slab_bytes = 64 * 1024)
+      : default_slab_(slab_bytes == 0 ? 1 : slab_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    totals().bytes_in_use -= in_use_;
+    totals().slab_bytes -= reserved_;
+  }
+
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    for (;;) {
+      if (slab_idx_ < slabs_.size()) {
+        Slab& s = slabs_[slab_idx_];
+        const std::size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+        if (aligned + bytes <= s.size) {
+          void* p = s.mem.get() + aligned;
+          offset_ = aligned + bytes;
+          note_carve(bytes);
+#ifdef COLZA_ARENA_ASAN
+          ASAN_UNPOISON_MEMORY_REGION(p, bytes);
+#endif
+          return p;
+        }
+        ++slab_idx_;
+        offset_ = 0;
+        continue;
+      }
+      const std::size_t size = bytes > default_slab_ ? bytes : default_slab_;
+      slabs_.push_back(Slab{std::make_unique<std::byte[]>(size), size});
+      reserved_ += size;
+      totals().slab_bytes += size;
+#ifdef COLZA_ARENA_ASAN
+      ASAN_POISON_MEMORY_REGION(slabs_.back().mem.get(), size);
+#endif
+    }
+  }
+
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // Rewind to the first slab, keeping every slab mapped. All memory handed
+  // out since the previous reset becomes invalid (poisoned under ASan).
+  void reset() noexcept {
+#ifdef COLZA_ARENA_ASAN
+    for (std::size_t i = 0; i <= slab_idx_ && i < slabs_.size(); ++i)
+      ASAN_POISON_MEMORY_REGION(slabs_[i].mem.get(), slabs_[i].size);
+#endif
+    slab_idx_ = 0;
+    offset_ = 0;
+    totals().bytes_in_use -= in_use_;
+    in_use_ = 0;
+    ++resets_;
+    ++totals().resets;
+  }
+
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+  [[nodiscard]] std::size_t slab_bytes_reserved() const noexcept {
+    return reserved_;
+  }
+  [[nodiscard]] std::uint64_t resets() const noexcept { return resets_; }
+
+  // Process-wide aggregates across all arenas (single-threaded DES).
+  static ArenaTotals& totals() noexcept {
+    static ArenaTotals t;
+    return t;
+  }
+
+ private:
+  struct Slab {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t size = 0;
+  };
+
+  void note_carve(std::size_t bytes) noexcept {
+    in_use_ += bytes;
+    if (in_use_ > high_water_) high_water_ = in_use_;
+    ArenaTotals& t = totals();
+    t.bytes_in_use += bytes;
+    if (t.bytes_in_use > t.high_water) t.high_water = t.bytes_in_use;
+    ++t.allocations;
+  }
+
+  std::size_t default_slab_;
+  std::vector<Slab> slabs_;
+  std::size_t slab_idx_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t reserved_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+// Minimal C++17 allocator over an Arena for per-iteration containers.
+// deallocate is a no-op: memory is reclaimed wholesale by Arena::reset().
+// The owner must guarantee the container dies (or is clear()ed and shrunk)
+// before the arena resets.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (!arena_enabled())
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (!arena_enabled()) ::operator delete(p);
+  }
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  template <typename U>
+  friend class ArenaAllocator;
+  Arena* arena_;
+};
+
+}  // namespace colza::common
