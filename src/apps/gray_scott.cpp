@@ -1,5 +1,6 @@
 #include "apps/gray_scott.hpp"
 
+#include "apps/stencil_simd.hpp"
 #include "des/simulation.hpp"
 
 #include <algorithm>
@@ -85,10 +86,35 @@ void GrayScott::apply_stencil() {
   const std::uint32_t n = params_.n;
   const double du = params_.du, dv = params_.dv, f = params_.feed,
                k = params_.kill, dt = params_.dt;
+  const double* u = u_.data();
+  const double* v = v_.data();
+  double* u2 = u2_.data();
+  double* v2 = v2_.data();
   for (std::uint32_t kz = 1; kz <= nz_; ++kz) {
     for (std::uint32_t j = 0; j < n; ++j) {
       const std::uint32_t jm = (j + n - 1) % n, jp = (j + 1) % n;
-      for (std::uint32_t i = 0; i < n; ++i) {
+      // Interior columns i in [1, n-2]: the x neighbours are p +/- 1 and the
+      // y/z neighbour rows are contiguous too (only their bases differ), so
+      // the run goes through the shared row kernel -- AVX2 when available,
+      // bit-identical to the scalar expressions below either way.
+      if (n > 2) {
+        const std::size_t p = idx(1, j, kz);
+        const std::size_t ym = idx(1, jm, kz), yp = idx(1, jp, kz);
+        const std::size_t zm = idx(1, j, kz - 1), zp = idx(1, j, kz + 1);
+        const detail::GsRow row{u + p,  u + p - 1, u + p + 1, u + ym,
+                                u + yp, u + zm,    u + zp,
+                                v + p,  v + p - 1, v + p + 1, v + ym,
+                                v + yp, v + zm,    v + zp,
+                                u2 + p, v2 + p};
+        detail::gs_row(row, n - 2, du, dv, f, k, dt);
+      }
+      // Wrap columns (i = 0 and i = n-1) keep the original periodic
+      // expressions. Writes are independent per cell and read only u_/v_,
+      // so doing them after the interior run changes nothing.
+      const std::uint32_t wrap_cols[2] = {0, n - 1};
+      const int nwrap = n > 1 ? 2 : 1;
+      for (int w = 0; w < nwrap; ++w) {
+        const std::uint32_t i = wrap_cols[w];
         const std::uint32_t im = (i + n - 1) % n, ip = (i + 1) % n;
         const std::size_t p = idx(i, j, kz);
         const double lap_u = u_[idx(im, j, kz)] + u_[idx(ip, j, kz)] +

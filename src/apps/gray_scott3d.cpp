@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "apps/gray_scott.hpp"
+#include "apps/stencil_simd.hpp"
 #include "des/simulation.hpp"
 
 namespace colza::apps {
@@ -229,11 +230,10 @@ Status GrayScott3D::exchange_halos(mona::Communicator* comm) {
 void GrayScott3D::apply_stencil() {
   const double du = params_.du, dv = params_.dv, f = params_.feed,
                k = params_.kill, dt = params_.dt;
-  // Incremental indexing: the six neighbours of cell p sit at fixed strides
-  // (ghost layers on every axis make this uniform), so the inner loop does
-  // pointer walks instead of six idx() multiplications per cell. The
-  // floating-point evaluation order is unchanged -- results stay
-  // bit-identical to the naive indexing.
+  // The six neighbours of cell p sit at fixed strides (ghost layers on
+  // every axis make this uniform), so each (kz, j) row is a contiguous run
+  // handed to the shared row kernel -- AVX2 when available, scalar
+  // otherwise, bit-identical either way (see apps/stencil_simd.hpp).
   const std::size_t sy = lx_ + 2;
   const std::size_t sz = sy * (ly_ + 2);
   const double* u = u_.data();
@@ -242,16 +242,13 @@ void GrayScott3D::apply_stencil() {
   double* v2 = v2_.data();
   for (std::uint32_t kz = 1; kz <= lz_; ++kz) {
     for (std::uint32_t j = 1; j <= ly_; ++j) {
-      std::size_t p = kz * sz + j * sy + 1;
-      for (std::uint32_t i = 1; i <= lx_; ++i, ++p) {
-        const double lap_u = u[p - 1] + u[p + 1] + u[p - sy] + u[p + sy] +
-                             u[p - sz] + u[p + sz] - 6.0 * u[p];
-        const double lap_v = v[p - 1] + v[p + 1] + v[p - sy] + v[p + sy] +
-                             v[p - sz] + v[p + sz] - 6.0 * v[p];
-        const double uvv = u[p] * v[p] * v[p];
-        u2[p] = u[p] + dt * (du * lap_u - uvv + f * (1.0 - u[p]));
-        v2[p] = v[p] + dt * (dv * lap_v + uvv - (f + k) * v[p]);
-      }
+      const std::size_t p = kz * sz + j * sy + 1;
+      const detail::GsRow row{u + p,      u + p - 1,  u + p + 1, u + p - sy,
+                              u + p + sy, u + p - sz, u + p + sz,
+                              v + p,      v + p - 1,  v + p + 1, v + p - sy,
+                              v + p + sy, v + p - sz, v + p + sz,
+                              u2 + p,     v2 + p};
+      detail::gs_row(row, lx_, du, dv, f, k, dt);
     }
   }
   u_.swap(u2_);

@@ -39,14 +39,22 @@ vis::UniformGrid mandelbulb_block(const MandelbulbParams& params,
                extent / static_cast<float>(params.ny - 1),
                slab / static_cast<float>(params.nz - 1)};
 
+  // The escape iteration is libm-transcendental-dominated (pow/acos/atan2
+  // per step) and stays scalar by policy -- see common/simd.hpp. What does
+  // get optimized: the y/z coordinates hoist out of the inner loop (the
+  // same origin + spacing*index expressions point() evaluates, so values
+  // are bit-identical) and the field index walks incrementally (i is the
+  // fastest axis of point_index).
   std::vector<float> field(g.point_count());
+  std::size_t idx = 0;
   for (std::uint32_t k = 0; k < params.nz; ++k) {
+    const float pz = g.origin.z + g.spacing.z * static_cast<float>(k);
     for (std::uint32_t j = 0; j < params.ny; ++j) {
-      for (std::uint32_t i = 0; i < params.nx; ++i) {
-        const vis::Vec3 p = g.point(i, j, k);
-        field[g.point_index(i, j, k)] = static_cast<float>(
-            mandelbulb_escape(p.x, p.y, p.z, params.power,
-                              params.max_iterations));
+      const float py = g.origin.y + g.spacing.y * static_cast<float>(j);
+      for (std::uint32_t i = 0; i < params.nx; ++i, ++idx) {
+        const float px = g.origin.x + g.spacing.x * static_cast<float>(i);
+        field[idx] = static_cast<float>(mandelbulb_escape(
+            px, py, pz, params.power, params.max_iterations));
       }
     }
   }
