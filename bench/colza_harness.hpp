@@ -19,6 +19,7 @@
 #include "colza/client.hpp"
 #include "colza/deploy.hpp"
 #include "colza/server.hpp"
+#include "common/arena.hpp"
 #include "common/buffer_pool.hpp"
 #include "des/simulation.hpp"
 #include "net/network.hpp"
@@ -239,6 +240,7 @@ class ColzaPipelineHarness {
                 results.push_back(times);
                 if (after) after(times);
                 if (!config_.metrics_path.empty()) {
+                  record_runtime_gauges();
                   obs::MetricsRegistry::global().snapshot(
                       "iteration-" + std::to_string(it));
                 }
@@ -250,6 +252,35 @@ class ColzaPipelineHarness {
     sim_.run();
     finish_observability();
     return results;
+  }
+
+  // Samples the DES-runtime counters (event queue, slab arenas, batched
+  // delivery) into gauges so each per-iteration snapshot carries them.
+  void record_runtime_gauges() {
+    auto& reg = obs::MetricsRegistry::global();
+    const auto& q = sim_.event_queue();
+    reg.gauge("runtime.queue.depth").set(static_cast<double>(q.size()));
+    reg.gauge("runtime.queue.peak_depth")
+        .set(static_cast<double>(q.stats().peak_depth));
+    reg.gauge("runtime.queue.rung_spawns")
+        .set(static_cast<double>(q.stats().rung_spawns));
+    reg.gauge("runtime.queue.top_transfers")
+        .set(static_cast<double>(q.stats().top_transfers));
+    const auto& arenas = common::Arena::totals();
+    reg.gauge("runtime.arena.bytes_in_use")
+        .set(static_cast<double>(arenas.bytes_in_use));
+    reg.gauge("runtime.arena.high_water")
+        .set(static_cast<double>(arenas.high_water));
+    reg.gauge("runtime.arena.slab_bytes")
+        .set(static_cast<double>(arenas.slab_bytes));
+    reg.gauge("runtime.arena.resets").set(static_cast<double>(arenas.resets));
+    const auto& del = net::DeliveryStats::global();
+    reg.gauge("runtime.delivery.batches")
+        .set(static_cast<double>(del.batches));
+    reg.gauge("runtime.delivery.messages")
+        .set(static_cast<double>(del.messages));
+    reg.gauge("runtime.delivery.max_batch")
+        .set(static_cast<double>(del.max_batch));
   }
 
   // Writes the trace / metrics files configured in HarnessConfig. Called

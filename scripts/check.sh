@@ -18,6 +18,11 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$jobs"
   ctest --preset asan-tier1
+  # Cross-check the runtime fallback paths under the sanitizer: heap event
+  # queue and scalar kernels must pass the same tier-1 suite (the default
+  # run above already covers ladder + SIMD; perf_invariance_test pins that
+  # both sides produce identical timelines).
+  COLZA_DES_QUEUE=heap COLZA_SIMD=off ctest --preset asan-tier1
 fi
 
 echo "check.sh: all green"

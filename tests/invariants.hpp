@@ -116,6 +116,7 @@ struct ScenarioResult {
   ResilientStats resilient;      // summed over all iterations
   SupervisorStats supervisor;    // zero when cfg.supervisor is false
   std::uint64_t trace_hash = 0;  // timeline hash when cfg.trace is set
+  std::uint64_t events_processed = 0;  // DES events over the whole scenario
 };
 
 inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
@@ -232,6 +233,7 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
   sim.run_until(settle);
 
   res.end_time = sim.now();
+  res.events_processed = sim.events_processed();
   if (supervisor != nullptr) {
     res.supervisor = supervisor->stats();
     supervisor->stop();

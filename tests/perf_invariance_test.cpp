@@ -1,0 +1,104 @@
+// Tier-1 gate for the DES-runtime optimizations: every perf path (ladder
+// event queue, batched mailbox delivery, SIMD kernels, slab arenas) must be
+// invisible in simulation results. Each test runs the full elastic
+// Mandelbulb scenario twice -- optimization on vs off -- and requires a
+// bit-identical fingerprint: DES event count, virtual end time, every
+// iteration outcome, and every execution record including render hashes.
+// A divergence here means an optimization changed behavior, not just speed.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.hpp"
+#include "common/simd.hpp"
+#include "net/network.hpp"
+#include "invariants.hpp"
+
+namespace colza {
+namespace {
+
+testing::ScenarioConfig scenario() {
+  testing::ScenarioConfig cfg;
+  cfg.seed = 42;
+  cfg.servers = 3;
+  cfg.iterations = 4;
+  cfg.blocks = 6;
+  cfg.elastic_join = true;  // exercise the resize path too
+  return cfg;
+}
+
+// Everything observable about a run, serialized so a mismatch prints a
+// readable diff.
+std::string fingerprint(const testing::ScenarioResult& r) {
+  std::ostringstream out;
+  out << "events=" << r.events_processed << " end=" << r.end_time
+      << " client_done=" << r.client_done << "\n";
+  for (const auto& it : r.iterations) {
+    out << "iter " << it.iteration << " code=" << static_cast<int>(it.code)
+        << " started=" << it.started << " finished=" << it.finished
+        << " view=[";
+    for (net::ProcId p : it.view) out << p << ",";
+    out << "]\n";
+  }
+  for (const auto& s : r.servers) {
+    out << "server " << s.id << " alive=" << s.alive << "\n";
+    for (const auto& rec : s.records) {
+      out << "  exec iter=" << rec.iteration << " size=" << rec.comm_size
+          << " ctx=" << rec.comm_context << " time=" << rec.execute_time
+          << " hash=" << std::hex << rec.image_hash << std::dec << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string run_fingerprint() {
+  return fingerprint(testing::run_elastic_mandelbulb(scenario()));
+}
+
+TEST(PerfInvariance, LadderQueueMatchesHeap) {
+  const std::string ladder = run_fingerprint();
+  ASSERT_EQ(setenv("COLZA_DES_QUEUE", "heap", 1), 0);
+  const std::string heap = run_fingerprint();
+  ASSERT_EQ(unsetenv("COLZA_DES_QUEUE"), 0);
+  EXPECT_EQ(ladder, heap);
+}
+
+TEST(PerfInvariance, BatchedDeliveryMatchesPerMessage) {
+  net::batch_delivery_flag() = true;
+  const std::string batched = run_fingerprint();
+  net::batch_delivery_flag() = false;
+  const std::string single = run_fingerprint();
+  net::batch_delivery_flag() = true;
+  EXPECT_EQ(batched, single);
+}
+
+TEST(PerfInvariance, SimdKernelsMatchScalar) {
+#if defined(__x86_64__)
+  const bool have_avx2 = __builtin_cpu_supports("avx2") != 0;
+#else
+  const bool have_avx2 = false;
+#endif
+  if (!have_avx2) GTEST_SKIP() << "no AVX2 on this host";
+
+  const auto entry = common::simd::active_level();
+  common::simd::active_level() = common::simd::Level::avx2;
+  const std::string simd = run_fingerprint();
+  common::simd::active_level() = common::simd::Level::scalar;
+  const std::string scalar = run_fingerprint();
+  common::simd::active_level() = entry;
+  EXPECT_EQ(simd, scalar);
+}
+
+TEST(PerfInvariance, ArenaAllocationMatchesHeap) {
+  common::arena_enabled_flag() = true;
+  const std::string arena = run_fingerprint();
+  common::arena_enabled_flag() = false;
+  const std::string heap = run_fingerprint();
+  common::arena_enabled_flag() = true;
+  EXPECT_EQ(arena, heap);
+}
+
+}  // namespace
+}  // namespace colza
