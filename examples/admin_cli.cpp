@@ -7,6 +7,7 @@
 // staging area and issue exactly one admin RPC each:
 //   admin_cli set-weight <pipeline> <w>   # weight the pipeline's DRR share
 //   admin_cli show-quota                  # dump a server's quota document
+//   admin_cli show-integrity              # dump per-server integrity counters
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,7 +77,22 @@ int run_verb(int argc, char** argv) {
       return;
     }
 
-    std::fprintf(stderr, "unknown verb '%s' (set-weight | show-quota)\n",
+    if (verb == "show-integrity") {
+      // Verified / repaired / unrepairable counts per daemon, the way an
+      // operator would watch for a node with failing memory: a server whose
+      // mismatch count keeps climbing is rotting bytes at rest.
+      for (net::ProcId s : servers) {
+        auto integrity = admin.get_integrity(s);
+        integrity.status().check();
+        std::printf("integrity on %s: %s\n", net::to_string(s).c_str(),
+                    integrity->dump().c_str());
+      }
+      return;
+    }
+
+    std::fprintf(stderr,
+                 "unknown verb '%s' (set-weight | show-quota | "
+                 "show-integrity)\n",
                  verb.c_str());
     rc = 2;
   });

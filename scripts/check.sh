@@ -21,7 +21,9 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # Cross-check the runtime fallback paths under the sanitizer: heap event
   # queue and scalar kernels must pass the same tier-1 suite (the default
   # run above already covers ladder + SIMD; perf_invariance_test pins that
-  # both sides produce identical timelines).
+  # both sides produce identical timelines, and the common_test CRC32C cases
+  # pin the scalar checksum against the same vectors the SSE4.2 path passed
+  # in the default run -- so a hardware/scalar divergence fails the gate).
   COLZA_DES_QUEUE=heap COLZA_SIMD=off ctest --preset asan-tier1
 fi
 

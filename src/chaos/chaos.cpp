@@ -22,7 +22,8 @@ bool is_message_rule(RuleKind k) noexcept {
     case RuleKind::partition:
     case RuleKind::crash:
     case RuleKind::shed:
-      return false;
+    case RuleKind::corrupt:  // the at==0 in-transit form is special-cased
+      return false;          // in evaluate()
   }
   return false;
 }
@@ -36,7 +37,29 @@ RuleKind kind_from_string(const std::string& s) {
   if (s == "partition") return RuleKind::partition;
   if (s == "crash") return RuleKind::crash;
   if (s == "shed") return RuleKind::shed;
+  if (s == "corrupt") return RuleKind::corrupt;
   throw std::runtime_error("chaos: unknown rule kind '" + s + "'");
+}
+
+common::integrity::CorruptMode mode_from_string(const std::string& s,
+                                                std::size_t rule_index) {
+  using common::integrity::CorruptMode;
+  if (s == "bit_flip") return CorruptMode::bit_flip;
+  if (s == "truncate") return CorruptMode::truncate;
+  if (s == "zero") return CorruptMode::zero;
+  throw std::runtime_error("chaos: rule " + std::to_string(rule_index) +
+                           " has invalid mode '" + s +
+                           "' (want bit_flip, truncate or zero)");
+}
+
+// Same mixer the server uses for its victim picks: one cheap, well-spread
+// 64-bit permutation so rule index and plan seed never collide into the
+// same candidate choice.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 // Times in the JSON plan are microseconds; the simulation runs nanoseconds.
@@ -60,7 +83,7 @@ constexpr const char* kRuleKeys[] = {
     "kind",      "probability", "from",    "to",      "box",
     "after_us",  "before_us",   "delay_us", "jitter_us", "copies",
     "spacing_us", "node",       "factor",  "at_us",   "heal_us",
-    "group_a",   "group_b",     "target",  "bytes",
+    "group_a",   "group_b",     "target",  "bytes",   "mode",
 };
 
 bool known_rule_key(const std::string& key) {
@@ -82,6 +105,7 @@ std::string_view to_string(RuleKind k) noexcept {
     case RuleKind::partition: return "partition";
     case RuleKind::crash: return "crash";
     case RuleKind::shed: return "shed";
+    case RuleKind::corrupt: return "corrupt";
   }
   return "?";
 }
@@ -132,6 +156,22 @@ ChaosPlan ChaosPlan::from_json(std::string_view text) {
     r.group_b = proc_list(rv, "group_b");
     r.target = static_cast<net::ProcId>(rv.number_or("target", 0.0));
     r.bytes = static_cast<std::uint64_t>(rv.number_or("bytes", 0.0));
+    if (r.kind == RuleKind::corrupt) {
+      r.corrupt_mode = mode_from_string(rv.string_or("mode", "bit_flip"), index);
+      if (r.at != 0 && r.target == 0 && r.node == 0) {
+        throw std::runtime_error("chaos: rule " + std::to_string(index) +
+                                 " (scheduled corrupt) needs 'target' or "
+                                 "'node'");
+      }
+      if (r.at == 0 && !r.box.empty() && r.box != "rdma") {
+        throw std::runtime_error("chaos: rule " + std::to_string(index) +
+                                 " (in-transit corrupt) only applies to box "
+                                 "'rdma', got '" + r.box + "'");
+      }
+    } else if (rv.find("mode") != nullptr) {
+      throw std::runtime_error("chaos: rule " + std::to_string(index) +
+                               " has 'mode' but is not a corrupt rule");
+    }
     plan.rules.push_back(std::move(r));
   }
   return plan;
@@ -148,6 +188,36 @@ ChaosPlan crash_storm_plan(net::NodeId base_node, std::size_t nodes,
     r.kind = RuleKind::crash;
     r.node = base_node + static_cast<net::NodeId>(i % nodes);
     r.at = start + static_cast<des::Duration>(i) * period;
+    plan.rules.push_back(std::move(r));
+  }
+  return plan;
+}
+
+ChaosPlan corruption_storm_plan(net::ProcId base_server, std::size_t servers,
+                                des::Time start, des::Duration period,
+                                std::size_t corruptions, std::uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.rules.reserve(corruptions);
+  // Like overload_plan: victims and modes come from a dedicated RNG seeded
+  // by the plan seed, so the plan itself is the replay artifact.
+  Rng pick(seed);
+  constexpr common::integrity::CorruptMode kModes[] = {
+      common::integrity::CorruptMode::bit_flip,
+      common::integrity::CorruptMode::truncate,
+      common::integrity::CorruptMode::zero,
+  };
+  for (std::size_t i = 0; i < corruptions; ++i) {
+    Rule r;
+    r.kind = RuleKind::corrupt;
+    r.target = base_server + static_cast<net::ProcId>(
+                                 pick.below(static_cast<std::uint64_t>(
+                                     servers == 0 ? 1 : servers)));
+    r.corrupt_mode = kModes[pick.below(3)];
+    r.at = start + static_cast<des::Duration>(i) * period;
+    // The heal window closes when the next corruption is due: a rule whose
+    // server has nothing staged yet retries within its own period only.
+    r.heal_at = r.at + period;
     plan.rules.push_back(std::move(r));
   }
   return plan;
@@ -216,6 +286,13 @@ void ChaosEngine::attach(net::Network& net) {
           sim_->schedule_at(r.heal_at, [this, i] { apply_shed(i, false); });
         }
         break;
+      case RuleKind::corrupt:
+        // Only the scheduled (at-rest) form arms an event; at == 0 is the
+        // in-transit form, evaluated per RDMA operation.
+        if (r.at != 0) {
+          sim_->schedule_at(r.at, [this, i] { apply_corrupt(i); });
+        }
+        break;
       default:
         break;
     }
@@ -282,15 +359,86 @@ void ChaosEngine::apply_shed(std::size_t rule, bool on) {
   record(RuleKind::shed, rule, target, 0, 0, r.bytes, on ? 0 : 1);
 }
 
+void ChaosEngine::apply_corrupt(std::size_t rule) {
+  if (net_ == nullptr) return;
+  const Rule& r = plan_.rules[rule];
+  // target=0 with node set rots whatever process is alive on the node right
+  // now, mirroring the node-targeted crash/shed semantics.
+  net::ProcId target = r.target;
+  if (target == 0 && r.node != 0) {
+    net::Process* p = net_->find_alive_on_node(r.node);
+    if (p == nullptr) return;
+    target = p->id();
+  }
+  // The victim pick comes from the plan seed and rule index, not the shared
+  // per-message RNG: arming order must not perturb message verdict draws.
+  const std::uint64_t pick = splitmix64(plan_.seed ^ splitmix64(rule + 1));
+  const common::integrity::CorruptResult res =
+      common::integrity::Registry::corrupt(sim_, target, r.corrupt_mode, pick);
+  if (res.blocks == 0 && !res.deferred) {
+    // No hook answered: the victim is down (or not a server). Re-arm every
+    // 500ms so a respawned replacement is still hit, but give up once the
+    // heal window closes -- logged with delta=1 so the replay signature
+    // records the miss.
+    const des::Time next = sim_->now() + des::milliseconds(500);
+    if (r.heal_at > 0 && next < r.heal_at) {
+      sim_->schedule_at(next, [this, rule] { apply_corrupt(rule); });
+    } else {
+      record(RuleKind::corrupt, rule, target, 0,
+             static_cast<std::uint64_t>(r.corrupt_mode), 0, 1);
+    }
+    return;
+  }
+  // An idle server defers the rot to its next stored payload (bytes=0 here);
+  // either way the corruption is committed, so it counts as landed.
+  record(RuleKind::corrupt, rule, target, 0,
+         static_cast<std::uint64_t>(r.corrupt_mode), res.bytes, 0);
+}
+
+void ChaosEngine::set_log_capacity(std::size_t cap) {
+  log_capacity_ = cap;
+  if (cap != 0 && log_.size() > cap) {
+    log_.erase(log_.begin(),
+               log_.begin() + static_cast<std::ptrdiff_t>(log_.size() - cap));
+  }
+}
+
 void ChaosEngine::record(RuleKind kind, std::size_t rule, net::ProcId src,
                          net::ProcId dst, std::uint64_t tag, std::size_t bytes,
                          des::Duration delta) {
-  log_.push_back(InjectionRecord{sim_ != nullptr ? sim_->now() : 0, kind, rule,
-                                 src, dst, tag, bytes, delta});
+  const InjectionRecord rec{sim_ != nullptr ? sim_->now() : 0, kind, rule,
+                            src, dst, tag, bytes, delta};
+  // Fold every field through FNV-1a before (possible) eviction: the digest
+  // is the constant-memory replay signature and must cover the whole
+  // history, not just what the ring buffer retains.
+  const auto mix = [this](std::uint64_t x) {
+    log_digest_ ^= x;
+    log_digest_ *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(rec.time));
+  mix(static_cast<std::uint64_t>(rec.kind));
+  mix(static_cast<std::uint64_t>(rec.rule));
+  mix(static_cast<std::uint64_t>(rec.src));
+  mix(static_cast<std::uint64_t>(rec.dst));
+  mix(rec.tag);
+  mix(static_cast<std::uint64_t>(rec.bytes));
+  mix(static_cast<std::uint64_t>(rec.delta));
+  ++log_total_;
+  log_.push_back(rec);
+  if (log_capacity_ != 0 && log_.size() > log_capacity_) {
+    log_.erase(log_.begin(),
+               log_.begin() +
+                   static_cast<std::ptrdiff_t>(log_.size() - log_capacity_));
+  }
 }
 
 std::string ChaosEngine::dump_log() const {
   std::string out;
+  if (log_total_ > log_.size()) {
+    out += "[" + std::to_string(log_total_ - log_.size()) +
+           " older records evicted; digest=" + std::to_string(log_digest_) +
+           "]\n";
+  }
   for (const InjectionRecord& r : log_) {
     out += r.to_string();
     out += '\n';
@@ -308,7 +456,14 @@ net::FaultVerdict ChaosEngine::evaluate(net::ProcId src, net::ProcId dst,
   const des::Time now = sim_->now();
   for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
     const Rule& r = plan_.rules[i];
-    if (!is_message_rule(r.kind)) continue;
+    if (r.kind == RuleKind::corrupt) {
+      // Only the in-transit form (at == 0) acts per-operation, and only on
+      // one-sided pulls: RDMA bypasses the message path, so this is the one
+      // channel where wire rot can reach staged bytes undetected.
+      if (r.at != 0 || box != "rdma") continue;
+    } else if (!is_message_rule(r.kind)) {
+      continue;
+    }
     if (now < r.after || now >= r.before) continue;
     if (r.from != 0 && r.from != src) continue;
     if (r.to != 0 && r.to != dst) continue;
@@ -350,6 +505,18 @@ net::FaultVerdict ChaosEngine::evaluate(net::ProcId src, net::ProcId dst,
             static_cast<double>(base) * scale);
         v.extra_delay += extra;
         record(r.kind, i, src, dst, tag, bytes, extra);
+        break;
+      }
+      case RuleKind::corrupt: {
+        // XOR a seeded nonzero byte into a seeded offset; the pull still
+        // reports success, as real silent wire rot would. The offset goes
+        // in the record's tag and the XOR byte in delta, so the replay
+        // signature pins down exactly which bit rotted.
+        v.corrupt_xor = static_cast<std::uint8_t>(1 + rng_.below(255));
+        v.corrupt_offset =
+            bytes != 0 ? rng_.below(static_cast<std::uint64_t>(bytes)) : 0;
+        record(r.kind, i, src, dst, v.corrupt_offset, bytes,
+               static_cast<des::Duration>(v.corrupt_xor));
         break;
       }
       default:

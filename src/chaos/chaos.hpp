@@ -1,9 +1,10 @@
 // Deterministic fault injection for the simulated Colza stack.
 //
 // A ChaosPlan is a declarative, seed-driven schedule of faults: per-message
-// rules (drop / delay / duplicate / reorder / slow_node) evaluated on every
-// transmit and RDMA operation via the net::FaultInjector hook, and scheduled
-// rules (partition / crash) armed as virtual-time events on the simulation.
+// rules (drop / delay / duplicate / reorder / slow_node, plus in-transit
+// corrupt) evaluated on every transmit and RDMA operation via the
+// net::FaultInjector hook, and scheduled rules (partition / crash / shed /
+// corrupt) armed as virtual-time events on the simulation.
 // Because the DES processes events in a deterministic order and the engine
 // draws from its own seeded RNG, the same plan against the same scenario
 // produces a bit-identical fault sequence -- every injection is logged with
@@ -20,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/integrity.hpp"
 #include "common/rng.hpp"
 #include "des/time.hpp"
 #include "net/address.hpp"
@@ -27,17 +29,33 @@
 
 namespace colza::chaos {
 
+// What a rule injects. The first five are per-message rules, evaluated on
+// every matching transmit or RDMA operation; the rest are scheduled rules,
+// armed once as a virtual-time event at `at`. `corrupt` straddles the line:
+// with at != 0 it is scheduled (rot bytes at rest), with at == 0 it is
+// per-operation (rot bytes in transit).
 enum class RuleKind : std::uint8_t {
+  // ---- per-message ----
   drop,       // swallow matching messages with `probability`
   delay,      // add `delay` + uniform[0, jitter) to matching messages
   duplicate,  // deliver `copies` extra copies spaced `spacing` apart
   reorder,    // add uniform[0, jitter) -- pure jitter, shuffles arrival order
   slow_node,  // scale the base delay of traffic touching `node` by `factor`
-  partition,  // cut all links between group_a and group_b at `at` (heal_at)
+  // ---- scheduled ----
+  partition,  // cut all links between group_a and group_b at `at`
+              // (heal_at restores them; 0 = never)
   crash,      // kill process `target` at virtual time `at`
   shed,       // inject `bytes` of flow-control budget pressure on server
               // `target` at `at` (released at heal_at; 0 = never) -- the
               // server sheds stage traffic with Status::Busy while squeezed
+  corrupt,    // silently rot staged bytes. at != 0: flip/truncate/zero
+              // (`mode`) one stored payload on server `target` (node
+              // fallback), picked deterministically from the plan seed; an
+              // idle server defers the rot to its next stored payload, and
+              // a dead one is retried every 500ms until heal_at. at == 0
+              // with box "rdma": XOR one seeded byte into matching
+              // one-sided pulls while in flight. Checksums are never
+              // updated to match -- that is the point.
 };
 
 [[nodiscard]] std::string_view to_string(RuleKind k) noexcept;
@@ -68,8 +86,10 @@ struct Rule {
   net::ProcId target = 0;    // crash victim; 0 with node != 0 kills whatever
                              // process is alive on `node` at fire time (so a
                              // storm keeps hitting supervisor respawns too).
-                             // shed: the squeezed server (node fallback too)
+                             // shed/corrupt: the hit server (node fallback)
   std::uint64_t bytes = 0;   // shed: injected budget pressure in bytes
+  common::integrity::CorruptMode corrupt_mode =
+      common::integrity::CorruptMode::bit_flip;  // corrupt: how bytes rot
 };
 
 struct ChaosPlan {
@@ -109,6 +129,22 @@ struct ChaosPlan {
                                       des::Duration burst, std::size_t bursts,
                                       std::uint64_t bytes, std::uint64_t seed);
 
+// A corruption-storm plan: one scheduled storage corruption every `period`
+// starting at `start`, each hitting a seeded pick among `servers` consecutive
+// server processes (base_server + pick) with a seeded mode (bit_flip /
+// truncate / zero). heal_at = at + period, so a rule whose victim is dead at
+// fire time keeps retrying until the next corruption is due (an idle victim
+// instead defers the rot to its next stored payload). The tier-2
+// acceptance (corruption_storm_test): with replication >= 2 every hit is
+// detected and repaired from a buddy copy with zero client-visible failures,
+// and the rendered images hash identically to a clean run.
+[[nodiscard]] ChaosPlan corruption_storm_plan(net::ProcId base_server,
+                                              std::size_t servers,
+                                              des::Time start,
+                                              des::Duration period,
+                                              std::size_t corruptions,
+                                              std::uint64_t seed);
+
 // One injected fault, stamped with the virtual time it was decided. The
 // concatenation of these records is the replay signature: two runs of the
 // same scenario + plan must produce identical logs.
@@ -117,13 +153,31 @@ struct InjectionRecord {
   RuleKind kind = RuleKind::drop;
   std::size_t rule = 0;       // index into plan.rules
   net::ProcId src = 0;        // message source / crash target / partition: 0
+                              // corrupt: the server whose bytes rotted
   net::ProcId dst = 0;        // message destination (or RDMA region owner)
   std::uint64_t tag = 0;      // message tag (0 for RDMA and scheduled rules)
+                              // scheduled corrupt: the CorruptMode; in-transit
+                              // corrupt: the seeded payload offset
   std::size_t bytes = 0;      // payload size (0 for scheduled rules)
+                              // scheduled corrupt: bytes actually damaged
   des::Duration delta = 0;    // extra delay applied (0 = drop/dup/scheduled)
+                              // corrupt: XOR byte in transit; 1 = a scheduled
+                              // rule that gave up (heal window closed empty)
 
   [[nodiscard]] bool operator==(const InjectionRecord&) const = default;
   [[nodiscard]] std::string to_string() const;
+};
+
+// Running totals over every record ever made, including ones evicted from a
+// capacity-bounded log. The digest folds all eight record fields through
+// FNV-1a in append order, so two runs with equal summaries injected the
+// same faults at the same virtual times -- a constant-memory replay
+// signature for storms too long to keep verbatim.
+struct LogSummary {
+  std::uint64_t records = 0;
+  std::uint64_t digest = 0;
+
+  [[nodiscard]] bool operator==(const LogSummary&) const = default;
 };
 
 // Evaluates a ChaosPlan against one simulation. attach() installs the
@@ -142,10 +196,22 @@ class ChaosEngine final : public net::FaultInjector {
   void detach();
 
   [[nodiscard]] const ChaosPlan& plan() const noexcept { return plan_; }
+  // The retained injection records: everything, unless a capacity is set,
+  // in which case only the most recent `cap` (see set_log_capacity).
   [[nodiscard]] const std::vector<InjectionRecord>& log() const noexcept {
     return log_;
   }
-  // Full log, one record per line -- the bit-identical replay signature.
+  // Bounds the in-memory log at `cap` records (0 = unbounded, the default).
+  // A long storm otherwise grows the log without limit; with a capacity the
+  // oldest records are dropped ring-buffer style while log_summary() keeps
+  // covering every record ever made.
+  void set_log_capacity(std::size_t cap);
+  [[nodiscard]] LogSummary log_summary() const noexcept {
+    return LogSummary{log_total_, log_digest_};
+  }
+  // Retained log, one record per line, prefixed with an eviction note when a
+  // capacity dropped older records -- the bit-identical replay signature
+  // (compare summaries instead when the log is bounded).
   [[nodiscard]] std::string dump_log() const;
 
   // net::FaultInjector
@@ -164,6 +230,7 @@ class ChaosEngine final : public net::FaultInjector {
   void apply_partition(std::size_t rule, bool down);
   void apply_crash(std::size_t rule);
   void apply_shed(std::size_t rule, bool on);
+  void apply_corrupt(std::size_t rule);
   void record(RuleKind kind, std::size_t rule, net::ProcId src, net::ProcId dst,
               std::uint64_t tag, std::size_t bytes, des::Duration delta);
 
@@ -172,6 +239,9 @@ class ChaosEngine final : public net::FaultInjector {
   net::Network* net_ = nullptr;
   des::Simulation* sim_ = nullptr;
   std::vector<InjectionRecord> log_;
+  std::size_t log_capacity_ = 0;  // 0 = unbounded
+  std::uint64_t log_total_ = 0;   // records ever appended (evicted included)
+  std::uint64_t log_digest_ = 14695981039346656037ULL;  // FNV-1a offset basis
 };
 
 }  // namespace colza::chaos

@@ -72,6 +72,17 @@ class Admin {
     return json::parse(dump);
   }
 
+  // Fetches a server's data-integrity counters: blocks verified, checksum
+  // mismatches caught, buddy repairs (and bytes moved for them), blocks with
+  // no intact copy left, and completed scrubber passes.
+  Expected<json::Value> get_integrity(net::ProcId server) {
+    auto r = engine_->call_raw(server, "colza.admin.integrity", {});
+    if (!r.has_value()) return r.status();
+    std::string dump;
+    unpack(*r, dump);
+    return json::parse(dump);
+  }
+
   Expected<std::vector<std::string>> list_pipelines(net::ProcId server) {
     auto r = engine_->call_raw(server, "colza.admin.list_pipelines", {});
     if (!r.has_value()) return r.status();

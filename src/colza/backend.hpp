@@ -54,6 +54,46 @@ class Backend {
   // the colza.admin.stats RPC). Default: empty object.
   [[nodiscard]] virtual json::Value stats() const { return json::Object{}; }
 
+  // ---- data integrity (docs/PROTOCOL.md, integrity section) ---------------
+  // Backends that hold staged payloads between stage() and execute() expose
+  // them to the server's integrity layer: scans re-verify every stored block
+  // against its stage-time CRC32C, repairs re-stage a verified copy fetched
+  // from a buddy (via the ordinary keyed stage(), which replaces in place),
+  // and the chaos layer's corrupt rules rot bytes through stored_payload.
+  // The defaults describe a backend that stores nothing (and therefore has
+  // nothing to corrupt or repair).
+  struct BlockInfo {
+    std::uint64_t block_id = 0;
+    std::string field_name;
+    std::uint32_t checksum = 0;  // the stage-time CRC32C on record
+    std::size_t bytes = 0;       // stored size (may differ after truncation)
+    bool valid = false;          // stored bytes still hash to `checksum`
+    std::vector<net::ProcId> copyset;  // recorded placement ([0] = primary)
+  };
+  // Every stored block of `iteration`, re-verified, in (block_id, field)
+  // order so scans are deterministic.
+  [[nodiscard]] virtual std::vector<BlockInfo> integrity_scan(
+      std::uint64_t /*iteration*/) {
+    return {};
+  }
+  // Copies the stored bytes and recorded checksum out (for serving a buddy's
+  // repair fetch). Deliberately does NOT verify: a silently corrupt server
+  // does not know its bytes rotted -- the requester verifies.
+  [[nodiscard]] virtual bool fetch_block(std::uint64_t /*iteration*/,
+                                         std::uint64_t /*block_id*/,
+                                         const std::string& /*field*/,
+                                         StagedBlock& /*out*/) {
+    return false;
+  }
+  // Mutable access to the stored payload under (iteration, block_id, field),
+  // or nullptr when unknown. Only the chaos corruption hook uses this; the
+  // protocol itself never mutates stored bytes in place.
+  [[nodiscard]] virtual std::vector<std::byte>* stored_payload(
+      std::uint64_t /*iteration*/, std::uint64_t /*block_id*/,
+      const std::string& /*field*/) {
+    return nullptr;
+  }
+
   // ---- stateful pipelines (paper S VI, future-work item 3) ----------------
   // A stateful pipeline accumulates data across iterations (running
   // statistics, cinema databases, ...). When its server leaves the staging

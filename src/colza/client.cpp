@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "colza/placement.hpp"
+#include "common/checksum.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -255,6 +256,10 @@ Status DistributedPipelineHandle::stage_to(
   meta.field_name = std::move(field_name);
   meta.data = proc.expose(data);
   meta.copyset = copyset;
+  // End-to-end integrity: hash the payload once here, at the source; every
+  // consumer downstream (RDMA pull, replica promotion, execute-time parse,
+  // background scrub) re-verifies against this value.
+  meta.checksum = common::crc32c(data);
 
   // Client-side flow control: bound the bytes this pipeline keeps in flight
   // across all copies (AIMD window) before touching any server.
@@ -298,12 +303,22 @@ void DistributedPipelineHandle::window_reserve(std::uint64_t bytes) {
 Status DistributedPipelineHandle::stage_copy(net::ProcId server,
                                              const StageMetadata& meta) {
   auto& engine = client_->engine();
+  auto& metrics = obs::MetricsRegistry::global();
+  // In-transit corruption (the server's pull failed CRC verification) is
+  // repaired by retransmission: the client still holds the pristine bytes,
+  // so a bounded resend fixes a transient wire fault for free.
+  constexpr int kCorruptRetransmits = 3;
   if (!flow_.enabled) {
-    auto r = engine.call_raw(server, "colza.stage", pack(meta));
-    return r.status();
+    Status last;
+    for (int attempt = 0; attempt <= kCorruptRetransmits; ++attempt) {
+      auto r = engine.call_raw(server, "colza.stage", pack(meta));
+      last = r.status();
+      if (last.code() != StatusCode::corrupt) return last;
+      metrics.counter("integrity.client.retransmit").inc();
+    }
+    return last;
   }
   auto& sim = client_->process().sim();
-  auto& metrics = obs::MetricsRegistry::global();
   Backoff backoff(flow_.busy_backoff);
   Status last;
   for (int attempt = 0; attempt <= flow_.max_busy_retries; ++attempt) {
@@ -336,6 +351,12 @@ Status DistributedPipelineHandle::stage_copy(net::ProcId server,
       window_.on_busy();
       sim.sleep_for(
           backoff.next_at_least(des::microseconds(last.retry_after_us())));
+      continue;
+    }
+    if (last.code() == StatusCode::corrupt) {
+      // The pull failed CRC verification; the server dropped the bytes and
+      // uncharged the lease. Re-acquire and retransmit the pristine copy.
+      metrics.counter("integrity.client.retransmit").inc();
       continue;
     }
     // Unrelated failure: return the unconsumed lease so it doesn't hold

@@ -26,6 +26,10 @@ namespace {
     // must not count as a failure -- and because a Busy reply *is* a reply,
     // it never feeds the RPC circuit breaker either.
     case StatusCode::busy:
+    // Unrepairable corruption (every copy of some block failed its CRC):
+    // the client still holds the pristine bytes, so a retry -- targeted at
+    // the one bad block via the status detail hint -- repairs it.
+    case StatusCode::corrupt:
       return true;
     default:
       return false;
@@ -66,6 +70,11 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
   // The copyset each block was actually staged under (recovery evaluates
   // coverage against the recorded placement, not a recomputed one).
   std::map<std::uint64_t, std::vector<net::ProcId>> placed;
+  // Blocks a Corrupt status named as unrepairable (detail = block_id + 1).
+  // The recovery coverage check treats them as NOT covered even though
+  // their copyset is alive: every copy is bad, so only a targeted re-stage
+  // of the client's pristine bytes can heal them.
+  std::set<std::uint64_t> corrupt_hints;
   // Whether any earlier attempt staged data: a scratch pass only counts as
   // a *re*-stage when it repeats transfer work a previous attempt did.
   bool any_staged = false;
@@ -175,7 +184,7 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
         // individually under a fresh placement.
         for (const auto& [id, bytes] : blocks) {
           const auto it = placed.find(id);
-          if (it != placed.end() &&
+          if (corrupt_hints.count(id) == 0 && it != placed.end() &&
               placement::promoter(it->second, handle.view()) !=
                   net::kInvalidProc) {
             continue;
@@ -184,6 +193,7 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
           Status ss = handle.stage_to(iteration, id, bytes, fresh);
           if (ss.ok()) {
             placed[id] = fresh;
+            corrupt_hints.erase(id);
             any_staged = true;
             ++st.targeted_restages;
             obs::MetricsRegistry::global()
@@ -240,6 +250,9 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
       COLZA_LOG_INFO("colza-ft", "iteration %llu: execute failed: %s",
                      static_cast<unsigned long long>(iteration),
                      s.to_string().c_str());
+      if (s.code() == StatusCode::corrupt && s.detail() != 0) {
+        corrupt_hints.insert(s.detail() - 1);
+      }
       last = s;
     }
 
@@ -254,6 +267,7 @@ Status run_resilient_iteration(DistributedPipelineHandle& handle,
       (void)handle.deactivate(iteration);
       recovering = false;
       placed.clear();
+      corrupt_hints.clear();  // a scratch re-stage rewrites every block
     }
 
     if (attempt >= options.max_attempts) {

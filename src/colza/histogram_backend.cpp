@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/checksum.hpp"
 #include "des/simulation.hpp"
 #include "vis/data.hpp"
 
@@ -16,8 +17,9 @@ HistogramBackend::HistogramBackend(Context ctx) : Backend(std::move(ctx)) {
 }
 
 Status HistogramBackend::activate(std::uint64_t iteration) {
-  auto& slot = active_[iteration];
-  slot.counts.assign(bins_, 0);
+  // Fresh slot even on re-activation: the client re-stages every block, so
+  // blocks left by an earlier attempt must not leak into this one.
+  active_[iteration].clear();
   return Status::Ok();
 }
 
@@ -25,20 +27,32 @@ Status HistogramBackend::stage(StagedBlock block) {
   auto it = active_.find(block.iteration);
   if (it == active_.end())
     return Status::FailedPrecondition("histogram: iteration not active");
-  Local& local = it->second;
-
-  vis::DataSet ds;
+  // Validate the block up front -- it must parse and carry the configured
+  // field -- so a misconfigured pipeline fails the stage RPC, not a later
+  // execute. The bytes just passed the pull-time CRC, so this parse reads
+  // known-good data; accumulation still waits for execute(), behind a fresh
+  // CRC check, so bytes that rot in staging memory never skew the counts.
   try {
-    auto& sim = ctx_.proc->sim();
-    ds = sim.in_fiber() ? sim.charge_scoped([&] {
-      return vis::deserialize_dataset(block.data);
-    })
-                        : vis::deserialize_dataset(block.data);
+    Local probe;
+    probe.counts.assign(bins_, 0);
+    Status s = accumulate(vis::deserialize_dataset(block.data), probe);
+    if (!s.ok()) return s;
   } catch (const std::exception& e) {
     return Status::InvalidArgument(std::string("histogram: bad dataset: ") +
                                    e.what());
   }
+  StoredBlock stored;
+  stored.data = std::move(block.data);
+  stored.checksum = block.checksum;
+  stored.sender = block.sender;
+  stored.copyset = std::move(block.copyset);
+  it->second.insert_or_assign(std::make_pair(block.block_id, block.field_name),
+                              std::move(stored));
+  return Status::Ok();
+}
 
+Status HistogramBackend::accumulate(const vis::DataSet& ds,
+                                    Local& local) const {
   // Find the field in point data, falling back to cell data.
   const vis::DataArray* arr = nullptr;
   std::visit(
@@ -78,7 +92,40 @@ Status HistogramBackend::execute(std::uint64_t iteration) {
     return Status::FailedPrecondition("histogram: iteration not active");
   if (comm_ == nullptr)
     return Status::FailedPrecondition("histogram: no communicator");
-  Local& local = it->second;
+
+  // Rebuild the local accumulation from the stored blocks every call:
+  // verify-then-parse per block (one virtual instant each, so a corruption
+  // event cannot slip between check and use), abort before any collective on
+  // a mismatch, and since nothing is accumulated incrementally at stage
+  // time, a recovery-driven re-execute can never double-count a block.
+  auto& sim = ctx_.proc->sim();
+  Local local;
+  local.counts.assign(bins_, 0);
+  for (auto& [key, stored] : it->second) {
+    bool corrupt = false;
+    Status s;
+    auto parse_and_accumulate = [&]() -> Status {
+      if (common::crc32c(stored.data) != stored.checksum) {
+        corrupt = true;
+        return Status::Ok();  // replaced with Corrupt below
+      }
+      try {
+        return accumulate(vis::deserialize_dataset(stored.data), local);
+      } catch (const std::exception& e) {
+        return Status::InvalidArgument(
+            std::string("histogram: bad dataset: ") + e.what());
+      }
+    };
+    s = sim.in_fiber() ? sim.charge_scoped(parse_and_accumulate)
+                       : parse_and_accumulate();
+    if (corrupt) {
+      return Status::Corrupt("histogram: block " + std::to_string(key.first) +
+                                 " field '" + key.second +
+                                 "' failed checksum verification",
+                             key.first + 1);
+    }
+    if (!s.ok()) return s;
+  }
 
   Result result;
   result.iteration = iteration;
@@ -115,6 +162,57 @@ Status HistogramBackend::execute(std::uint64_t iteration) {
 Status HistogramBackend::deactivate(std::uint64_t iteration) {
   active_.erase(iteration);
   return Status::Ok();
+}
+
+HistogramBackend::StoredBlock* HistogramBackend::find_stored(
+    std::uint64_t iteration, std::uint64_t block_id,
+    const std::string& field) {
+  auto it = active_.find(iteration);
+  if (it == active_.end()) return nullptr;
+  auto b = it->second.find(std::make_pair(block_id, field));
+  return b == it->second.end() ? nullptr : &b->second;
+}
+
+std::vector<Backend::BlockInfo> HistogramBackend::integrity_scan(
+    std::uint64_t iteration) {
+  std::vector<BlockInfo> out;
+  auto it = active_.find(iteration);
+  if (it == active_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [key, stored] : it->second) {
+    BlockInfo info;
+    info.block_id = key.first;
+    info.field_name = key.second;
+    info.checksum = stored.checksum;
+    info.bytes = stored.data.size();
+    info.valid = common::crc32c(stored.data) == stored.checksum;
+    info.copyset = stored.copyset;
+    out.push_back(std::move(info));
+  }
+  return out;  // map order == sorted (block_id, field) order
+}
+
+bool HistogramBackend::fetch_block(std::uint64_t iteration,
+                                   std::uint64_t block_id,
+                                   const std::string& field,
+                                   StagedBlock& out) {
+  StoredBlock* stored = find_stored(iteration, block_id, field);
+  if (stored == nullptr) return false;
+  out.iteration = iteration;
+  out.block_id = block_id;
+  out.field_name = field;
+  out.sender = stored->sender;
+  out.data = stored->data;  // served as-is; the requester verifies
+  out.checksum = stored->checksum;
+  out.copyset = stored->copyset;
+  return true;
+}
+
+std::vector<std::byte>* HistogramBackend::stored_payload(
+    std::uint64_t iteration, std::uint64_t block_id,
+    const std::string& field) {
+  StoredBlock* stored = find_stored(iteration, block_id, field);
+  return stored == nullptr ? nullptr : &stored->data;
 }
 
 json::Value HistogramBackend::stats() const {

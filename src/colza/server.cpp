@@ -1,12 +1,52 @@
 #include "colza/server.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "colza/placement.hpp"
+#include "colza/supervisor.hpp"
+#include "common/checksum.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace colza {
+
+namespace {
+// Mixer for deriving the corrupted bit position from the chaos pick:
+// decorrelates it from the victim-block choice without a second RNG stream.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Damages `data` in place per the chaos mode, leaving its recorded checksum
+// stale. Returns the number of bytes damaged.
+std::size_t mangle_payload(std::vector<std::byte>& data,
+                           common::integrity::CorruptMode mode,
+                           std::uint64_t pick) {
+  using common::integrity::CorruptMode;
+  switch (mode) {
+    case CorruptMode::bit_flip: {
+      const std::uint64_t bit = splitmix64(pick) % (data.size() * 8);
+      data[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+      return 1;
+    }
+    case CorruptMode::truncate: {
+      const std::size_t keep = data.size() / 2;
+      const std::size_t removed = data.size() - keep;
+      data.resize(keep);
+      return removed;
+    }
+    case CorruptMode::zero:
+      std::fill(data.begin(), data.end(), std::byte{0});
+      return data.size();
+  }
+  return 0;
+}
+}  // namespace
 
 Server::Server(net::Process& proc, ServerConfig config,
                ssg::Bootstrap* bootstrap)
@@ -17,7 +57,15 @@ Server::Server(net::Process& proc, ServerConfig config,
           proc, config_.profile, rpc::EngineConfig{config_.rpc_timeout})),
       mona_(std::make_unique<mona::Instance>(proc, config_.profile)),
       flow_(std::make_unique<flow::ServerFlow>(proc.sim(), proc.id(),
-                                               config_.flow)) {}
+                                               config_.flow)) {
+  // Expose this daemon's stored bytes to the chaos layer's corrupt rules
+  // (common/integrity.hpp explains why this goes through a registry).
+  common::integrity::Registry::add(
+      &proc.sim(), proc.id(),
+      [this](common::integrity::CorruptMode mode, std::uint64_t pick) {
+        return corrupt_storage(mode, pick);
+      });
+}
 
 Server::Server(net::Process& proc, ServerConfig config,
                std::vector<net::ProcId> initial_group,
@@ -46,7 +94,9 @@ Expected<std::unique_ptr<Server>> Server::join(net::Process& proc,
   return server;
 }
 
-Server::~Server() = default;
+Server::~Server() {
+  common::integrity::Registry::remove(&proc_->sim(), proc_->id());
+}
 
 // ---------------------------------------------------------------- pipelines
 
@@ -115,6 +165,8 @@ void Server::promote_replicas(const std::string& name, Backend* backend,
     block.field_name = key.second;
     block.sender = rb.sender;
     block.data = rb.data;  // keep the replica: later crashes may need it
+    block.checksum = rb.checksum;
+    block.copyset = rb.copyset;
     Status s = backend->stage(std::move(block));
     if (!s.ok()) {
       COLZA_LOG_WARN("colza", "replica promotion of block %llu failed: %s",
@@ -122,6 +174,214 @@ void Server::promote_replicas(const std::string& name, Backend* backend,
                      s.to_string().c_str());
     }
   }
+}
+
+// ---------------------------------------------------------------- integrity
+
+bool Server::repair_block(const std::string& name, Backend* backend,
+                          std::uint64_t iteration,
+                          const Backend::BlockInfo& info) {
+  auto& metrics = obs::MetricsRegistry::global();
+  obs::SpanScope span("integrity.repair", "integrity");
+  span.arg("block", info.block_id);
+  for (net::ProcId buddy : info.copyset) {
+    if (buddy == proc_->id()) continue;
+    auto r = engine_->call_raw(
+        buddy, "colza.fetch_block",
+        pack(name, iteration, info.block_id, info.field_name));
+    if (!r.has_value()) continue;
+    std::vector<std::byte> data;
+    std::uint32_t checksum = 0;
+    unpack(*r, data, checksum);
+    // The buddy serves its copy unverified (it cannot know its own bytes
+    // rotted); the requester is the arbiter.
+    if (common::crc32c(data) != checksum) {
+      Supervisor::report_bad_bytes(proc_->sim(), buddy);
+      continue;
+    }
+    if (checksum != info.checksum) continue;  // different generation
+    // Re-stage the verified copy: keyed backend staging replaces the rotten
+    // bytes in place. The flow-control charge recorded at the original stage
+    // still matches (repair restores the original size), so no re-admission
+    // is needed.
+    const std::uint64_t bytes = data.size();
+    StagedBlock block;
+    block.iteration = iteration;
+    block.block_id = info.block_id;
+    block.field_name = info.field_name;
+    block.sender = buddy;
+    block.data = std::move(data);
+    block.checksum = checksum;
+    block.copyset = info.copyset;
+    if (!backend->stage(std::move(block)).ok()) continue;
+    ++integrity_.repairs;
+    integrity_.repair_bytes += bytes;
+    metrics.counter("integrity.repair").inc();
+    metrics.counter("integrity.repair_bytes").inc(bytes);
+    span.arg("bytes", bytes);
+    return true;
+  }
+  return false;
+}
+
+Status Server::verify_and_repair(const std::string& name, Backend* backend,
+                                 std::uint64_t iteration) {
+  auto& metrics = obs::MetricsRegistry::global();
+  const auto scan = backend->integrity_scan(iteration);
+  integrity_.verifies += scan.size();
+  if (!scan.empty()) {
+    metrics.counter("integrity.verify").inc(scan.size());
+  }
+  Status result = Status::Ok();
+  for (const auto& info : scan) {
+    if (info.valid) continue;
+    ++integrity_.mismatches;
+    metrics.counter("integrity.mismatch").inc();
+    obs::Tracer::global().instant(
+        "integrity.mismatch", "integrity",
+        "\"block\":" + std::to_string(info.block_id) + ",\"member\":" +
+            std::to_string(proc_->id()));
+    // Our own storage rotted: strike ourselves, so a daemon on memory that
+    // keeps corrupting data eventually gets its node quarantined.
+    Supervisor::report_bad_bytes(proc_->sim(), proc_->id());
+    if (repair_block(name, backend, iteration, info)) continue;
+    ++integrity_.restage_fallbacks;
+    metrics.counter("integrity.restage_fallback").inc();
+    if (result.ok()) {
+      result = Status::Corrupt(
+          "no intact copy of block " + std::to_string(info.block_id) +
+              " field '" + info.field_name + "' (iteration " +
+              std::to_string(iteration) + ")",
+          info.block_id + 1);
+    }
+  }
+  return result;
+}
+
+void Server::scrub_pass() {
+  auto& metrics = obs::MetricsRegistry::global();
+  obs::SpanScope span("integrity.scrub", "integrity");
+  // Snapshot the worklists first: repairs block on nested RPCs, and commit /
+  // deactivate may mutate the maps while this fiber is parked.
+  std::vector<std::pair<std::string, std::uint64_t>> slots;
+  for (const auto& [name, entry] : pipelines_) {
+    for (std::uint64_t iteration : active_set_) {
+      slots.emplace_back(name, iteration);
+    }
+  }
+  for (const auto& [name, iteration] : slots) {
+    if (left_ || !proc_->alive()) return;
+    Backend* p = pipeline(name);
+    if (p == nullptr || active_set_.count(iteration) == 0) continue;
+    // An unrepairable block is NOT an error here: the execute path reports
+    // it to the client (which re-stages); the scrubber's job is only to fix
+    // what is fixable before anyone reads it.
+    (void)verify_and_repair(name, p, iteration);
+  }
+  // The buddy-replica store: same verify/repair cycle, repaired in place so
+  // a later promotion hands the backend intact bytes.
+  std::vector<std::tuple<std::string, std::uint64_t, ReplicaKey>> rkeys;
+  for (const auto& [name, iters] : replicas_) {
+    for (const auto& [iteration, rmap] : iters) {
+      for (const auto& [key, rb] : rmap) rkeys.emplace_back(name, iteration, key);
+    }
+  }
+  for (const auto& [name, iteration, key] : rkeys) {
+    if (left_ || !proc_->alive()) return;
+    auto find_replica = [&]() -> ReplicaBlock* {
+      auto pit = replicas_.find(name);
+      if (pit == replicas_.end()) return nullptr;
+      auto iit = pit->second.find(iteration);
+      if (iit == pit->second.end()) return nullptr;
+      auto bit = iit->second.find(key);
+      return bit == iit->second.end() ? nullptr : &bit->second;
+    };
+    ReplicaBlock* rb = find_replica();
+    if (rb == nullptr) continue;  // deactivated while we were scrubbing
+    ++integrity_.verifies;
+    metrics.counter("integrity.verify").inc();
+    if (common::crc32c(rb->data) == rb->checksum) continue;
+    ++integrity_.mismatches;
+    metrics.counter("integrity.mismatch").inc();
+    obs::Tracer::global().instant(
+        "integrity.mismatch", "integrity",
+        "\"block\":" + std::to_string(key.first) + ",\"member\":" +
+            std::to_string(proc_->id()) + ",\"replica\":1");
+    Supervisor::report_bad_bytes(proc_->sim(), proc_->id());
+    const auto copyset = rb->copyset;  // rb may dangle across the RPCs below
+    const std::uint32_t want = rb->checksum;
+    for (net::ProcId buddy : copyset) {
+      if (buddy == proc_->id()) continue;
+      auto r = engine_->call_raw(buddy, "colza.fetch_block",
+                                 pack(name, iteration, key.first, key.second));
+      if (!r.has_value()) continue;
+      std::vector<std::byte> data;
+      std::uint32_t checksum = 0;
+      unpack(*r, data, checksum);
+      if (common::crc32c(data) != checksum) {
+        Supervisor::report_bad_bytes(proc_->sim(), buddy);
+        continue;
+      }
+      if (checksum != want) continue;
+      rb = find_replica();
+      if (rb == nullptr) break;
+      ++integrity_.repairs;
+      integrity_.repair_bytes += data.size();
+      metrics.counter("integrity.repair").inc();
+      metrics.counter("integrity.repair_bytes").inc(data.size());
+      rb->data = std::move(data);
+      break;
+    }
+  }
+  ++integrity_.scrub_passes;
+  metrics.counter("integrity.scrub").inc();
+}
+
+common::integrity::CorruptResult Server::corrupt_storage(
+    common::integrity::CorruptMode mode, std::uint64_t pick) {
+  using common::integrity::CorruptMode;
+  // Deterministic victim enumeration: pipelines in name order, iterations in
+  // id order, blocks in scan (sorted-key) order, then the replica store in
+  // its own sorted order. Identical state across replayed runs therefore
+  // yields the identical victim for a given pick.
+  std::vector<std::vector<std::byte>*> candidates;
+  for (auto& [name, entry] : pipelines_) {
+    for (std::uint64_t iteration : active_set_) {
+      for (const auto& info : entry.backend->integrity_scan(iteration)) {
+        auto* data = entry.backend->stored_payload(iteration, info.block_id,
+                                                   info.field_name);
+        if (data != nullptr && !data->empty()) candidates.push_back(data);
+      }
+    }
+  }
+  for (auto& [name, iters] : replicas_) {
+    for (auto& [iteration, rmap] : iters) {
+      for (auto& [key, rb] : rmap) {
+        if (!rb.data.empty()) candidates.push_back(&rb.data);
+      }
+    }
+  }
+  if (candidates.empty()) {
+    // Staged windows last milliseconds; an instant-only rule would almost
+    // always fire into an idle server. Defer to the next payload written
+    // instead -- rot on write, like a failing memory controller.
+    pending_corrupts_.emplace_back(mode, pick);
+    common::integrity::CorruptResult result;
+    result.deferred = true;
+    return result;
+  }
+  std::vector<std::byte>& data = *candidates[pick % candidates.size()];
+  common::integrity::CorruptResult result;
+  result.blocks = 1;
+  result.bytes = mangle_payload(data, mode, pick);
+  return result;
+}
+
+void Server::apply_pending_corrupt(std::vector<std::byte>& data) {
+  if (pending_corrupts_.empty() || data.empty()) return;
+  const auto [mode, pick] = pending_corrupts_.front();
+  pending_corrupts_.erase(pending_corrupts_.begin());
+  mangle_payload(data, mode, pick);
 }
 
 // ---------------------------------------------------------------- view
@@ -144,6 +404,15 @@ void Server::commit_view(std::uint64_t epoch) {
   // zero. Reusing the previous communicator would let a peer still blocked
   // in an abandoned attempt's collective consume (or feed) this attempt's
   // messages -- the tag streams would be permanently misaligned.
+  //
+  // The superseded context is revoked outright (ULFM-style, like the
+  // member-failure path): a commit declares every earlier attempt
+  // abandoned, and a peer may still be parked in one of its collectives --
+  // e.g. waiting on a member that refused to enter the reduction because a
+  // staged block failed its CRC. Revoking wakes those fibers with Aborted
+  // so they unwind (releasing the buffers parked on their stacks) instead
+  // of blocking on the dead tag space forever.
+  if (service_comm_ != nullptr) service_comm_->revoke();
   service_view_ = group_->view();  // sorted
   service_view_hash_ = group_->view_hash();
   service_comm_ = mona_->comm_create(service_view_, epoch);
@@ -333,6 +602,26 @@ void Server::install_handlers() {
       flow_->uncharge_block(meta.pipeline, meta.iteration, meta.block_id,
                             meta.field_name, meta.replica_rank);
     };
+    // Verifies a freshly pulled payload against the client's stage-time CRC.
+    // A mismatch here means the bytes rotted in transit (or the chaos layer
+    // flipped them on the wire): drop them, uncharge, and return Corrupt so
+    // the client -- which still holds the pristine copy -- retransmits. No
+    // strike: the wire, not a server, is at fault.
+    auto verify_pull = [&](const std::vector<std::byte>& data) {
+      auto& metrics = obs::MetricsRegistry::global();
+      ++integrity_.verifies;
+      metrics.counter("integrity.verify").inc();
+      if (common::crc32c(data) == meta.checksum) return Status::Ok();
+      ++integrity_.mismatches;
+      metrics.counter("integrity.mismatch").inc();
+      obs::Tracer::global().instant(
+          "integrity.mismatch", "integrity",
+          "\"block\":" + std::to_string(meta.block_id) + ",\"member\":" +
+              std::to_string(proc_->id()) + ",\"in_transit\":1");
+      return Status::Corrupt("stage: block " + std::to_string(meta.block_id) +
+                                 " failed checksum after RDMA pull",
+                             meta.block_id + 1);
+    };
     if (meta.replica_rank > 0) {
       // Buddy copy: held in the server-level replica store, invisible to
       // the backend unless promoted during a recovery execute.
@@ -345,8 +634,10 @@ void Server::install_handlers() {
       ReplicaBlock rb;
       rb.copyset = meta.copyset;
       rb.sender = info.caller;
+      rb.checksum = meta.checksum;
       rb.data.resize(meta.data.size);
       Status s = engine_->rdma_pull(meta.data, 0, rb.data);
+      if (s.ok()) s = verify_pull(rb.data);
       if (!s.ok()) {
         uncharge_on_failure();
         return s;
@@ -354,6 +645,9 @@ void Server::install_handlers() {
       obs::MetricsRegistry::global()
           .counter("colza.server.replica_bytes_pulled")
           .inc(meta.data.size);
+      // Rot-on-write: a deferred chaos corruption lands on the verified
+      // bytes after the pull check, so it stays silent until the next read.
+      apply_pending_corrupt(rb.data);
       replicas_[meta.pipeline][meta.iteration]
                [ReplicaKey{meta.block_id, meta.field_name}] = std::move(rb);
       return Status::Ok();
@@ -364,8 +658,11 @@ void Server::install_handlers() {
     block.block_id = meta.block_id;
     block.field_name = meta.field_name;
     block.sender = info.caller;
+    block.checksum = meta.checksum;
+    block.copyset = meta.copyset;
     block.data.resize(meta.data.size);
     Status s = engine_->rdma_pull(meta.data, 0, block.data);
+    if (s.ok()) s = verify_pull(block.data);
     if (!s.ok()) {
       uncharge_on_failure();
       return s;
@@ -373,6 +670,9 @@ void Server::install_handlers() {
     obs::MetricsRegistry::global()
         .counter("colza.server.bytes_pulled")
         .inc(meta.data.size);
+    // Rot-on-write: a deferred chaos corruption lands on the verified bytes
+    // after the pull check, so it stays silent until the next read.
+    apply_pending_corrupt(block.data);
     s = p->stage(std::move(block));
     if (!s.ok()) uncharge_on_failure();
     return s;
@@ -390,7 +690,62 @@ void Server::install_handlers() {
     // Recovery path: feed any replicas this member must stand in for (their
     // primary fell out of the frozen view) into the backend first.
     promote_replicas(pipeline, p, iteration);
-    return p->execute(iteration);
+    // Verify every stored block (repairing from buddies) before the backend
+    // reads it. The backend re-checks each block right before parsing it, so
+    // rot that lands *during* execute -- after this pass -- still cannot be
+    // rendered; it surfaces as Corrupt, and a bounded number of repair +
+    // retry rounds absorbs it. Unrepairable corruption falls through to the
+    // client, which re-stages the one bad block (fault.cpp).
+    Status s;
+    for (int round = 0; round < 3; ++round) {
+      s = verify_and_repair(pipeline, p, iteration);
+      if (!s.ok()) return s;
+      s = p->execute(iteration);
+      if (s.code() != StatusCode::corrupt) return s;
+    }
+    return s;
+  });
+
+  // Integrity repair fetch: a copyset member asks for our copy of a staged
+  // block (backend slot first, then the buddy-replica store). The bytes are
+  // served as-is, unverified -- a server with rotting memory does not know
+  // its bytes are bad; the requester verifies and reports us if they fail.
+  engine_->define("colza.fetch_block", [this](const rpc::RequestInfo&,
+                                              InArchive& in, OutArchive& out) {
+    if (left_) return Status::ShuttingDown();
+    std::string pipeline;
+    std::uint64_t iteration = 0, block_id = 0;
+    std::string field;
+    in.load(pipeline);
+    in.load(iteration);
+    in.load(block_id);
+    in.load(field);
+    StagedBlock block;
+    bool found = false;
+    if (Backend* p = this->pipeline(pipeline); p != nullptr) {
+      found = p->fetch_block(iteration, block_id, field, block);
+    }
+    if (!found) {
+      auto pit = replicas_.find(pipeline);
+      if (pit != replicas_.end()) {
+        auto iit = pit->second.find(iteration);
+        if (iit != pit->second.end()) {
+          auto bit = iit->second.find(ReplicaKey{block_id, field});
+          if (bit != iit->second.end()) {
+            block.data = bit->second.data;
+            block.checksum = bit->second.checksum;
+            found = true;
+          }
+        }
+      }
+    }
+    if (!found)
+      return Status::NotFound("fetch_block: no copy of block " +
+                              std::to_string(block_id) + " field '" + field +
+                              "'");
+    out.save(block.data);
+    out.save(block.checksum);
+    return Status::Ok();
   });
 
   engine_->define("colza.deactivate", [this](const rpc::RequestInfo&,
@@ -502,6 +857,26 @@ void Server::install_handlers() {
     return Status::Ok();
   });
 
+  engine_->define("colza.admin.integrity",
+                  [this](const rpc::RequestInfo&, InArchive&, OutArchive& out) {
+                    json::Object doc;
+                    doc.emplace("verifies",
+                                static_cast<double>(integrity_.verifies));
+                    doc.emplace("mismatches",
+                                static_cast<double>(integrity_.mismatches));
+                    doc.emplace("repairs",
+                                static_cast<double>(integrity_.repairs));
+                    doc.emplace("repair_bytes",
+                                static_cast<double>(integrity_.repair_bytes));
+                    doc.emplace(
+                        "restage_fallbacks",
+                        static_cast<double>(integrity_.restage_fallbacks));
+                    doc.emplace("scrub_passes",
+                                static_cast<double>(integrity_.scrub_passes));
+                    out.save(json::Value(std::move(doc)).dump());
+                    return Status::Ok();
+                  });
+
   engine_->define("colza.admin.list_pipelines",
                   [this](const rpc::RequestInfo&, InArchive&, OutArchive& out) {
                     std::vector<std::string> names;
@@ -510,6 +885,26 @@ void Server::install_handlers() {
                     out.save(names);
                     return Status::Ok();
                   });
+
+  // ---- background scrubber ------------------------------------------------
+  // Walks everything staged on this daemon at a fixed cadence, re-verifying
+  // stage-time CRCs and repairing rotted copies from buddies while the data
+  // plane is idle -- so most corruption is healed before an execute (or a
+  // promotion after a crash) would ever observe it. CRC passes are free in
+  // virtual time; only actual repairs (nested fetch RPCs) appear on the
+  // timeline.
+  if (config_.scrub_interval != 0) {
+    proc_->spawn(
+        "colza-scrub",
+        [this] {
+          while (!left_ && proc_->alive()) {
+            proc_->sim().sleep_for(config_.scrub_interval);
+            if (left_ || !proc_->alive()) return;
+            scrub_pass();
+          }
+        },
+        des::SpawnOptions{.daemon = true});
+  }
 }
 
 }  // namespace colza

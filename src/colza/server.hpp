@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "colza/backend.hpp"
+#include "common/integrity.hpp"
 #include "flow/flow.hpp"
 #include "net/network.hpp"
 #include "rpc/engine.hpp"
@@ -38,6 +39,23 @@ struct ServerConfig {
   // Flow control / multi-tenant QoS (docs/flow.md). The default budget of 0
   // keeps admission wide open, byte-for-byte identical to a pre-flow server.
   flow::FlowConfig flow;
+  // Background integrity scrubber cadence: how long the scrub daemon sleeps
+  // between passes over everything staged on this server (backend slots and
+  // buddy replicas). Each pass re-verifies stage-time CRCs and repairs
+  // divergent copies from buddies. 0 disables the scrubber; detection then
+  // rests entirely on the execute-time verify.
+  des::Duration scrub_interval = des::seconds(2);
+};
+
+// Counters of the server-side integrity machinery, one instance per daemon
+// (see docs/PROTOCOL.md, integrity section).
+struct IntegrityStats {
+  std::uint64_t verifies = 0;           // blocks checked (execute + scrub)
+  std::uint64_t mismatches = 0;         // checks that failed
+  std::uint64_t repairs = 0;            // blocks restored from a buddy copy
+  std::uint64_t repair_bytes = 0;       // bytes fetched for those repairs
+  std::uint64_t restage_fallbacks = 0;  // blocks with no intact copy left
+  std::uint64_t scrub_passes = 0;       // completed scrubber sweeps
 };
 
 class Server {
@@ -98,6 +116,11 @@ class Server {
     return *flow_;
   }
 
+  // Integrity counters (also served via the colza.admin.integrity RPC).
+  [[nodiscard]] const IntegrityStats& integrity() const noexcept {
+    return integrity_;
+  }
+
   // Leaves the group and stops serving (deferred while iterations are
   // active). The underlying simulated process is killed once out.
   void leave();
@@ -130,6 +153,7 @@ class Server {
     std::vector<net::ProcId> copyset;
     net::ProcId sender = net::kInvalidProc;
     std::vector<std::byte> data;
+    std::uint32_t checksum = 0;  // stage-time CRC32C of `data`
   };
   using ReplicaKey = std::pair<std::uint64_t, std::string>;
   using ReplicaMap = std::map<ReplicaKey, ReplicaBlock>;
@@ -140,6 +164,35 @@ class Server {
   // the same block.
   void promote_replicas(const std::string& name, Backend* backend,
                         std::uint64_t iteration);
+
+  // ---- integrity (docs/PROTOCOL.md, integrity section) --------------------
+  // Scans the backend's stored blocks for `iteration` and repairs every
+  // block whose bytes no longer hash to their stage-time CRC by fetching a
+  // buddy's copy (colza.fetch_block), verifying it locally, and re-staging
+  // it. Returns Corrupt (detail = block_id + 1) when some block has no
+  // intact copy anywhere in its copyset -- the caller then falls back to a
+  // client-driven targeted re-stage.
+  Status verify_and_repair(const std::string& name, Backend* backend,
+                           std::uint64_t iteration);
+  // One repair attempt for a single invalid block; true when an intact copy
+  // was verified and staged back.
+  bool repair_block(const std::string& name, Backend* backend,
+                    std::uint64_t iteration, const Backend::BlockInfo& info);
+  // One scrubber sweep over everything staged here: backend slots (via
+  // verify_and_repair) and the buddy-replica store (repaired in place by
+  // fetching from other copyset members).
+  void scrub_pass();
+  // The chaos hook (common::integrity::Registry): rots one stored payload
+  // picked deterministically by `pick` among everything staged on this
+  // server. When nothing is staged at fire time the corruption is deferred
+  // to the next payload this server stores (rot on write) -- staged windows
+  // last milliseconds, so an instant-only rule would almost always miss.
+  // Checksums are left untouched -- that is the point.
+  common::integrity::CorruptResult corrupt_storage(
+      common::integrity::CorruptMode mode, std::uint64_t pick);
+  // Applies (and consumes) the oldest deferred corruption, if any, to a
+  // payload that was just stored and verified.
+  void apply_pending_corrupt(std::vector<std::byte>& data);
 
   net::Process* proc_;
   ServerConfig config_;
@@ -166,6 +219,11 @@ class Server {
   std::map<std::uint64_t, std::uint64_t> committed_epoch_;
   // pipeline -> iteration -> replicas (see ReplicaBlock).
   std::map<std::string, std::map<std::uint64_t, ReplicaMap>> replicas_;
+  IntegrityStats integrity_;
+  // Corruptions injected while nothing was staged, waiting for the next
+  // stored payload (FIFO).
+  std::vector<std::pair<common::integrity::CorruptMode, std::uint64_t>>
+      pending_corrupts_;
   bool leave_pending_ = false;
   bool left_ = false;
 };

@@ -17,6 +17,13 @@ std::uint64_t node_seed(std::uint64_t seed, net::NodeId node) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   return z ^ (z >> 31);
 }
+
+// report_bad_bytes routing (see the header): the supervisor of each
+// simulation, registered while running. Same shape as flow::Registry.
+std::map<des::Simulation*, Supervisor*>& integrity_registry() {
+  static std::map<des::Simulation*, Supervisor*> instance;
+  return instance;
+}
 }  // namespace
 
 Supervisor::Supervisor(des::Simulation& sim, StagingArea& area,
@@ -28,6 +35,7 @@ Supervisor::~Supervisor() { stop(); }
 void Supervisor::start() {
   if (running_) return;
   running_ = true;
+  integrity_registry()[sim_] = this;
   if (token_ == nullptr) token_ = std::make_shared<int>(0);
   for (const auto& s : area_->servers()) {
     node_of_[s->address()] = s->process().node();
@@ -46,9 +54,45 @@ void Supervisor::start() {
 void Supervisor::stop() {
   if (!running_) return;
   running_ = false;
+  if (auto it = integrity_registry().find(sim_);
+      it != integrity_registry().end() && it->second == this) {
+    integrity_registry().erase(it);
+  }
   for (auto& [group, id] : subscriptions_) group->remove_observer(id);
   subscriptions_.clear();
   token_.reset();  // in-flight timers and join callbacks become no-ops
+}
+
+void Supervisor::report_bad_bytes(des::Simulation& sim, net::ProcId offender) {
+  // The report itself is always counted, supervisor or not: tests and
+  // dashboards can see detection working even in unsupervised runs.
+  obs::MetricsRegistry::global().counter("integrity.bad_bytes_reports").inc();
+  auto it = integrity_registry().find(&sim);
+  if (it == integrity_registry().end()) return;
+  Supervisor* self = it->second;
+  const auto nit = self->node_of_.find(offender);
+  if (nit == self->node_of_.end()) return;  // not a daemon we manage
+  const net::NodeId node = nit->second;
+  ++self->stats_.integrity_strikes;
+  obs::MetricsRegistry::global().counter("supervisor.integrity_strikes").inc();
+  if (self->quarantined_.count(node) != 0) return;
+  if (++self->integrity_strikes_[node] >=
+      self->config_.integrity_strike_threshold) {
+    self->quarantined_.insert(node);
+    ++self->stats_.nodes_quarantined;
+    ++self->stats_.integrity_quarantines;
+    obs::MetricsRegistry::global()
+        .counter("supervisor.nodes_quarantined")
+        .inc();
+    obs::Tracer::global().instant(
+        "supervisor.integrity_quarantine", "supervisor",
+        "\"node\":" + std::to_string(node) + ",\"strikes\":" +
+            std::to_string(self->integrity_strikes_[node]));
+    COLZA_LOG_WARN("colza-sup",
+                   "node %llu quarantined after %d bad-bytes reports",
+                   static_cast<unsigned long long>(node),
+                   self->integrity_strikes_[node]);
+  }
 }
 
 void Supervisor::watch(Server& server) {

@@ -52,6 +52,12 @@ struct SupervisorConfig {
   // strike; flap_threshold consecutive strikes quarantine the node.
   des::Duration flap_window = des::seconds(30);
   int flap_threshold = 3;
+  // A server caught returning bytes that fail checksum verification (its
+  // own scrubber finding local rot, or a peer verifying a repair fetch)
+  // earns a strike; this many strikes quarantine its node, exactly like a
+  // flapping node: memory that silently corrupts data is as unfit to host a
+  // daemon as a node whose daemons keep dying.
+  int integrity_strike_threshold = 3;
   std::uint64_t seed = 0x5eed;
 };
 
@@ -62,6 +68,8 @@ struct SupervisorStats {
   int flaps = 0;              // deaths within flap_window of a join
   int nodes_quarantined = 0;
   int budget_exhausted = 0;   // deaths not respawned for lack of budget
+  int integrity_strikes = 0;      // bad-bytes reports attributed to a node
+  int integrity_quarantines = 0;  // nodes quarantined for repeated bad bytes
 };
 
 class Supervisor {
@@ -97,6 +105,16 @@ class Supervisor {
     return quarantined_.count(node) != 0;
   }
 
+  // Data-plane integrity feedback: a server (or a peer verifying a fetch
+  // from it) caught `offender` holding bytes that fail their checksum.
+  // Routed through a per-simulation static registry -- mirroring
+  // flow::Registry -- because the reporter (the server daemon) sits below
+  // the supervisor in the dependency order and holds no pointer to it.
+  // No-op when no supervisor is running for `sim`; repeated strikes
+  // quarantine the offender's node (no kill: detection and repair already
+  // contained the damage, quarantine only stops re-homing daemons there).
+  static void report_bad_bytes(des::Simulation& sim, net::ProcId offender);
+
  private:
   void watch(Server& server);
   void handle_death(net::ProcId dead);
@@ -123,6 +141,7 @@ class Supervisor {
   std::map<net::NodeId, Backoff> backoffs_;
   std::map<net::NodeId, des::Time> last_join_at_;
   std::map<net::NodeId, int> strikes_;
+  std::map<net::NodeId, int> integrity_strikes_;
   std::set<net::NodeId> quarantined_;
 
   // Guards timers and join callbacks against a destroyed supervisor.

@@ -29,21 +29,32 @@ struct StageMetadata {
   // its budget (and may shed with Busy). Always serialized, so the frame
   // size is the same with and without flow control.
   std::uint64_t grant_id = 0;
+  // CRC32C of the staged payload, computed by the client at stage time
+  // (common/checksum.hpp). The server verifies it after every RDMA pull and
+  // stores it alongside the bytes; every later read (replica promotion,
+  // execute-time parse, background scrub) re-verifies against it, so silent
+  // corruption anywhere on the data plane is detected before it is rendered.
+  std::uint32_t checksum = 0;
 
   template <typename Ar>
   void serialize(Ar& ar) {
     ar & pipeline & iteration & block_id & field_name & data & copyset &
-        replica_rank & grant_id;
+        replica_rank & grant_id & checksum;
   }
 };
 
-// A block after the server pulled it: what Backend::stage receives.
+// A block after the server pulled it: what Backend::stage receives. Carries
+// the stage-time checksum and recorded copyset through to the backend's
+// stored form, so integrity scans can re-verify the bytes and repairs know
+// which buddies hold another copy.
 struct StagedBlock {
   std::uint64_t iteration = 0;
   std::uint64_t block_id = 0;
   std::string field_name;
   net::ProcId sender = net::kInvalidProc;
   std::vector<std::byte> data;  // typically a serialized vis::DataSet
+  std::uint32_t checksum = 0;   // CRC32C of `data` at stage time
+  std::vector<net::ProcId> copyset;  // recorded placement ([0] = primary)
 };
 
 }  // namespace colza

@@ -1,0 +1,96 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) for end-to-end payload
+// integrity on the staging data plane.
+//
+// Two implementations, selected at runtime via the common/simd.hpp dispatch
+// policy: a hardware path using the SSE4.2 `crc32` instruction and a scalar
+// table fallback. CRC is an exact function of the input, so -- unlike the
+// floating-point kernels the SIMD policy was written for -- the two paths are
+// bit-identical by construction; COLZA_SIMD=off still forces the scalar path
+// so CI can cross-check them (scripts/check.sh) and perf runs can bisect.
+//
+// The checksum is computed over the serialized dataset bytes at stage time,
+// carried on StageMetadata / replica frames, and re-verified at every read
+// (RDMA pull, replica promotion, execute-time parse, background scrub). The
+// computation itself is never charged virtual time: it is part of the always-
+// on protocol, so charging it would only shift every timeline uniformly.
+//
+// Standard check value: crc32c("123456789") == 0xE3069283.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/simd.hpp"
+
+namespace colza::common {
+
+namespace detail {
+
+// Reflected-polynomial table, generated at compile time.
+consteval std::array<std::uint32_t, 256> crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = crc32c_table();
+
+inline std::uint32_t crc32c_scalar(const std::byte* data, std::size_t n,
+                                   std::uint32_t crc) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^
+          kCrc32cTable[(crc ^ static_cast<std::uint32_t>(data[i])) & 0xFFu];
+  }
+  return crc;
+}
+
+#if defined(__x86_64__)
+__attribute__((target("sse4.2"))) inline std::uint32_t crc32c_hw(
+    const std::byte* data, std::size_t n, std::uint32_t crc) noexcept {
+  std::uint64_t c = crc;
+  while (n >= 8) {
+    std::uint64_t chunk;
+    __builtin_memcpy(&chunk, data, 8);
+    c = __builtin_ia32_crc32di(c, chunk);
+    data += 8;
+    n -= 8;
+  }
+  auto c32 = static_cast<std::uint32_t>(c);
+  while (n > 0) {
+    c32 = __builtin_ia32_crc32qi(c32, static_cast<std::uint8_t>(*data));
+    ++data;
+    --n;
+  }
+  return c32;
+}
+
+inline bool crc32c_hw_usable() noexcept {
+  static const bool usable = __builtin_cpu_supports("sse4.2");
+  return usable;
+}
+#endif
+
+}  // namespace detail
+
+// CRC32C of `data`. `seed` is the CRC of any preceding bytes (0 to start),
+// so checksums compose: crc32c(a + b) == crc32c(b, crc32c(a)).
+[[nodiscard]] inline std::uint32_t crc32c(std::span<const std::byte> data,
+                                          std::uint32_t seed = 0) noexcept {
+  const std::uint32_t crc = ~seed;
+#if defined(__x86_64__)
+  if (simd::active() != simd::Level::scalar && detail::crc32c_hw_usable()) {
+    return ~detail::crc32c_hw(data.data(), data.size(), crc);
+  }
+#endif
+  return ~detail::crc32c_scalar(data.data(), data.size(), crc);
+}
+
+}  // namespace colza::common

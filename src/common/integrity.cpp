@@ -1,0 +1,43 @@
+#include "common/integrity.hpp"
+
+#include <map>
+#include <utility>
+
+namespace colza::common::integrity {
+
+namespace {
+
+using Key = std::pair<const void*, std::uint64_t>;
+
+std::map<Key, CorruptHook>& hooks() {
+  static std::map<Key, CorruptHook> map;
+  return map;
+}
+
+}  // namespace
+
+std::string_view to_string(CorruptMode m) noexcept {
+  switch (m) {
+    case CorruptMode::bit_flip: return "bit_flip";
+    case CorruptMode::truncate: return "truncate";
+    case CorruptMode::zero: return "zero";
+  }
+  return "?";
+}
+
+CorruptResult Registry::corrupt(const void* sim, std::uint64_t proc,
+                                CorruptMode mode, std::uint64_t pick) {
+  auto it = hooks().find(Key{sim, proc});
+  if (it == hooks().end()) return {};
+  return it->second(mode, pick);
+}
+
+void Registry::add(const void* sim, std::uint64_t proc, CorruptHook hook) {
+  hooks()[Key{sim, proc}] = std::move(hook);
+}
+
+void Registry::remove(const void* sim, std::uint64_t proc) {
+  hooks().erase(Key{sim, proc});
+}
+
+}  // namespace colza::common::integrity

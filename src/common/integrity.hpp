@@ -1,0 +1,58 @@
+// Corruption-injection seam between the chaos layer and the staging servers.
+//
+// The chaos engine lives below colza (it links net + flow only), yet a
+// scheduled `corrupt` rule must reach into a *server's* stored payloads --
+// backend staging slots and the replica store -- and rot bytes in place
+// without updating the stage-time checksum. This registry breaks the layering
+// knot the same way flow::Registry does for overload injection: each server
+// registers a corruption hook under its (simulation, process) key, and the
+// chaos layer aims rules through the registry without knowing what a server
+// is. The key's simulation half is an opaque pointer because colza_common
+// sits below the DES library too.
+//
+// Everything is deterministic: the hook receives a seeded `pick` that selects
+// the victim payload from a sorted candidate list and derives the flipped
+// bit, so a fixed plan seed rots the same byte of the same block at the same
+// virtual time on every run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace colza::common::integrity {
+
+// How an injected corruption mangles the chosen payload.
+enum class CorruptMode : std::uint8_t {
+  bit_flip,  // flip one pick-derived bit
+  truncate,  // drop the second half of the stored bytes
+  zero,      // overwrite every byte with 0x00
+};
+
+[[nodiscard]] std::string_view to_string(CorruptMode m) noexcept;
+
+// What an injection actually touched. A hook with nothing stored at fire
+// time arms the corruption against the next payload written instead (rot on
+// write, like a failing controller) and reports `deferred`; {0, 0, false}
+// means no hook answered at all (dead or non-server process).
+struct CorruptResult {
+  std::size_t blocks = 0;   // payloads mangled now (0 or 1)
+  std::size_t bytes = 0;    // bytes damaged now
+  bool deferred = false;    // armed against the next write instead
+};
+
+using CorruptHook = std::function<CorruptResult(CorruptMode, std::uint64_t)>;
+
+class Registry {
+ public:
+  // Aims one corruption at the process registered under (sim, proc).
+  // Returns {0, 0} when no hook is registered (dead or non-server process).
+  static CorruptResult corrupt(const void* sim, std::uint64_t proc,
+                               CorruptMode mode, std::uint64_t pick);
+
+  static void add(const void* sim, std::uint64_t proc, CorruptHook hook);
+  static void remove(const void* sim, std::uint64_t proc);
+};
+
+}  // namespace colza::common::integrity

@@ -28,6 +28,7 @@ enum class StatusCode {
   unavailable,       // resource temporarily exhausted (e.g. no free nodes)
   internal,
   busy,              // server shed the request; retry after the hinted delay
+  corrupt,           // payload failed checksum verification (see checksum.hpp)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(StatusCode c) noexcept {
@@ -44,6 +45,7 @@ enum class StatusCode {
     case StatusCode::unavailable: return "unavailable";
     case StatusCode::internal: return "internal";
     case StatusCode::busy: return "busy";
+    case StatusCode::corrupt: return "corrupt";
   }
   return "unknown";
 }
@@ -93,6 +95,15 @@ class Status {
     s.retry_after_us_ = retry_after_us;
     return s;
   }
+  // A payload failed its CRC32C verification. `detail` identifies the bad
+  // block (block_id + 1; 0 = no hint) so the recovery loop can re-stage just
+  // that block; like retry_after_us it rides a constant-size response-frame
+  // field, so carrying it never changes message sizes.
+  static Status Corrupt(std::string m, std::uint64_t detail = 0) {
+    Status s{StatusCode::corrupt, std::move(m)};
+    s.detail_ = detail;
+    return s;
+  }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::ok; }
   [[nodiscard]] StatusCode code() const noexcept { return code_; }
@@ -101,6 +112,8 @@ class Status {
     return retry_after_us_;
   }
   void set_retry_after_us(std::uint64_t us) noexcept { retry_after_us_ = us; }
+  [[nodiscard]] std::uint64_t detail() const noexcept { return detail_; }
+  void set_detail(std::uint64_t detail) noexcept { detail_ = detail; }
 
   [[nodiscard]] std::string to_string() const {
     std::string s{colza::to_string(code_)};
@@ -125,6 +138,7 @@ class Status {
   StatusCode code_ = StatusCode::ok;
   std::string message_;
   std::uint64_t retry_after_us_ = 0;  // busy only; not part of equality
+  std::uint64_t detail_ = 0;          // corrupt only; not part of equality
 };
 
 // Minimal expected-like wrapper: either a value or a non-ok Status.

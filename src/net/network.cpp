@@ -311,6 +311,8 @@ Status Network::rdma_get(Process& self, const BulkRef& ref,
   if (offset + out.size() > ref.size)
     return Status::InvalidArgument("rdma_get: range beyond exposed region");
   des::Duration delay = rdma_delay(self, ref.owner, out.size(), profile);
+  std::uint8_t corrupt_xor = 0;
+  std::uint64_t corrupt_offset = 0;
   if (injector_ != nullptr) {
     const FaultVerdict v =
         injector_->on_rdma(self, ref.owner, out.size(), delay);
@@ -321,6 +323,8 @@ Status Network::rdma_get(Process& self, const BulkRef& ref,
       return Status::Unreachable("rdma_get: transfer lost (injected)");
     }
     delay += v.extra_delay;
+    corrupt_xor = v.corrupt_xor;
+    corrupt_offset = v.corrupt_offset;
   }
   sim_->sleep_for(delay);
   // Read remote memory at completion time (the exposer must keep it valid
@@ -334,6 +338,11 @@ Status Network::rdma_get(Process& self, const BulkRef& ref,
   if (offset + out.size() > region->size())
     return Status::InvalidArgument("rdma_get: region shrank");
   std::memcpy(out.data(), region->data() + offset, out.size());
+  if (corrupt_xor != 0 && !out.empty()) {
+    // Injected wire corruption: the transfer "succeeds" with rotted bytes,
+    // as a real silent fault would. Detection is the reader's job.
+    out[corrupt_offset % out.size()] ^= std::byte{corrupt_xor};
+  }
   return Status::Ok();
 }
 

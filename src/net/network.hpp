@@ -51,6 +51,12 @@ struct FaultVerdict {
   des::Duration extra_delay = 0;
   int duplicates = 0;
   des::Duration dup_spacing = 0;
+  // In-transit corruption (consulted by rdma_get only): after the payload is
+  // copied, the byte at `corrupt_offset % size` is XORed with `corrupt_xor`
+  // (0 = intact). Models the bit flip a NIC's link-level CRC missed --
+  // exactly the fault end-to-end checksums exist to catch.
+  std::uint8_t corrupt_xor = 0;
+  std::uint64_t corrupt_offset = 0;
 };
 
 class FaultInjector {

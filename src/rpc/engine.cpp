@@ -195,9 +195,11 @@ void Engine::process_message(net::Message msg) {
     StatusCode code{};
     std::string status_msg;
     std::uint64_t retry_after_us = 0;
+    std::uint64_t detail = 0;
     in.load(code);
     in.load(status_msg);
     in.load(retry_after_us);
+    in.load(detail);
     if (code == StatusCode::ok) {
       std::vector<std::byte> body(in.remaining());
       in.read_raw(body.data(), body.size());
@@ -205,6 +207,7 @@ void Engine::process_message(net::Message msg) {
     } else {
       Status st(code, std::move(status_msg));
       st.set_retry_after_us(retry_after_us);
+      st.set_detail(detail);
       ev->set_value(std::move(st));
     }
   }
@@ -254,10 +257,12 @@ void Engine::handle_request(net::ProcId caller, std::uint64_t id,
         out.save(id);
         out.save(st.code());
         out.save(st.message());
-        // Retry-after hint (busy shedding): always on the wire, zero when
-        // unset, so the response frame stays constant-size like the trace
-        // context in the request frame.
+        // Retry-after hint (busy shedding) and status detail (the corrupt
+        // block hint): always on the wire, zero when unset, so the response
+        // frame stays constant-size like the trace context in the request
+        // frame.
         out.save(st.retry_after_us());
+        out.save(st.detail());
         out.write_raw(reply.bytes().data(), reply.size());
         proc_->network().transmit(
             *proc_, caller, kMailbox, profile_,

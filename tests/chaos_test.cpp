@@ -5,8 +5,10 @@
 // The slow multi-seed sweeps live in chaos_sweep_test.cpp (ctest -L tier2).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "chaos/chaos.hpp"
@@ -42,11 +44,14 @@ TEST(ChaosPlan, ParsesFullRuleVocabularyFromJson) {
       {"kind": "slow_node", "node": 4, "factor": 3.5},
       {"kind": "partition", "group_a": [1, 2], "group_b": [3],
        "at_us": 5000, "heal_us": 8000},
-      {"kind": "crash", "target": 2, "at_us": 7000}
+      {"kind": "crash", "target": 2, "at_us": 7000},
+      {"kind": "corrupt", "target": 1, "at_us": 7500, "heal_us": 9500,
+       "mode": "truncate"},
+      {"kind": "corrupt", "box": "rdma"}
     ]
   })");
   ASSERT_EQ(plan.seed, 99u);
-  ASSERT_EQ(plan.rules.size(), 7u);
+  ASSERT_EQ(plan.rules.size(), 9u);
   EXPECT_EQ(plan.rules[0].kind, RuleKind::drop);
   EXPECT_DOUBLE_EQ(plan.rules[0].probability, 0.25);
   EXPECT_EQ(plan.rules[0].box, "rpc");
@@ -66,6 +71,13 @@ TEST(ChaosPlan, ParsesFullRuleVocabularyFromJson) {
   EXPECT_EQ(plan.rules[5].at, microseconds(5000));
   EXPECT_EQ(plan.rules[5].heal_at, microseconds(8000));
   EXPECT_EQ(plan.rules[6].target, 2u);
+  EXPECT_EQ(plan.rules[7].kind, RuleKind::corrupt);
+  EXPECT_EQ(plan.rules[7].target, 1u);
+  EXPECT_EQ(plan.rules[7].at, microseconds(7500));
+  EXPECT_EQ(plan.rules[7].corrupt_mode, common::integrity::CorruptMode::truncate);
+  EXPECT_EQ(plan.rules[8].kind, RuleKind::corrupt);
+  EXPECT_EQ(plan.rules[8].at, 0u);  // in-transit form
+  EXPECT_EQ(plan.rules[8].corrupt_mode, common::integrity::CorruptMode::bit_flip);
 }
 
 TEST(ChaosPlan, RejectsUnknownRuleKind) {
@@ -112,6 +124,78 @@ TEST(ChaosPlan, RejectsNonObjectRule) {
     FAIL() << "expected std::runtime_error";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("rule 1"), std::string::npos);
+  }
+}
+
+// The corrupt-rule validation mirrors the unknown-key strictness: a typoed
+// mode or an unaimed scheduled rule names its index instead of silently
+// arming nothing.
+TEST(ChaosPlan, RejectsInvalidCorruptModeNamingTheRuleIndex) {
+  try {
+    (void)ChaosPlan::from_json(R"({
+      "rules": [
+        {"kind": "drop"},
+        {"kind": "corrupt", "target": 1, "at_us": 100, "mode": "bitflip"}
+      ]
+    })");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rule 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("bitflip"), std::string::npos) << what;
+  }
+}
+
+TEST(ChaosPlan, RejectsScheduledCorruptWithoutTargetOrNode) {
+  try {
+    (void)ChaosPlan::from_json(
+        R"({"rules": [{"kind": "corrupt", "at_us": 100}]})");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rule 0"), std::string::npos);
+  }
+}
+
+TEST(ChaosPlan, RejectsModeOnNonCorruptRule) {
+  try {
+    (void)ChaosPlan::from_json(
+        R"({"rules": [{"kind": "drop", "mode": "zero"}]})");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("mode"), std::string::npos);
+  }
+}
+
+TEST(ChaosPlan, RejectsInTransitCorruptOnNonRdmaBox) {
+  try {
+    (void)ChaosPlan::from_json(
+        R"({"rules": [{"kind": "corrupt", "box": "rpc"}]})");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rdma"), std::string::npos);
+  }
+}
+
+TEST(ChaosPlan, CorruptionStormPlanIsSeededAndPeriodic) {
+  const ChaosPlan plan = corruption_storm_plan(
+      /*base_server=*/1, /*servers=*/4, /*start=*/seconds(5),
+      /*period=*/seconds(45), /*corruptions=*/8, /*seed=*/13);
+  EXPECT_EQ(plan.seed, 13u);
+  ASSERT_EQ(plan.rules.size(), 8u);
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    const Rule& r = plan.rules[i];
+    EXPECT_EQ(r.kind, RuleKind::corrupt);
+    EXPECT_GE(r.target, 1u);
+    EXPECT_LT(r.target, 5u);
+    EXPECT_EQ(r.at, seconds(5) + i * seconds(45));
+    EXPECT_EQ(r.heal_at, r.at + seconds(45));
+  }
+  // Seeded: the same arguments always produce the same victims and modes.
+  const ChaosPlan again = corruption_storm_plan(1, 4, seconds(5), seconds(45),
+                                                8, 13);
+  for (std::size_t i = 0; i < plan.rules.size(); ++i) {
+    EXPECT_EQ(plan.rules[i].target, again.rules[i].target);
+    EXPECT_EQ(plan.rules[i].corrupt_mode, again.rules[i].corrupt_mode);
   }
 }
 
@@ -410,6 +494,111 @@ TEST_F(ChaosNetTest, RdmaDropRuleFailsTransferAfterModeledDelay) {
   EXPECT_GT(done, 0u);  // the initiator still waited out the transfer time
   ASSERT_EQ(engine.log().size(), 1u);
   EXPECT_EQ(engine.log()[0].kind, RuleKind::drop);
+}
+
+// In-transit corruption: the pull succeeds, exactly one byte differs from
+// the exposed region, and the injection record pins down which one (tag =
+// offset, delta = XOR byte) so a replay rots the identical bit.
+TEST_F(ChaosNetTest, RdmaCorruptRuleFlipsOneByteInFlight) {
+  Rule r;
+  r.kind = RuleKind::corrupt;
+  r.box = "rdma";  // at == 0: the in-transit form
+  ChaosEngine engine(ChaosPlan{7, {r}});
+  engine.attach(net);
+
+  auto& owner = net.create_process(0);
+  auto& reader = net.create_process(1);
+  std::vector<std::byte> region(256, std::byte{0x5A});
+  const net::BulkRef ref = owner.expose(region);
+  std::vector<std::byte> out(256);
+  StatusCode code = StatusCode::internal;
+  reader.spawn("pull", [&] {
+    code = net.rdma_get(reader, ref, 0, out, prof).code();
+  });
+  sim.run();
+
+  ASSERT_EQ(code, StatusCode::ok);  // the rot is silent by design
+  std::size_t diffs = 0, diff_at = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] != region[i]) {
+      ++diffs;
+      diff_at = i;
+    }
+  }
+  EXPECT_EQ(diffs, 1u);
+  ASSERT_EQ(engine.log().size(), 1u);
+  const InjectionRecord& rec = engine.log()[0];
+  EXPECT_EQ(rec.kind, RuleKind::corrupt);
+  EXPECT_EQ(rec.tag, diff_at);
+  EXPECT_EQ(static_cast<std::byte>(rec.delta),
+            out[diff_at] ^ region[diff_at]);
+}
+
+// ------------------------------------------------------------- log bounding
+
+// A capacity-bounded log retains only the newest records, but the running
+// summary (count + FNV digest) still covers the whole history -- two runs
+// match iff their summaries match, no matter the bound.
+TEST_F(ChaosNetTest, LogCapacityEvictsOldestButSummaryCoversAll) {
+  auto run_once = [](std::size_t capacity) {
+    des::Simulation sim;
+    net::Network net(sim);
+    Rule r;
+    r.kind = RuleKind::drop;
+    ChaosEngine engine(ChaosPlan{7, {r}});
+    engine.set_log_capacity(capacity);
+    engine.attach(net);
+    auto& a = net.create_process(0);
+    auto& b = net.create_process(1);
+    a.spawn("tx", [&] {
+      const net::Profile prof = net::Profile::mona();
+      for (std::uint64_t i = 0; i < 20; ++i) {
+        net.transmit(a, b.id(), "x", prof,
+                     {a.id(), i, std::vector<std::byte>(32)});
+        sim.sleep_for(milliseconds(1));
+      }
+    });
+    sim.run();
+    return std::tuple{engine.log(), engine.log_summary(), engine.dump_log()};
+  };
+
+  const auto [full_log, full_sum, full_dump] = run_once(0);
+  const auto [capped_log, capped_sum, capped_dump] = run_once(5);
+
+  ASSERT_EQ(full_log.size(), 20u);
+  ASSERT_EQ(capped_log.size(), 5u);
+  // The retained tail is the newest 5 records, verbatim.
+  EXPECT_TRUE(std::equal(capped_log.begin(), capped_log.end(),
+                         full_log.end() - 5));
+  // The summary is capacity-independent: same history, same signature.
+  EXPECT_EQ(full_sum.records, 20u);
+  EXPECT_EQ(capped_sum, full_sum);
+  // The bounded dump says what it dropped; the unbounded one does not.
+  EXPECT_NE(capped_dump.find("15 older records evicted"), std::string::npos);
+  EXPECT_EQ(full_dump.find("evicted"), std::string::npos);
+}
+
+TEST_F(ChaosNetTest, ShrinkingLogCapacityEvictsImmediately) {
+  Rule r;
+  r.kind = RuleKind::drop;
+  ChaosEngine engine(ChaosPlan{7, {r}});
+  engine.attach(net);
+  auto& a = net.create_process(0);
+  auto& b = net.create_process(1);
+  a.spawn("tx", [&] {
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      net.transmit(a, b.id(), "x", prof, {a.id(), i, std::vector<std::byte>(8)});
+      sim.sleep_for(milliseconds(1));
+    }
+  });
+  sim.run();
+
+  ASSERT_EQ(engine.log().size(), 6u);
+  engine.set_log_capacity(2);
+  ASSERT_EQ(engine.log().size(), 2u);
+  EXPECT_EQ(engine.log()[0].tag, 4u);  // the two newest survive
+  EXPECT_EQ(engine.log()[1].tag, 5u);
+  EXPECT_EQ(engine.log_summary().records, 6u);
 }
 
 // -------------------------------------------------------------- determinism

@@ -14,6 +14,7 @@
 #include "common/archive.hpp"
 #include "common/arena.hpp"
 #include "common/buffer_pool.hpp"
+#include "common/checksum.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
@@ -454,6 +455,71 @@ TEST(Arena, GlobalTotalsAggregateAcrossArenas) {
   }
   // Destruction returns the arenas' contribution.
   EXPECT_EQ(common::Arena::totals().bytes_in_use, before);
+}
+
+// ---------------------------------------------------------------- Crc32c
+
+std::vector<std::byte> to_bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::transform(s.begin(), s.end(), out.begin(),
+                 [](char c) { return static_cast<std::byte>(c); });
+  return out;
+}
+
+TEST(Crc32c, StandardCheckValue) {
+  // The canonical CRC32C test vector (RFC 3720 appendix B.4).
+  EXPECT_EQ(common::crc32c(to_bytes("123456789")), 0xE3069283u);
+  EXPECT_EQ(common::crc32c(std::span<const std::byte>{}), 0u);
+}
+
+TEST(Crc32c, SeedComposes) {
+  const auto whole = to_bytes("colza staging data plane");
+  for (std::size_t split = 0; split <= whole.size(); ++split) {
+    const std::span<const std::byte> head(whole.data(), split);
+    const std::span<const std::byte> tail(whole.data() + split,
+                                          whole.size() - split);
+    EXPECT_EQ(common::crc32c(tail, common::crc32c(head)),
+              common::crc32c(whole))
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsEverySingleBitFlip) {
+  auto data = to_bytes("silent corruption must not stay silent");
+  const std::uint32_t good = common::crc32c(data);
+  for (std::size_t bit = 0; bit < data.size() * 8; ++bit) {
+    data[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+    EXPECT_NE(common::crc32c(data), good) << "bit " << bit;
+    data[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+  }
+  EXPECT_EQ(common::crc32c(data), good);
+}
+
+// The dispatch contract: whatever path crc32c() picks (COLZA_SIMD governs
+// it, scripts/check.sh cross-checks both settings), its result is
+// bit-identical to the scalar table fallback -- including every length mod
+// 8 (the hardware path switches from 64-bit to byte steps there) and
+// nonzero seeds.
+TEST(Crc32c, ActivePathMatchesScalarBitForBit) {
+  Rng rng(41);
+  for (int round = 0; round < 64; ++round) {
+    const std::size_t n = static_cast<std::size_t>(rng.below(1024));
+    std::vector<std::byte> data(n);
+    for (auto& b : data) b = static_cast<std::byte>(rng.below(256));
+    const auto seed =
+        round % 2 != 0 ? static_cast<std::uint32_t>(rng.below(0x100000000ull))
+                       : 0u;
+    const std::uint32_t scalar =
+        ~common::detail::crc32c_scalar(data.data(), data.size(), ~seed);
+    EXPECT_EQ(common::crc32c(data, seed), scalar) << "len " << n;
+#if defined(__x86_64__)
+    if (common::detail::crc32c_hw_usable()) {
+      EXPECT_EQ(~common::detail::crc32c_hw(data.data(), data.size(), ~seed),
+                scalar)
+          << "len " << n;
+    }
+#endif
+  }
 }
 
 }  // namespace

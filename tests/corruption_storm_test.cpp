@@ -1,0 +1,236 @@
+// The corruption storm (ctest label tier2): one silent storage corruption
+// per iteration cadence for 30 Mandelbulb iterations. Staged windows last
+// milliseconds, so the scheduled rules nearly always fire into idle servers
+// and defer (rot on write) to the next payload the victim stores. With
+// replication 2 the run must show
+//   * zero client-visible iteration failures,
+//   * every corruption that was read gets detected and repaired from a buddy
+//     copy (no full or targeted client re-stages), and
+//   * every rendered image hashes identically to the fault-free reference --
+//     repair must not change a pixel.
+// The storm also pins the degraded R=1 behaviour (detection still works; the
+// client heals by full re-stage), the in-transit retransmit path, and the
+// bit-identical injection/repair timeline the replay workflow relies on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "chaos/chaos.hpp"
+#include "invariants.hpp"
+#include "obs/metrics.hpp"
+
+namespace colza::testing {
+namespace {
+
+using des::seconds;
+
+constexpr std::uint64_t kStormSeed = 31;
+
+// One corruption per iteration: period matches the iteration cadence
+// (compute_between dominates) and the victims are seeded picks over all four
+// server processes (ids 1..4).
+ScenarioConfig storm_scenario(std::uint64_t iterations) {
+  ScenarioConfig cfg;
+  cfg.seed = kStormSeed;
+  cfg.servers = 4;
+  cfg.iterations = iterations;
+  cfg.replication = 2;
+  cfg.compute_between = seconds(40);
+  cfg.resilient.attempt_timeout = seconds(20);
+  cfg.deadline = seconds(20000);
+  cfg.plan = chaos::corruption_storm_plan(/*base_server=*/1, /*servers=*/4,
+                                          /*start=*/seconds(10),
+                                          /*period=*/seconds(45),
+                                          /*corruptions=*/iterations,
+                                          kStormSeed);
+  return cfg;
+}
+
+std::uint64_t sum_mismatches(const ScenarioResult& r) {
+  std::uint64_t n = 0;
+  for (const auto& s : r.servers) n += s.integrity.mismatches;
+  return n;
+}
+
+std::uint64_t sum_repairs(const ScenarioResult& r) {
+  std::uint64_t n = 0;
+  for (const auto& s : r.servers) n += s.integrity.repairs;
+  return n;
+}
+
+TEST(CorruptionStorm, ThirtyIterationsZeroFailuresAllRepairsServerSide) {
+  const ScenarioConfig cfg = storm_scenario(30);
+  const ScenarioResult res = run_elastic_mandelbulb(cfg);
+
+  ASSERT_TRUE(res.client_done);
+  for (const auto& it : res.iterations) {
+    EXPECT_EQ(it.code, StatusCode::ok) << "iteration " << it.iteration;
+  }
+  // With a buddy copy for every block, corruption never reaches the client:
+  // no recovery attempts, no re-stages of any kind.
+  EXPECT_EQ(res.resilient.full_restages, 0);
+  EXPECT_EQ(res.resilient.targeted_restages, 0);
+  EXPECT_EQ(res.resilient.partial_recoveries, 0);
+
+  // All 30 scheduled corruptions fired (deferred or direct), none gave up:
+  // delta == 1 marks a rule whose heal window closed without a victim.
+  int corrupts = 0;
+  for (const auto& rec : res.injections) {
+    if (rec.kind != chaos::RuleKind::corrupt) continue;
+    ++corrupts;
+    EXPECT_NE(rec.src, 0u);
+    EXPECT_EQ(rec.delta, 0) << rec.to_string();
+  }
+  EXPECT_EQ(corrupts, 30);
+  EXPECT_EQ(res.chaos_summary.records,
+            static_cast<std::uint64_t>(res.injections.size()));
+
+  // Rot that landed on primaries was caught by the execute-time verify and
+  // repaired from buddies. (Rot on a buddy replica whose iteration ends
+  // before any scrub pass is discarded unread -- that is why mismatches
+  // need not equal 30.)
+  EXPECT_GT(sum_mismatches(res), 0u);
+  EXPECT_GT(sum_repairs(res), 0u);
+
+  EXPECT_EQ(check_two_phase_atomicity(res), "");
+  EXPECT_EQ(check_swim_convergence(res), "");
+
+  // Repair must not change a pixel: every rendered hash matches the
+  // fault-free reference of the same scenario shape.
+  ScenarioConfig ref_cfg = cfg;
+  ref_cfg.plan = chaos::ChaosPlan{};
+  const ScenarioResult ref = run_elastic_mandelbulb(ref_cfg);
+  ASSERT_TRUE(ref.client_done);
+  EXPECT_EQ(check_render_hashes(res, reference_hashes(ref)), "");
+  EXPECT_EQ(sum_mismatches(ref), 0u);  // the reference saw no corruption
+}
+
+// Unreplicated staging: detection still works (the checksum does not need a
+// buddy), but repair has no intact copy to pull, so the client heals each
+// hit iteration with a full scratch re-stage -- still zero visible failures.
+TEST(CorruptionStorm, UnreplicatedStormHealsByFullRestage) {
+  ScenarioConfig cfg = storm_scenario(6);
+  cfg.replication = 1;
+  cfg.plan = chaos::corruption_storm_plan(/*base_server=*/1, /*servers=*/4,
+                                          /*start=*/seconds(10),
+                                          /*period=*/seconds(45),
+                                          /*corruptions=*/5, kStormSeed);
+  const ScenarioResult res = run_elastic_mandelbulb(cfg);
+
+  ASSERT_TRUE(res.client_done);
+  for (const auto& it : res.iterations) {
+    EXPECT_EQ(it.code, StatusCode::ok) << "iteration " << it.iteration;
+  }
+  EXPECT_GT(sum_mismatches(res), 0u);
+  EXPECT_EQ(sum_repairs(res), 0u);  // nowhere to repair from
+  EXPECT_GT(res.resilient.full_restages, 0);
+  EXPECT_EQ(res.resilient.partial_recoveries, 0);  // R=1: scratch path only
+
+  std::uint64_t fallbacks = 0;
+  for (const auto& s : res.servers) fallbacks += s.integrity.restage_fallbacks;
+  EXPECT_GT(fallbacks, 0u);
+
+  ScenarioConfig ref_cfg = cfg;
+  ref_cfg.plan = chaos::ChaosPlan{};
+  const ScenarioResult ref = run_elastic_mandelbulb(ref_cfg);
+  ASSERT_TRUE(ref.client_done);
+  EXPECT_EQ(check_render_hashes(res, reference_hashes(ref)), "");
+}
+
+// Wire corruption: every RDMA stage pull inside the fault window has one
+// byte XORed in flight. The server-side pull verify catches it before any
+// bytes are stored, the client retransmits from its pristine copy, and once
+// the window closes the run completes untouched.
+TEST(CorruptionStorm, InTransitCorruptionIsRetransmittedEndToEnd) {
+  ScenarioConfig cfg;
+  cfg.seed = kStormSeed;
+  cfg.servers = 3;
+  cfg.iterations = 2;
+  cfg.replication = 2;
+  cfg.trace = true;  // resets the metrics registry at scenario start
+  chaos::Rule wire;
+  wire.kind = chaos::RuleKind::corrupt;
+  wire.box = "rdma";
+  wire.probability = 1.0;
+  wire.after = seconds(2);
+  wire.before = seconds(4);
+  cfg.plan.seed = kStormSeed;
+  cfg.plan.rules.push_back(wire);
+  const ScenarioResult res = run_elastic_mandelbulb(cfg);
+
+  ASSERT_TRUE(res.client_done);
+  for (const auto& it : res.iterations) {
+    EXPECT_EQ(it.code, StatusCode::ok) << "iteration " << it.iteration;
+  }
+  // The flipped pulls were detected (in-transit mismatches) and every
+  // injection record carries the XOR byte for replay.
+  EXPECT_GT(sum_mismatches(res), 0u);
+  EXPECT_EQ(sum_repairs(res), 0u);  // nothing bad was ever stored
+  int flips = 0;
+  for (const auto& rec : res.injections) {
+    if (rec.kind != chaos::RuleKind::corrupt) continue;
+    ++flips;
+    EXPECT_NE(rec.delta, 0);  // the XOR byte
+  }
+  EXPECT_GT(flips, 0);
+  EXPECT_GT(obs::MetricsRegistry::global().counter_value(
+                "integrity.client.retransmit"),
+            0u);
+
+  ScenarioConfig ref_cfg = cfg;
+  ref_cfg.plan = chaos::ChaosPlan{};
+  ref_cfg.trace = false;
+  const ScenarioResult ref = run_elastic_mandelbulb(ref_cfg);
+  ASSERT_TRUE(ref.client_done);
+  EXPECT_EQ(check_render_hashes(res, reference_hashes(ref)), "");
+}
+
+// A bounded injection log drops old records but the running summary still
+// covers every injection: same storm, capped at 4 retained records, must
+// replay to the identical digest as the unbounded run.
+TEST(CorruptionStorm, BoundedLogKeepsTheFullReplaySignature) {
+  ScenarioConfig cfg = storm_scenario(8);
+  const ScenarioResult full = run_elastic_mandelbulb(cfg);
+  cfg.chaos_log_capacity = 4;
+  const ScenarioResult capped = run_elastic_mandelbulb(cfg);
+
+  ASSERT_TRUE(full.client_done);
+  ASSERT_TRUE(capped.client_done);
+  EXPECT_GT(full.injections.size(), 4u);
+  EXPECT_LE(capped.injections.size(), 4u);
+  EXPECT_TRUE(full.chaos_summary == capped.chaos_summary);
+  EXPECT_EQ(capped.chaos_summary.records,
+            static_cast<std::uint64_t>(full.injections.size()));
+  EXPECT_EQ(full.end_time, capped.end_time);
+}
+
+// Same seed => bit-identical injection *and* repair timeline: the injection
+// log, the per-iteration outcomes, the integrity counters on every server,
+// the end time and the rendered hashes all replay exactly.
+TEST(CorruptionStorm, InjectionAndRepairTimelineIsBitIdenticalForSameSeed) {
+  const ScenarioConfig cfg = storm_scenario(6);
+  const ScenarioResult a = run_elastic_mandelbulb(cfg);
+  const ScenarioResult b = run_elastic_mandelbulb(cfg);
+
+  ASSERT_TRUE(a.client_done);
+  EXPECT_EQ(a.chaos_log, b.chaos_log);
+  EXPECT_TRUE(a.injections == b.injections);
+  EXPECT_TRUE(a.chaos_summary == b.chaos_summary);
+  EXPECT_EQ(a.end_time, b.end_time);
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    EXPECT_EQ(a.iterations[i].code, b.iterations[i].code);
+    EXPECT_EQ(a.iterations[i].view, b.iterations[i].view);
+  }
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t i = 0; i < a.servers.size(); ++i) {
+    EXPECT_EQ(a.servers[i].integrity.verifies, b.servers[i].integrity.verifies);
+    EXPECT_EQ(a.servers[i].integrity.mismatches,
+              b.servers[i].integrity.mismatches);
+    EXPECT_EQ(a.servers[i].integrity.repairs, b.servers[i].integrity.repairs);
+  }
+  EXPECT_EQ(reference_hashes(a), reference_hashes(b));
+}
+
+}  // namespace
+}  // namespace colza::testing

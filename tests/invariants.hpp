@@ -83,6 +83,12 @@ struct ScenarioConfig {
   // its FNV hash in ScenarioResult::trace_hash. Also resets the global
   // metrics registry at scenario start so counters are per-scenario.
   bool trace = false;
+  // Bound on the chaos engine's in-memory injection log (0 = unbounded).
+  // ScenarioResult::chaos_summary still covers every record either way.
+  std::size_t chaos_log_capacity = 0;
+  // Server-side integrity scrubber cadence (0 disables); the default matches
+  // ServerConfig::scrub_interval.
+  des::Duration scrub_interval = des::seconds(2);
 };
 
 struct IterationOutcome {
@@ -104,6 +110,9 @@ struct ServerSummary {
   // Busy fast-fails the clients had to absorb.
   std::uint64_t peak_staged_bytes = 0;
   std::uint64_t flow_sheds = 0;
+  // Integrity machinery counters (verifies/mismatches/repairs/...), all zero
+  // when no corruption was injected and the scrubber found nothing to fix.
+  IntegrityStats integrity;
 };
 
 struct ScenarioResult {
@@ -113,6 +122,7 @@ struct ScenarioResult {
   std::vector<ServerSummary> servers;
   std::vector<chaos::InjectionRecord> injections;
   std::string chaos_log;
+  chaos::LogSummary chaos_summary;  // covers evicted records too
   ResilientStats resilient;      // summed over all iterations
   SupervisorStats supervisor;    // zero when cfg.supervisor is false
   std::uint64_t trace_hash = 0;  // timeline hash when cfg.trace is set
@@ -129,11 +139,13 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
   }
   net::Network net(sim);
   chaos::ChaosEngine engine(cfg.plan);
+  engine.set_log_capacity(cfg.chaos_log_capacity);
   engine.attach(net);
 
   ServerConfig scfg;
   scfg.init_cost = des::milliseconds(10);
   scfg.flow = cfg.flow;
+  scfg.scrub_interval = cfg.scrub_interval;
   LaunchModel instant{des::milliseconds(10), 0.0, des::milliseconds(10)};
   StagingArea area(net, scfg, instant, cfg.seed);
   area.launch_initial(cfg.servers, /*base_node=*/100);
@@ -229,6 +241,12 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
       settle = std::max<des::Time>(
           settle, std::max(r.at, r.heal_at) + des::seconds(30));
     }
+    if (r.kind == chaos::RuleKind::corrupt && r.at != 0) {
+      // Past the rot *and* at least one scrub pass, so the scrubber's
+      // repairs land before the summaries are collected.
+      settle = std::max<des::Time>(
+          settle, std::max(r.at, r.heal_at) + des::seconds(30));
+    }
   }
   sim.run_until(settle);
 
@@ -240,6 +258,7 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
   }
   res.injections = engine.log();
   res.chaos_log = engine.dump_log();
+  res.chaos_summary = engine.log_summary();
   for (const auto& s : area.servers()) {
     ServerSummary sum;
     sum.id = s->address();
@@ -251,6 +270,7 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
     }
     sum.peak_staged_bytes = s->flow().peak_staged_bytes();
     sum.flow_sheds = s->flow().sheds_total();
+    sum.integrity = s->integrity();
     res.servers.push_back(std::move(sum));
   }
   if (cfg.trace) {

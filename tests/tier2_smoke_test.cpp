@@ -37,8 +37,9 @@ struct SmokePlan {
   ScenarioConfig cfg;
 };
 
-// The five plans: fault-free baseline, supervised crash storm, lossy RPC,
-// partition-and-heal, and an unsupervised crash recovered by replication.
+// The six plans: fault-free baseline, supervised crash storm, lossy RPC,
+// partition-and-heal, an unsupervised crash recovered by replication, and a
+// corruption storm repaired from buddy copies.
 std::vector<SmokePlan> smoke_plans() {
   std::vector<SmokePlan> plans;
 
@@ -93,6 +94,13 @@ std::vector<SmokePlan> smoke_plans() {
     p.cfg.plan.rules = {crash};
     plans.push_back(std::move(p));
   }
+  {
+    SmokePlan p{"corruption-storm", smoke_base()};
+    p.cfg.plan = chaos::corruption_storm_plan(
+        /*base_server=*/1, /*servers=*/4, /*start=*/seconds(10),
+        /*period=*/seconds(45), /*corruptions=*/3, p.cfg.seed);
+    plans.push_back(std::move(p));
+  }
   return plans;
 }
 
@@ -145,9 +153,9 @@ TEST(Tier2Smoke, OverloadShedsResolveByRetryWithinBudget) {
   }
 }
 
-TEST(Tier2Smoke, FivePlanSubsetSatisfiesAllInvariants) {
+TEST(Tier2Smoke, SixPlanSubsetSatisfiesAllInvariants) {
   const std::vector<SmokePlan> plans = smoke_plans();
-  ASSERT_EQ(plans.size(), 5u);
+  ASSERT_EQ(plans.size(), 6u);
 
   // The fault-free plan doubles as the INV4 reference for the rest.
   const ScenarioResult reference = run_elastic_mandelbulb(plans[0].cfg);
