@@ -8,6 +8,7 @@
 //   admin_cli set-weight <pipeline> <w>   # weight the pipeline's DRR share
 //   admin_cli show-quota                  # dump a server's quota document
 //   admin_cli show-integrity              # dump per-server integrity counters
+//   admin_cli show-viewers                # dump per-server viewer-tier stats
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -90,9 +91,27 @@ int run_verb(int argc, char** argv) {
       return;
     }
 
+    if (verb == "show-viewers") {
+      // Sessions / renders / cache hit rate per daemon, the way an operator
+      // would check whether a flash crowd of observers is being absorbed by
+      // the frame cache or forcing extra renders (docs/viewer.md).
+      for (net::ProcId s : servers) {
+        auto viewers = admin.get_viewers(s);
+        viewers.status().check();
+        std::printf("viewers on %s: %s\n", net::to_string(s).c_str(),
+                    viewers->dump().c_str());
+      }
+      return;
+    }
+
     std::fprintf(stderr,
-                 "unknown verb '%s' (set-weight | show-quota | "
-                 "show-integrity)\n",
+                 "unknown verb '%s'\nknown verbs:\n"
+                 "  set-weight <pipeline> <w>  weight the pipeline's DRR share\n"
+                 "  show-quota                 dump per-server quota documents\n"
+                 "  show-integrity             dump per-server integrity "
+                 "counters\n"
+                 "  show-viewers               dump per-server viewer-tier "
+                 "stats\n",
                  verb.c_str());
     rc = 2;
   });

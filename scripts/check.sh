@@ -12,12 +12,19 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$jobs"
 ctest --preset tier1
+# tier2-smoke includes the viewer fan-out plan (50k sessions, 16 views,
+# seeded churn waves) alongside the six chaos-plan scenarios.
 ctest --preset tier2-smoke
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$jobs"
   ctest --preset asan-tier1
+  # The viewer fan-out smoke again under ASan: the tier's fiber handoffs,
+  # frame cache eviction, and churn-time session teardown are exactly the
+  # lifetime bugs the sanitizer exists to catch (viewer_test itself is
+  # tier1 and already ran above).
+  ctest --preset asan-tier2-smoke -R ViewerFanOut
   # Cross-check the runtime fallback paths under the sanitizer: heap event
   # queue and scalar kernels must pass the same tier-1 suite (the default
   # run above already covers ladder + SIMD; perf_invariance_test pins that

@@ -6,6 +6,7 @@
 #include "common/json.hpp"
 #include "des/simulation.hpp"
 #include "flow/flow.hpp"
+#include "viewer/viewer.hpp"
 
 namespace colza::chaos {
 
@@ -22,6 +23,7 @@ bool is_message_rule(RuleKind k) noexcept {
     case RuleKind::partition:
     case RuleKind::crash:
     case RuleKind::shed:
+    case RuleKind::viewer_churn:
     case RuleKind::corrupt:  // the at==0 in-transit form is special-cased
       return false;          // in evaluate()
   }
@@ -38,6 +40,7 @@ RuleKind kind_from_string(const std::string& s) {
   if (s == "crash") return RuleKind::crash;
   if (s == "shed") return RuleKind::shed;
   if (s == "corrupt") return RuleKind::corrupt;
+  if (s == "viewer_churn") return RuleKind::viewer_churn;
   throw std::runtime_error("chaos: unknown rule kind '" + s + "'");
 }
 
@@ -106,6 +109,7 @@ std::string_view to_string(RuleKind k) noexcept {
     case RuleKind::crash: return "crash";
     case RuleKind::shed: return "shed";
     case RuleKind::corrupt: return "corrupt";
+    case RuleKind::viewer_churn: return "viewer_churn";
   }
   return "?";
 }
@@ -171,6 +175,10 @@ ChaosPlan ChaosPlan::from_json(std::string_view text) {
     } else if (rv.find("mode") != nullptr) {
       throw std::runtime_error("chaos: rule " + std::to_string(index) +
                                " has 'mode' but is not a corrupt rule");
+    }
+    if (r.kind == RuleKind::viewer_churn && r.target == 0) {
+      throw std::runtime_error("chaos: rule " + std::to_string(index) +
+                               " (viewer_churn) needs 'target'");
     }
     plan.rules.push_back(std::move(r));
   }
@@ -248,6 +256,30 @@ ChaosPlan overload_plan(net::ProcId base_server, std::size_t servers,
   return plan;
 }
 
+ChaosPlan viewer_churn_plan(net::ProcId base_server, std::size_t servers,
+                            des::Time start, des::Duration period,
+                            std::size_t churns, double fraction,
+                            std::uint64_t seed) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.rules.reserve(churns);
+  // Like overload_plan: the victim tiers come from a dedicated RNG seeded by
+  // the plan seed, so the plan itself is the replay artifact. The per-session
+  // drop coins are derived from the same seed at fire time.
+  Rng pick(seed);
+  for (std::size_t i = 0; i < churns; ++i) {
+    Rule r;
+    r.kind = RuleKind::viewer_churn;
+    r.target = base_server + static_cast<net::ProcId>(
+                                 pick.below(static_cast<std::uint64_t>(
+                                     servers == 0 ? 1 : servers)));
+    r.probability = fraction;
+    r.at = start + static_cast<des::Duration>(i) * period;
+    plan.rules.push_back(std::move(r));
+  }
+  return plan;
+}
+
 std::string InjectionRecord::to_string() const {
   std::ostringstream os;
   os << "t=" << time << " kind=" << chaos::to_string(kind) << " rule=" << rule
@@ -292,6 +324,9 @@ void ChaosEngine::attach(net::Network& net) {
         if (r.at != 0) {
           sim_->schedule_at(r.at, [this, i] { apply_corrupt(i); });
         }
+        break;
+      case RuleKind::viewer_churn:
+        sim_->schedule_at(r.at, [this, i] { apply_viewer_churn(i); });
         break;
       default:
         break;
@@ -393,6 +428,23 @@ void ChaosEngine::apply_corrupt(std::size_t rule) {
   // either way the corruption is committed, so it counts as landed.
   record(RuleKind::corrupt, rule, target, 0,
          static_cast<std::uint64_t>(r.corrupt_mode), res.bytes, 0);
+}
+
+void ChaosEngine::apply_viewer_churn(std::size_t rule) {
+  if (net_ == nullptr) return;
+  const Rule& r = plan_.rules[rule];
+  viewer::ViewerTier* tier = viewer::Registry::find(sim_, r.target);
+  if (tier == nullptr) {
+    // No tier on the target (down, or not a server): logged with delta=1 so
+    // the replay signature records the miss, like a corrupt that gave up.
+    record(RuleKind::viewer_churn, rule, r.target, 0, 0, 0, 1);
+    return;
+  }
+  // Per-session coin seed comes from the plan seed and rule index, not the
+  // shared per-message RNG: arming order must not perturb verdict draws.
+  const std::uint64_t pick = splitmix64(plan_.seed ^ splitmix64(rule + 1));
+  const std::size_t dropped = tier->churn(r.probability, pick);
+  record(RuleKind::viewer_churn, rule, r.target, 0, 0, dropped, 0);
 }
 
 void ChaosEngine::set_log_capacity(std::size_t cap) {

@@ -56,6 +56,11 @@ enum class RuleKind : std::uint8_t {
               // with box "rdma": XOR one seeded byte into matching
               // one-sided pulls while in flight. Checksums are never
               // updated to match -- that is the point.
+  viewer_churn,  // disconnect ~`probability` of the live viewer sessions on
+                 // the tier hosted by process `target` at `at` (each session
+                 // flips a seeded coin, so the drop set is deterministic).
+                 // Models observer flash crowds leaving: the tier must keep
+                 // serving survivors without perturbing the simulation.
 };
 
 [[nodiscard]] std::string_view to_string(RuleKind k) noexcept;
@@ -145,6 +150,18 @@ struct ChaosPlan {
                                               std::size_t corruptions,
                                               std::uint64_t seed);
 
+// A viewer-churn plan: one seeded churn wave every `period` starting at
+// `start`, each disconnecting ~`fraction` of the live viewer sessions on a
+// seeded pick among `servers` consecutive tier processes (base_server +
+// pick). The drop set within a wave is itself seeded per session, so the
+// whole storm replays bit-identically; the tier2 acceptance is that the
+// survivors keep receiving frames and the simulation timeline is unchanged.
+[[nodiscard]] ChaosPlan viewer_churn_plan(net::ProcId base_server,
+                                          std::size_t servers, des::Time start,
+                                          des::Duration period,
+                                          std::size_t churns, double fraction,
+                                          std::uint64_t seed);
+
 // One injected fault, stamped with the virtual time it was decided. The
 // concatenation of these records is the replay signature: two runs of the
 // same scenario + plan must produce identical logs.
@@ -160,6 +177,7 @@ struct InjectionRecord {
                               // corrupt: the seeded payload offset
   std::size_t bytes = 0;      // payload size (0 for scheduled rules)
                               // scheduled corrupt: bytes actually damaged
+                              // viewer_churn: sessions disconnected
   des::Duration delta = 0;    // extra delay applied (0 = drop/dup/scheduled)
                               // corrupt: XOR byte in transit; 1 = a scheduled
                               // rule that gave up (heal window closed empty)
@@ -231,6 +249,7 @@ class ChaosEngine final : public net::FaultInjector {
   void apply_crash(std::size_t rule);
   void apply_shed(std::size_t rule, bool on);
   void apply_corrupt(std::size_t rule);
+  void apply_viewer_churn(std::size_t rule);
   void record(RuleKind kind, std::size_t rule, net::ProcId src, net::ProcId dst,
               std::uint64_t tag, std::size_t bytes, des::Duration delta);
 

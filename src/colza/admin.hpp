@@ -83,6 +83,17 @@ class Admin {
     return json::parse(dump);
   }
 
+  // Fetches a server's viewer-tier document: live sessions, renders, frames
+  // and bytes delivered, skip counts, cache hit rate, and per-stream detail
+  // (docs/viewer.md).
+  Expected<json::Value> get_viewers(net::ProcId server) {
+    auto r = engine_->call_raw(server, "colza.admin.viewers", {});
+    if (!r.has_value()) return r.status();
+    std::string dump;
+    unpack(*r, dump);
+    return json::parse(dump);
+  }
+
   Expected<std::vector<std::string>> list_pipelines(net::ProcId server) {
     auto r = engine_->call_raw(server, "colza.admin.list_pipelines", {});
     if (!r.has_value()) return r.status();

@@ -20,6 +20,10 @@
 
 namespace colza {
 
+namespace render {
+struct FrameBuffer;
+}
+
 class Backend {
  public:
   // Everything a pipeline instance gets from its hosting provider.
@@ -53,6 +57,14 @@ class Backend {
   // per-iteration statistics (what external monitors / autoscalers read via
   // the colza.admin.stats RPC). Default: empty object.
   [[nodiscard]] virtual json::Value stats() const { return json::Object{}; }
+
+  // The most recently rendered framebuffer, for pipelines that produce one.
+  // The viewer delivery tier (src/viewer) snapshots it to serve observer
+  // fan-out; nullptr (the default) means this pipeline renders nothing and
+  // viewers of it receive no frames.
+  [[nodiscard]] virtual const render::FrameBuffer* rendered_frame() const {
+    return nullptr;
+  }
 
   // ---- data integrity (docs/PROTOCOL.md, integrity section) ---------------
   // Backends that hold staged payloads between stage() and execute() expose

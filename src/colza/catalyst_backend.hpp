@@ -63,6 +63,9 @@ class CatalystBackend final : public Backend {
   [[nodiscard]] const render::FrameBuffer& framebuffer() const noexcept {
     return fb_;
   }
+  [[nodiscard]] const render::FrameBuffer* rendered_frame() const override {
+    return &fb_;
+  }
   [[nodiscard]] const catalyst::PipelineScript& script() const noexcept {
     return script_;
   }

@@ -211,6 +211,15 @@ Status DistributedPipelineHandle::activate_impl(std::uint64_t iteration,
                          std::to_string(max_attempts) + " attempts");
 }
 
+// ------------------------------------------------------------------ steering
+
+Expected<std::vector<SteeringUpdate>>
+DistributedPipelineHandle::drain_steering(std::uint64_t iteration) {
+  if (viewer_tier_ == net::kInvalidProc) return std::vector<SteeringUpdate>{};
+  return client_->engine().call<std::vector<SteeringUpdate>>(
+      viewer_tier_, "colza.viewer.drain_steering", name_, iteration);
+}
+
 // ------------------------------------------------------------------ stage
 
 std::vector<net::ProcId> DistributedPipelineHandle::copyset_for(

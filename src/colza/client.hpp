@@ -129,6 +129,18 @@ class DistributedPipelineHandle {
   [[nodiscard]] std::vector<net::ProcId> copyset_for(
       std::uint64_t block_id) const;
 
+  // ---- viewer steering (docs/viewer.md) -----------------------------------
+  // Names the viewer tier (the process hosting it, usually a staging server)
+  // whose steering channel this simulation honors. kInvalidProc = none.
+  void set_viewer_tier(net::ProcId tier) noexcept { viewer_tier_ = tier; }
+  [[nodiscard]] net::ProcId viewer_tier() const noexcept {
+    return viewer_tier_;
+  }
+  // Iteration boundary: fetch the steering parameter updates queued at the
+  // tier for this pipeline, to fold into iteration `iteration` before it is
+  // computed. Empty when no tier is set or nothing was steered.
+  Expected<std::vector<SteeringUpdate>> drain_steering(std::uint64_t iteration);
+
   // ---- the protocol ------------------------------------------------------
   // Two-phase commit across all servers; retries with a refreshed view on
   // mismatch (bounded). On success the servers' membership is frozen and
@@ -211,6 +223,7 @@ class DistributedPipelineHandle {
   std::size_t replication_ = 2;
   FlowClientOptions flow_;
   flow::AimdWindow window_;
+  net::ProcId viewer_tier_ = net::kInvalidProc;
 };
 
 }  // namespace colza

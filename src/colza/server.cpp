@@ -57,7 +57,9 @@ Server::Server(net::Process& proc, ServerConfig config,
           proc, config_.profile, rpc::EngineConfig{config_.rpc_timeout})),
       mona_(std::make_unique<mona::Instance>(proc, config_.profile)),
       flow_(std::make_unique<flow::ServerFlow>(proc.sim(), proc.id(),
-                                               config_.flow)) {
+                                               config_.flow)),
+      viewer_(std::make_unique<viewer::ViewerTier>(proc, *engine_,
+                                                   config_.viewer)) {
   // Expose this daemon's stored bytes to the chaos layer's corrupt rules
   // (common/integrity.hpp explains why this goes through a registry).
   common::integrity::Registry::add(
@@ -117,6 +119,15 @@ Status Server::create_pipeline(const std::string& name,
   auto backend = BackendRegistry::create(type, std::move(ctx));
   if (!backend.has_value()) return backend.status();
   (*backend)->update_comm(service_comm_);
+  // The viewer tier snapshots this pipeline's framebuffer for fan-out. The
+  // producer runs on the tier's render fiber right after publish; pipelines
+  // that render nothing yield an empty image and viewers see no frames.
+  viewer_->set_producer(
+      name, [b = backend.value().get()](std::uint64_t, std::uint32_t, double) {
+        const render::FrameBuffer* fb = b->rendered_frame();
+        return fb != nullptr ? viewer::FrameImage::from(*fb)
+                             : viewer::FrameImage{};
+      });
   pipelines_.emplace(name,
                      PipelineEntry{type, std::move(backend.value())});
   // Loading a pipeline's shared library and constructing it is not free.
@@ -128,6 +139,7 @@ Status Server::destroy_pipeline(const std::string& name) {
   if (pipelines_.erase(name) == 0)
     return Status::NotFound("pipeline '" + name + "' does not exist");
   flow_->free_pipeline(name);  // its staged bytes no longer hold budget
+  viewer_->remove_producer(name);  // its frames can no longer be rendered
   return Status::Ok();
 }
 
@@ -701,8 +713,12 @@ void Server::install_handlers() {
       s = verify_and_repair(pipeline, p, iteration);
       if (!s.ok()) return s;
       s = p->execute(iteration);
-      if (s.code() != StatusCode::corrupt) return s;
+      if (s.code() != StatusCode::corrupt) break;
     }
+    // Fan the rendered result out to observers. publish() only appends and
+    // signals the tier's render fiber -- constant work, no charge, no
+    // blocking -- so viewers never perturb the execute path's timing.
+    if (s.ok()) viewer_->publish(pipeline, iteration);
     return s;
   });
 
@@ -874,6 +890,12 @@ void Server::install_handlers() {
                     doc.emplace("scrub_passes",
                                 static_cast<double>(integrity_.scrub_passes));
                     out.save(json::Value(std::move(doc)).dump());
+                    return Status::Ok();
+                  });
+
+  engine_->define("colza.admin.viewers",
+                  [this](const rpc::RequestInfo&, InArchive&, OutArchive& out) {
+                    out.save(viewer_->stats_json().dump());
                     return Status::Ok();
                   });
 

@@ -26,6 +26,7 @@
 #include "net/network.hpp"
 #include "rpc/engine.hpp"
 #include "ssg/ssg.hpp"
+#include "viewer/viewer.hpp"
 
 namespace colza {
 
@@ -45,6 +46,10 @@ struct ServerConfig {
   // divergent copies from buddies. 0 disables the scrubber; detection then
   // rests entirely on the execute-time verify.
   des::Duration scrub_interval = des::seconds(2);
+  // Viewer delivery tier (docs/viewer.md): every server hosts one; it is
+  // inert (two parked daemon fibers) until an observer connects. Rendered
+  // frames are published to it after each successful execute.
+  viewer::ViewerConfig viewer;
 };
 
 // Counters of the server-side integrity machinery, one instance per daemon
@@ -120,6 +125,9 @@ class Server {
   [[nodiscard]] const IntegrityStats& integrity() const noexcept {
     return integrity_;
   }
+
+  // The co-hosted viewer delivery tier (sessions, frame cache, steering).
+  [[nodiscard]] viewer::ViewerTier& viewer() noexcept { return *viewer_; }
 
   // Leaves the group and stops serving (deferred while iterations are
   // active). The underlying simulated process is killed once out.
@@ -200,6 +208,7 @@ class Server {
   std::unique_ptr<rpc::Engine> engine_;
   std::unique_ptr<mona::Instance> mona_;
   std::unique_ptr<flow::ServerFlow> flow_;
+  std::unique_ptr<viewer::ViewerTier> viewer_;
   std::unique_ptr<ssg::Group> group_;
   std::map<std::string, PipelineEntry> pipelines_;
 

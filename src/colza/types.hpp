@@ -43,6 +43,31 @@ struct StageMetadata {
   }
 };
 
+// One steering update flowing *back* from an observer into the simulation
+// (docs/viewer.md): either a camera retarget the viewer tier applies to one
+// of its camera presets, or a named simulation parameter the application
+// drains at its next iteration boundary (colza.viewer.drain_steering).
+// Updates are never applied mid-iteration: the tier queues them with a
+// deterministic virtual arrival timestamp and hands them out only when an
+// iteration boundary asks, so a steered run replays bit-identically from
+// the steering log.
+struct SteeringUpdate {
+  enum class Kind : std::uint8_t { camera = 0, parameter = 1 };
+
+  std::uint8_t kind = 0;            // Kind, as a wire byte
+  std::uint32_t camera = 0;         // camera: which preset to retarget
+  std::string name;                 // parameter: which simulation knob
+  double value = 0.0;               // new azimuth (camera) / knob value
+  std::uint64_t session = 0;        // originating viewer session (0 = admin)
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar & kind & camera & name & value & session;
+  }
+
+  [[nodiscard]] bool operator==(const SteeringUpdate&) const = default;
+};
+
 // A block after the server pulled it: what Backend::stage receives. Carries
 // the stage-time checksum and recorded copyset through to the backend's
 // stored form, so integrity scans can re-verify the bytes and repairs know

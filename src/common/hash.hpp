@@ -1,0 +1,67 @@
+// FNV-1a, the one non-cryptographic hash this codebase folds everything
+// through: rendered images (render::FrameBuffer::content_hash), chaos
+// injection-log digests, trace timelines, and the viewer tier's frame
+// hashes. One definition here so the constants cannot drift between copies.
+//
+// The seed is a parameter because two bases are live: kFnvOffsetBasis is
+// the standard 64-bit offset basis, and kFnvImageBasis is the (truncated)
+// basis the image hash has used since the first release -- changing it
+// would invalidate every recorded reference hash, so it is kept as an
+// explicit legacy seed instead of being silently "fixed".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace colza::common {
+
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+// Standard FNV-1a 64-bit offset basis (chaos digests, trace hashes, ...).
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ULL;
+// Legacy image-hash basis: the historical render::content_hash seed. Kept
+// bit-for-bit so reference image hashes recorded by earlier runs stay valid.
+inline constexpr std::uint64_t kFnvImageBasis = 1469598103934665603ULL;
+
+// One byte folded into a running FNV-1a state.
+[[nodiscard]] constexpr std::uint64_t fnv1a_byte(std::uint64_t h,
+                                                 std::uint8_t b) noexcept {
+  h ^= b;
+  h *= kFnvPrime;
+  return h;
+}
+
+// One whole 64-bit word folded in (the chaos-digest style: xor-then-multiply
+// per field, not per byte). Cheap and well-mixed for word-sized records.
+[[nodiscard]] constexpr std::uint64_t fnv1a_word(std::uint64_t h,
+                                                 std::uint64_t v) noexcept {
+  h ^= v;
+  h *= kFnvPrime;
+  return h;
+}
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_bytes(
+    std::span<const std::uint8_t> data,
+    std::uint64_t seed = kFnvOffsetBasis) noexcept {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) h = fnv1a_byte(h, b);
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(
+    std::span<const std::byte> data,
+    std::uint64_t seed = kFnvOffsetBasis) noexcept {
+  std::uint64_t h = seed;
+  for (std::byte b : data) h = fnv1a_byte(h, static_cast<std::uint8_t>(b));
+  return h;
+}
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_str(
+    std::string_view s, std::uint64_t seed = kFnvOffsetBasis) noexcept {
+  std::uint64_t h = seed;
+  for (char c : s) h = fnv1a_byte(h, static_cast<std::uint8_t>(c));
+  return h;
+}
+
+}  // namespace colza::common

@@ -45,9 +45,13 @@ class DrrQueue {
   explicit DrrQueue(std::uint64_t quantum_bytes) : quantum_(quantum_bytes) {}
 
   // Weights persist across idle periods (an empty tenant keeps its weight,
-  // not its deficit). w is clamped to >= 1 so every tenant makes progress.
+  // not its deficit). Weight 0 *pauses* the tenant: its items stay queued
+  // but pop() skips over them until the weight is raised again -- the knob
+  // behind "freeze this quality class" style controls. Callers that must
+  // guarantee progress for every tenant (the server's stage-grant queue)
+  // clamp to >= 1 themselves.
   void set_weight(const std::string& tenant, std::uint32_t w) {
-    tenants_[tenant].weight = w == 0 ? 1 : w;
+    tenants_[tenant].weight = w;
   }
 
   [[nodiscard]] std::uint32_t weight(const std::string& tenant) const {
@@ -73,6 +77,11 @@ class DrrQueue {
   // drained or the fair-next item does not fit the caller's budget.
   template <typename FitsFn, typename CanceledFn>
   std::optional<Item> pop(FitsFn&& fits, CanceledFn&& canceled) {
+    // Counts consecutive paused tenants skipped without serving anything:
+    // once it spans the whole ring, every backlogged tenant is paused and
+    // the queue is (for now) unservable. Reset whenever the ring shrinks or
+    // an unpaused tenant is reached, so a mixed ring still terminates.
+    std::size_t paused_streak = 0;
     while (!ring_.empty()) {
       Tenant& t = tenants_[ring_[cursor_]];
       while (!t.q.empty() && canceled(t.q.front().item)) {
@@ -80,8 +89,19 @@ class DrrQueue {
       }
       if (t.q.empty()) {
         retire_current(t);
+        paused_streak = 0;
         continue;
       }
+      if (t.weight == 0) {
+        // Paused: forfeit any banked deficit (symmetric with going idle)
+        // and move on without a top-up; the backlog waits in place.
+        t.deficit = 0;
+        if (++paused_streak >= ring_.size()) return std::nullopt;
+        cursor_ = (cursor_ + 1) % ring_.size();
+        fresh_visit_ = true;
+        continue;
+      }
+      paused_streak = 0;
       // One top-up at the start of each visit; the tenant then serves items
       // against that deficit across pops until it runs dry, at which point
       // the cursor moves on (the next round tops it up again). The deficit

@@ -259,7 +259,11 @@ void ServerFlow::free_pipeline(const std::string& pipeline) {
 }
 
 void ServerFlow::set_weight(const std::string& pipeline, std::uint32_t weight) {
-  queue_.set_weight(pipeline, weight);
+  // The stage-grant queue never pauses a pipeline: weight 0 would park its
+  // staged-byte grants forever (DrrQueue's pause semantics), and the admin
+  // RPC already rejects it -- clamp defensively so a direct caller cannot
+  // wedge the staging path either.
+  queue_.set_weight(pipeline, weight == 0 ? 1 : weight);
   weights_[pipeline] = weight == 0 ? 1 : weight;
 }
 

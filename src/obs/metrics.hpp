@@ -78,6 +78,37 @@ struct Histogram {
     }
     ++buckets[b];
   }
+
+  // Approximate quantile from the log2 buckets: walks to the bucket holding
+  // the q-th sample and interpolates linearly inside its [2^(b-1), 2^b)
+  // range, clamped to the recorded min/max. Accurate to one bucket (a factor
+  // of two) -- enough for the p50/p99 summary lines the stats documents
+  // carry without storing samples.
+  [[nodiscard]] double approx_quantile(double q) const noexcept {
+    if (count == 0) return 0.0;
+    const double lo_clamp = static_cast<double>(min);
+    const double hi_clamp = static_cast<double>(max);
+    if (q <= 0.0) return lo_clamp;
+    if (q >= 1.0) return hi_clamp;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      const std::uint64_t next = seen + buckets[b];
+      if (static_cast<double>(next) >= target) {
+        if (b == 0) return 0.0;
+        const double lo = static_cast<double>(std::uint64_t{1} << (b - 1));
+        const double hi = b >= 64 ? 18446744073709551616.0
+                                  : static_cast<double>(std::uint64_t{1} << b);
+        const double frac = (target - static_cast<double>(seen)) /
+                            static_cast<double>(buckets[b]);
+        const double v = lo + (hi - lo) * frac;
+        return v < lo_clamp ? lo_clamp : (v > hi_clamp ? hi_clamp : v);
+      }
+      seen = next;
+    }
+    return hi_clamp;
+  }
 };
 
 class MetricsRegistry {

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "common/hash.hpp"
+
 namespace colza::render {
 
 using vis::Vec3;
@@ -105,14 +107,15 @@ void FrameBuffer::write_ppm(const std::string& path, Vec3 background) const {
 }
 
 std::uint64_t FrameBuffer::content_hash() const {
-  std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint8_t b) {
-    h ^= b;
-    h *= 1099511628211ULL;
-  };
+  // Quantized-byte FNV over the color planes, seeded with the legacy image
+  // basis (common/hash.hpp) so reference hashes recorded by earlier runs
+  // stay valid. The viewer tier hashes its delivered RGBA8 frames with the
+  // same quantization, so a frame that round-trips the delivery codec hashes
+  // identically here and there.
+  std::uint64_t h = common::kFnvImageBasis;
   for (float v : rgba) {
-    const auto q = static_cast<std::uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f);
-    mix(q);
+    h = common::fnv1a_byte(
+        h, static_cast<std::uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f));
   }
   return h;
 }

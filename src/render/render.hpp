@@ -64,7 +64,8 @@ struct FrameBuffer {
   // Writes a binary PPM (color only, alpha composited over `background`).
   void write_ppm(const std::string& path,
                  vis::Vec3 background = {0.08f, 0.08f, 0.12f}) const;
-  // FNV hash of the color buffer -- used by tests to compare images.
+  // FNV-1a hash (common/hash.hpp, legacy image basis) of the quantized
+  // color buffer -- used by tests and the viewer tier to compare images.
   [[nodiscard]] std::uint64_t content_hash() const;
 };
 

@@ -1,0 +1,91 @@
+// Frame encoding for the viewer delivery tier (docs/viewer.md).
+//
+// A rendered render::FrameBuffer is quantized once into a FrameImage (RGBA8,
+// the same quantization content_hash() uses, so the image hash survives the
+// codec). Frames go on the wire as EncodedFrame in one of two forms:
+//
+//   * key:   the raw RGBA8 planes -- self-contained, what a fresh or
+//            fallen-behind viewer resynchronizes from;
+//   * delta: XOR against the stream's last keyframe, run-length encoded
+//            (repeat frames between keyframes are mostly zero after the XOR,
+//            so they cost a few bytes per changed pixel run).
+//
+// Every payload is CRC32C-protected (common/checksum.hpp) and carries the
+// decoded image's FNV hash, so a viewer detects both wire rot and a
+// delta applied against the wrong base.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "render/render.hpp"
+
+namespace colza::viewer {
+
+// A delivery-ready frame: RGBA8, row-major, premultiplied like the source
+// FrameBuffer. The hash is FNV-1a over the bytes with the legacy image basis
+// -- identical to FrameBuffer::content_hash() of the buffer it came from.
+struct FrameImage {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint8_t> rgba;  // 4 bytes per pixel
+
+  [[nodiscard]] static FrameImage from(const render::FrameBuffer& fb);
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+  [[nodiscard]] std::size_t bytes() const noexcept { return rgba.size(); }
+  [[nodiscard]] bool operator==(const FrameImage&) const = default;
+};
+
+enum class FrameKind : std::uint8_t { key = 0, delta = 1 };
+
+// Wire form of one delivered frame (PROTOCOL.md, colza.viewer.frame).
+struct EncodedFrame {
+  std::string pipeline;
+  std::uint32_t camera = 0;
+  std::uint64_t iteration = 0;
+  std::uint8_t kind = 0;             // FrameKind
+  std::uint64_t base_iteration = 0;  // delta: the keyframe it XORs against
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+  std::vector<std::uint8_t> payload;  // key: raw RGBA8; delta: XOR-RLE
+  std::uint32_t crc = 0;              // CRC32C of `payload`
+  std::uint64_t image_hash = 0;       // hash of the decoded FrameImage
+
+  template <typename Ar>
+  void serialize(Ar& ar) {
+    ar & pipeline & camera & iteration & kind & base_iteration & width &
+        height & payload & crc & image_hash;
+  }
+
+  // Approximate wire footprint: payload plus the fixed header fields. Used
+  // as the DRR byte cost of delivering this frame.
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return payload.size() + pipeline.size() + 64;
+  }
+};
+
+// Self-contained keyframe.
+[[nodiscard]] EncodedFrame encode_key(const std::string& pipeline,
+                                      std::uint32_t camera,
+                                      std::uint64_t iteration,
+                                      const FrameImage& img);
+
+// Delta frame: XOR-RLE of `img` against `base` (the keyframe image of
+// `base_iteration`). Dimensions must match; encode_key is the fallback when
+// they do not.
+[[nodiscard]] EncodedFrame encode_delta(const std::string& pipeline,
+                                        std::uint32_t camera,
+                                        std::uint64_t iteration,
+                                        const FrameImage& img,
+                                        std::uint64_t base_iteration,
+                                        const FrameImage& base);
+
+// Decodes a frame back into an image. `base` is required (and consulted)
+// only for delta frames; pass nullptr for keyframes. Verifies the payload
+// CRC and the decoded image hash: Corrupt on either mismatch,
+// FailedPrecondition when a delta's base is missing or mismatched.
+[[nodiscard]] Expected<FrameImage> decode(const EncodedFrame& frame,
+                                          const FrameImage* base);
+
+}  // namespace colza::viewer

@@ -1,0 +1,117 @@
+#include "viewer/steering.hpp"
+
+#include <stdexcept>
+
+#include "common/hash.hpp"
+#include "common/json.hpp"
+
+namespace colza::viewer {
+
+namespace {
+
+constexpr const char* kRecordKeys[] = {
+    "seq", "pipeline", "queued_at_us", "iteration", "kind", "camera", "name",
+    "value", "session",
+};
+
+bool known_record_key(const std::string& key) {
+  for (const char* k : kRecordKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void SteeringLog::append(SteeringRecord rec) {
+  digest_ = common::fnv1a_word(digest_, rec.seq);
+  digest_ = common::fnv1a_str(rec.pipeline, digest_);
+  digest_ = common::fnv1a_word(digest_, static_cast<std::uint64_t>(rec.queued_at));
+  digest_ = common::fnv1a_word(digest_, rec.applied_iteration);
+  digest_ = common::fnv1a_word(digest_, rec.update.kind);
+  digest_ = common::fnv1a_word(digest_, rec.update.camera);
+  digest_ = common::fnv1a_str(rec.update.name, digest_);
+  digest_ = common::fnv1a_word(
+      digest_, static_cast<std::uint64_t>(rec.update.value * 1e6));
+  digest_ = common::fnv1a_word(digest_, rec.update.session);
+  records_.push_back(std::move(rec));
+}
+
+std::vector<SteeringRecord> SteeringLog::at_iteration(
+    std::uint64_t iteration) const {
+  std::vector<SteeringRecord> out;
+  for (const SteeringRecord& r : records_) {
+    if (r.applied_iteration == iteration) out.push_back(r);
+  }
+  return out;
+}
+
+std::string SteeringLog::to_json() const {
+  json::Array arr;
+  for (const SteeringRecord& r : records_) {
+    json::Object o;
+    o.emplace("seq", static_cast<double>(r.seq));
+    o.emplace("pipeline", r.pipeline);
+    o.emplace("queued_at_us", static_cast<double>(r.queued_at) / 1000.0);
+    o.emplace("iteration", static_cast<double>(r.applied_iteration));
+    o.emplace("kind", static_cast<double>(r.update.kind));
+    o.emplace("camera", static_cast<double>(r.update.camera));
+    o.emplace("name", r.update.name);
+    o.emplace("value", r.update.value);
+    o.emplace("session", static_cast<double>(r.update.session));
+    arr.emplace_back(std::move(o));
+  }
+  json::Object root;
+  root.emplace("records", std::move(arr));
+  return json::Value(std::move(root)).dump();
+}
+
+SteeringLog SteeringLog::from_json(std::string_view text) {
+  const json::Value root = json::parse(text);
+  if (!root.is_object()) {
+    throw std::runtime_error("steering log: must be a JSON object");
+  }
+  for (const auto& [key, value] : root.as_object()) {
+    if (key != "records") {
+      throw std::runtime_error("steering log: unknown key '" + key + "'");
+    }
+  }
+  SteeringLog log;
+  const json::Value* records = root.find("records");
+  if (records == nullptr) return log;
+  if (!records->is_array()) {
+    throw std::runtime_error("steering log: 'records' must be an array");
+  }
+  std::size_t index = 0;
+  for (const json::Value& rv : records->as_array()) {
+    if (!rv.is_object()) {
+      throw std::runtime_error("steering log: record " +
+                               std::to_string(index) + " is not an object");
+    }
+    for (const auto& [key, value] : rv.as_object()) {
+      if (!known_record_key(key)) {
+        throw std::runtime_error("steering log: record " +
+                                 std::to_string(index) + " has unknown key '" +
+                                 key + "'");
+      }
+    }
+    SteeringRecord r;
+    r.seq = static_cast<std::uint64_t>(rv.number_or("seq", 0.0));
+    r.pipeline = rv.string_or("pipeline", "");
+    r.queued_at =
+        static_cast<des::Time>(rv.number_or("queued_at_us", 0.0) * 1000.0);
+    r.applied_iteration =
+        static_cast<std::uint64_t>(rv.number_or("iteration", 0.0));
+    r.update.kind = static_cast<std::uint8_t>(rv.number_or("kind", 0.0));
+    r.update.camera = static_cast<std::uint32_t>(rv.number_or("camera", 0.0));
+    r.update.name = rv.string_or("name", "");
+    r.update.value = rv.number_or("value", 0.0);
+    r.update.session =
+        static_cast<std::uint64_t>(rv.number_or("session", 0.0));
+    log.append(std::move(r));
+    ++index;
+  }
+  return log;
+}
+
+}  // namespace colza::viewer

@@ -1,0 +1,68 @@
+// The steering channel's replay artifact (docs/viewer.md).
+//
+// Every steering update a viewer submits is queued at the tier with a
+// deterministic virtual arrival timestamp and applied only at an iteration
+// boundary. The SteeringLog records, in application order, which update was
+// applied at which iteration -- concatenated through an FNV digest, it is
+// the bit-identical replay signature: feed the same log back through
+// ViewerTier::load_replay() (or apply the parameter records at the same
+// iteration boundaries) and the run reproduces the same frames, hashes and
+// timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "colza/types.hpp"
+#include "des/time.hpp"
+
+namespace colza::viewer {
+
+// One applied steering update. `queued_at` is the virtual time the update
+// arrived at the tier; `applied_iteration` the boundary it took effect at.
+struct SteeringRecord {
+  std::uint64_t seq = 0;  // tier-assigned, application order
+  std::string pipeline;   // the pipeline the update targeted
+  des::Time queued_at = 0;
+  std::uint64_t applied_iteration = 0;
+  SteeringUpdate update;
+
+  [[nodiscard]] bool operator==(const SteeringRecord&) const = default;
+};
+
+class SteeringLog {
+ public:
+  void append(SteeringRecord rec);
+
+  [[nodiscard]] const std::vector<SteeringRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  // FNV-1a over every field of every record, in append order: two runs with
+  // equal digests applied the same steering at the same iterations and
+  // virtual times.
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+  // The records applied at exactly `iteration`, in seq order.
+  [[nodiscard]] std::vector<SteeringRecord> at_iteration(
+      std::uint64_t iteration) const;
+
+  // JSON round-trip for file-driven replay (strict: unknown keys throw,
+  // mirroring the chaos plan loader -- a typoed key silently dropping a
+  // steering update would make a replay quietly diverge).
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static SteeringLog from_json(std::string_view text);
+
+  [[nodiscard]] bool operator==(const SteeringLog& other) const {
+    return records_ == other.records_;
+  }
+
+ private:
+  std::vector<SteeringRecord> records_;
+  std::uint64_t digest_ = 14695981039346656037ULL;  // FNV-1a offset basis
+};
+
+}  // namespace colza::viewer

@@ -26,6 +26,7 @@
 #include "render/render.hpp"
 #include "vis/communicator.hpp"
 #include "vis/filters.hpp"
+#include "viewer/viewer.hpp"
 
 namespace colza {
 namespace {
@@ -344,6 +345,121 @@ TEST(Determinism, TracingDoesNotPerturbTimeline) {
   EXPECT_EQ(testing::reference_hashes(off), testing::reference_hashes(on));
   EXPECT_EQ(off.trace_hash, 0u);
   EXPECT_NE(on.trace_hash, 0u);
+}
+
+// Viewer neutrality: a run with 50 observer sessions per server -- including
+// a pathologically starved quality class that keeps hitting the skip path --
+// must not move a single virtual timestamp of the simulation loop. The tier
+// renders and fans out on its own fibers; publish() is the only touchpoint
+// on the execute path and it only queues.
+TEST(Determinism, ViewerFanOutDoesNotPerturbSimulationTimeline) {
+  testing::ScenarioConfig cfg;
+  cfg.seed = 505;
+  cfg.servers = 3;
+  cfg.iterations = 4;
+  cfg.compute_between = des::seconds(5);
+
+  testing::ScenarioConfig watched = cfg;
+  watched.viewer_sessions = 50;
+  watched.viewer_cameras = 4;
+
+  const testing::ScenarioResult off = testing::run_elastic_mandelbulb(cfg);
+  const testing::ScenarioResult on = testing::run_elastic_mandelbulb(watched);
+
+  ASSERT_TRUE(off.client_done);
+  ASSERT_TRUE(on.client_done);
+  ASSERT_EQ(off.iterations.size(), on.iterations.size());
+  for (std::size_t i = 0; i < off.iterations.size(); ++i) {
+    EXPECT_EQ(off.iterations[i].started, on.iterations[i].started)
+        << "iteration " << i;
+    EXPECT_EQ(off.iterations[i].finished, on.iterations[i].finished)
+        << "iteration " << i;
+  }
+  EXPECT_EQ(testing::reference_hashes(off), testing::reference_hashes(on));
+
+  // The inert run served nobody; the watched run really fanned out, really
+  // backpressured its starved sessions, and stayed single-flight: at most
+  // one render per (server, camera, iteration).
+  EXPECT_EQ(off.viewer_frames, 0u);
+  EXPECT_GT(on.viewer_frames, 0u);
+  EXPECT_GT(on.viewer_skips, 0u);
+  EXPECT_GT(on.viewer_renders, 0u);
+  EXPECT_LE(on.viewer_renders, static_cast<std::uint64_t>(cfg.servers) *
+                                   watched.viewer_cameras * cfg.iterations);
+}
+
+// Steering determinism: a live steered viewer run, a second identical live
+// run, and a replay of the first run's steering log must agree on the
+// steering log digest, every rendered frame hash, the end-of-run clock and
+// the event count -- the log is a complete replay artifact.
+TEST(Determinism, SteeredViewerReplayIsBitIdentical) {
+  struct ViewerRun {
+    des::Time end_time = 0;
+    std::uint64_t events = 0;
+    std::vector<std::uint64_t> frame_hashes;
+    viewer::SteeringLog log;
+  };
+  auto run = [](const viewer::SteeringLog* replay) {
+    ViewerRun rec;
+    des::Simulation sim;
+    net::Network net(sim);
+    auto& proc = net.create_process(1);
+    rpc::Engine engine(proc, net::Profile::mona());
+    viewer::ViewerTier tier(proc, engine);
+    tier.set_producer("render", [&rec](std::uint64_t it, std::uint32_t cam,
+                                       double param) {
+      viewer::FrameImage img;
+      img.width = img.height = 8;
+      img.rgba.resize(8 * 8 * 4);
+      std::uint64_t x = it * 7919 + cam * 31 +
+                        static_cast<std::uint64_t>(param * 1e6) + 1;
+      for (auto& b : img.rgba) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        b = static_cast<std::uint8_t>(x >> 56);
+      }
+      rec.frame_hashes.push_back(img.hash());
+      return img;
+    });
+    if (replay != nullptr) tier.load_replay(*replay);
+    proc.spawn("steered-run", [&, replay] {
+      const std::uint64_t id = tier.connect(0);
+      tier.subscribe(id, "render", 0).check();
+      for (std::uint64_t it = 1; it <= 5; ++it) {
+        if (replay == nullptr && (it == 2 || it == 4)) {
+          SteeringUpdate cam;
+          cam.kind = static_cast<std::uint8_t>(SteeringUpdate::Kind::camera);
+          cam.value = 0.1 * static_cast<double>(it);
+          cam.session = id;
+          tier.steer("render", cam);
+        }
+        tier.publish("render", it);
+        sim.sleep_for(des::milliseconds(50));
+      }
+      tier.quiesce();
+    });
+    sim.run();
+    rec.end_time = sim.now();
+    rec.events = sim.events_processed();
+    rec.log = tier.steering_log();
+    return rec;
+  };
+
+  const ViewerRun a = run(nullptr);
+  const ViewerRun b = run(nullptr);
+  const ViewerRun r = run(&a.log);
+
+  ASSERT_EQ(a.log.size(), 2u);
+  EXPECT_EQ(a.log.digest(), b.log.digest());
+  EXPECT_EQ(a.frame_hashes, b.frame_hashes);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.events, b.events);
+  // The replay applied no live steering at all, yet rebuilt the same log
+  // and rendered the same pixels on the same virtual timeline.
+  EXPECT_EQ(r.log.digest(), a.log.digest());
+  EXPECT_TRUE(r.log == a.log);
+  EXPECT_EQ(r.frame_hashes, a.frame_hashes);
+  EXPECT_EQ(r.end_time, a.end_time);
+  EXPECT_EQ(r.events, a.events);
 }
 
 }  // namespace

@@ -86,6 +86,52 @@ TEST(Drr, BudgetHeadOfLineBlocksWithoutLosingDeficit) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(Drr, ZeroWeightTenantIsPausedInPlace) {
+  flow::DrrQueue<int> q(/*quantum=*/1000);
+  q.set_weight("paused", 0);
+  q.set_weight("live", 1);
+  q.push("paused", 1, 100);
+  q.push("paused", 2, 100);
+  q.push("live", 3, 100);
+  auto open = [](std::uint64_t) { return true; };
+  auto never = [](int) { return false; };
+  // The live tenant drains; the paused tenant is skipped, not served and
+  // not dropped -- its items stay queued in arrival order.
+  auto item = q.pop(open, never);
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 3);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(q.pop(open, never).has_value());
+  }
+  EXPECT_EQ(q.queued_items(), 2u);
+  // Resuming serves the held items in their original order.
+  q.set_weight("paused", 2);
+  item = q.pop(open, never);
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 1);
+  item = q.pop(open, never);
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Drr, AllTenantsPausedPopsNothing) {
+  flow::DrrQueue<int> q(/*quantum=*/1000);
+  q.set_weight("a", 0);
+  q.set_weight("b", 0);
+  q.push("a", 1, 100);
+  q.push("b", 2, 100);
+  auto open = [](std::uint64_t) { return true; };
+  auto never = [](int) { return false; };
+  // No live tenant anywhere: pop must terminate (not spin) and report empty
+  // service while both backlogs survive intact.
+  EXPECT_FALSE(q.pop(open, never).has_value());
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.queued_items(), 2u);
+  q.set_weight("a", 1);
+  ASSERT_TRUE(q.pop(open, never).has_value());
+}
+
 TEST(Drr, CanceledEntriesAreDropped) {
   flow::DrrQueue<int> q(/*quantum=*/1000);
   q.push("a", 1, 100);

@@ -89,6 +89,12 @@ struct ScenarioConfig {
   // Server-side integrity scrubber cadence (0 disables); the default matches
   // ServerConfig::scrub_interval.
   des::Duration scrub_interval = des::seconds(2);
+  // Local viewer sessions connected to every server's viewer tier (spread
+  // over `viewer_cameras` camera presets, cycling the quality classes).
+  // 0 keeps the tier inert -- the neutrality check compares a viewer-heavy
+  // run's timeline against an inert one.
+  std::size_t viewer_sessions = 0;
+  std::uint32_t viewer_cameras = 4;
 };
 
 struct IterationOutcome {
@@ -127,6 +133,11 @@ struct ScenarioResult {
   SupervisorStats supervisor;    // zero when cfg.supervisor is false
   std::uint64_t trace_hash = 0;  // timeline hash when cfg.trace is set
   std::uint64_t events_processed = 0;  // DES events over the whole scenario
+  // Viewer-tier totals summed over the servers alive at the end (all zero
+  // when cfg.viewer_sessions == 0 and nothing subscribed).
+  std::uint64_t viewer_renders = 0;
+  std::uint64_t viewer_frames = 0;
+  std::uint64_t viewer_skips = 0;
 };
 
 inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
@@ -146,6 +157,15 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
   scfg.init_cost = des::milliseconds(10);
   scfg.flow = cfg.flow;
   scfg.scrub_interval = cfg.scrub_interval;
+  // Viewer quality classes: two healthy tiers plus a pathologically starved
+  // one (1 B/s, 100-byte bucket), so every third session exercises the
+  // skip-to-latest backpressure path while the simulation timeline -- the
+  // neutrality invariant -- must not move.
+  scfg.viewer.classes = {
+      {"gold", 4, 400ull << 20, 4ull << 20},
+      {"silver", 2, 100ull << 20, 1ull << 20},
+      {"dialup", 1, 1, 100},
+  };
   LaunchModel instant{des::milliseconds(10), 0.0, des::milliseconds(10)};
   StagingArea area(net, scfg, instant, cfg.seed);
   area.launch_initial(cfg.servers, /*base_node=*/100);
@@ -155,6 +175,22 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
       R"({"preset":"mandelbulb","width":32,"height":32})";
   for (const auto& s : area.servers()) {
     s->create_pipeline("render", "catalyst", pipeline_json).check();
+  }
+  if (cfg.viewer_sessions > 0) {
+    // Observer fan-out: local accounting-only sessions (remote=kInvalidProc),
+    // so the fabric carries no viewer traffic and the neutrality comparison
+    // isolates the tier's own fibers.
+    for (const auto& s : area.servers()) {
+      viewer::ViewerTier& tier = s->viewer();
+      for (std::size_t i = 0; i < cfg.viewer_sessions; ++i) {
+        const std::uint64_t id =
+            tier.connect(static_cast<std::uint32_t>(i % 3));
+        tier.subscribe(id, "render",
+                       static_cast<std::uint32_t>(
+                           i % std::max<std::uint32_t>(1, cfg.viewer_cameras)))
+            .check();
+      }
+    }
   }
   std::unique_ptr<Supervisor> supervisor;
   if (cfg.supervisor) {
@@ -271,6 +307,11 @@ inline ScenarioResult run_elastic_mandelbulb(const ScenarioConfig& cfg) {
     sum.peak_staged_bytes = s->flow().peak_staged_bytes();
     sum.flow_sheds = s->flow().sheds_total();
     sum.integrity = s->integrity();
+    if (s->alive()) {
+      res.viewer_renders += s->viewer().renders_total();
+      res.viewer_frames += s->viewer().frames_delivered();
+      res.viewer_skips += s->viewer().skips_total();
+    }
     res.servers.push_back(std::move(sum));
   }
   if (cfg.trace) {

@@ -12,6 +12,7 @@
 
 #include "chaos/chaos.hpp"
 #include "invariants.hpp"
+#include "viewer/viewer.hpp"
 
 namespace colza::testing {
 namespace {
@@ -151,6 +152,79 @@ TEST(Tier2Smoke, OverloadShedsResolveByRetryWithinBudget) {
     EXPECT_GT(s.peak_staged_bytes, 0u);
     EXPECT_LE(s.peak_staged_bytes, cfg.flow.budget_bytes);
   }
+}
+
+// Viewer fan-out under churn (docs/viewer.md): 50k observer sessions over 16
+// camera views on one tier, with three seeded churn waves disconnecting ~20%
+// of the survivors each. Acceptance: the tier renders each (iteration, view)
+// exactly once no matter how many sessions watch (single-flight), the frame
+// cache absorbs the fan-out (hit rate >= 95%), every churn wave lands and is
+// recorded in the chaos log, and the publisher's own virtual timeline is
+// exactly its sleeps -- the fan-out never backpressures upstream.
+TEST(Tier2Smoke, ViewerFanOutSurvivesChurnWithHotCache) {
+  constexpr std::size_t kSessions = 50'000;
+  constexpr std::uint32_t kViews = 16;
+  constexpr std::uint64_t kIterations = 5;
+
+  des::Simulation sim;
+  net::Network net(sim);
+  auto& proc = net.create_process(1);
+  rpc::Engine engine(proc, net::Profile::mona());
+  viewer::ViewerTier tier(proc, engine);
+  tier.set_producer("sim", [](std::uint64_t it, std::uint32_t cam, double) {
+    viewer::FrameImage img;
+    img.width = img.height = 16;
+    img.rgba.resize(16 * 16 * 4);
+    std::uint64_t x = it * 1000003 + cam + 1;
+    for (auto& b : img.rgba) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      b = static_cast<std::uint8_t>(x >> 56);
+    }
+    return img;
+  });
+
+  chaos::ChaosPlan plan = chaos::viewer_churn_plan(
+      /*base_server=*/proc.id(), /*servers=*/1, /*start=*/seconds(1),
+      /*period=*/seconds(1), /*churns=*/3, /*fraction=*/0.2, /*seed=*/99);
+  chaos::ChaosEngine chaos_engine(plan);
+  chaos_engine.attach(net);
+
+  proc.spawn("flash-crowd", [&] {
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      const std::uint64_t id =
+          tier.connect(static_cast<std::uint32_t>(i % 3));
+      tier.subscribe(id, "sim", static_cast<std::uint32_t>(i % kViews))
+          .check();
+    }
+    const des::Time started = sim.now();
+    for (std::uint64_t it = 1; it <= kIterations; ++it) {
+      tier.publish("sim", it);
+      sim.sleep_for(seconds(1));
+    }
+    // publish() never charges or blocks: the producer-side clock advanced by
+    // exactly its own sleeps, independent of 50k consumers and the churn.
+    EXPECT_EQ(sim.now(), started + kIterations * seconds(1));
+    tier.quiesce();
+
+    EXPECT_EQ(tier.renders_total(), kIterations * kViews);
+    EXPECT_GE(tier.cache_hit_rate(), 0.95);
+    EXPECT_LT(tier.sessions(), kSessions);  // churn really dropped viewers
+    EXPECT_GT(tier.sessions(), kSessions / 3);
+    EXPECT_GT(tier.frames_delivered(), static_cast<std::uint64_t>(kSessions));
+  });
+  sim.run();
+
+  std::size_t churn_records = 0;
+  std::uint64_t churned_sessions = 0;
+  for (const auto& rec : chaos_engine.log()) {
+    if (rec.kind != chaos::RuleKind::viewer_churn) continue;
+    ++churn_records;
+    churned_sessions += rec.bytes;
+    EXPECT_EQ(rec.delta, 0) << "churn wave missed its tier";
+  }
+  EXPECT_EQ(churn_records, 3u);
+  EXPECT_GT(churned_sessions, 0u);
+  chaos_engine.detach();
 }
 
 TEST(Tier2Smoke, SixPlanSubsetSatisfiesAllInvariants) {
