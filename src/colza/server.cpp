@@ -118,18 +118,23 @@ Status Server::create_pipeline(const std::string& name,
   }
   auto backend = BackendRegistry::create(type, std::move(ctx));
   if (!backend.has_value()) return backend.status();
-  (*backend)->update_comm(service_comm_);
+  std::shared_ptr<Backend> shared = std::move(backend.value());
+  shared->update_comm(service_comm_);
   // The viewer tier snapshots this pipeline's framebuffer for fan-out. The
   // producer runs on the tier's render fiber right after publish; pipelines
   // that render nothing yield an empty image and viewers see no frames.
+  // Captured weak: the render fiber pops the producer and then yields on its
+  // modeled render charge, and destroy_pipeline can free the backend inside
+  // that window -- an expired lock serves an empty image instead.
   viewer_->set_producer(
-      name, [b = backend.value().get()](std::uint64_t, std::uint32_t, double) {
-        const render::FrameBuffer* fb = b->rendered_frame();
+      name, [w = std::weak_ptr<Backend>(shared)](std::uint64_t, std::uint32_t,
+                                                 double) {
+        const std::shared_ptr<Backend> b = w.lock();
+        const render::FrameBuffer* fb = b ? b->rendered_frame() : nullptr;
         return fb != nullptr ? viewer::FrameImage::from(*fb)
                              : viewer::FrameImage{};
       });
-  pipelines_.emplace(name,
-                     PipelineEntry{type, std::move(backend.value())});
+  pipelines_.emplace(name, PipelineEntry{type, std::move(shared)});
   // Loading a pipeline's shared library and constructing it is not free.
   if (proc_->sim().in_fiber()) proc_->sim().charge(des::milliseconds(150));
   return Status::Ok();

@@ -149,7 +149,10 @@ class Server {
 
   struct PipelineEntry {
     std::string type;
-    std::unique_ptr<Backend> backend;
+    // Shared, not unique: the viewer tier's producer holds a weak_ptr, so a
+    // render already popped off the tier's queue when destroy_pipeline runs
+    // observes the teardown instead of touching a freed backend.
+    std::shared_ptr<Backend> backend;
   };
 
   // A buddy copy of a staged block (replica_rank > 0). Replicas live at the

@@ -144,8 +144,13 @@ Expected<FrameImage> decode(const EncodedFrame& frame, const FrameImage* base) {
     while (cursor < in.size()) {
       std::uint64_t zeros = 0;
       std::uint64_t lit = 0;
+      // Subtraction-form bounds checks: `zeros` and `lit` come off the wire,
+      // so sum-form checks (out + zeros + lit > n) could wrap uint64 and let
+      // a crafted frame (valid CRC -- it covers the payload itself) write far
+      // past the image buffer.
       if (!get_varint(in, cursor, zeros) || !get_varint(in, cursor, lit) ||
-          out + zeros + lit > n || cursor + lit > in.size()) {
+          zeros > n - out || lit > (n - out) - zeros ||
+          lit > in.size() - cursor) {
         return Status::Corrupt("viewer delta frame RLE stream malformed");
       }
       out += zeros;

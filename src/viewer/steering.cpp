@@ -10,7 +10,7 @@ namespace colza::viewer {
 namespace {
 
 constexpr const char* kRecordKeys[] = {
-    "seq", "pipeline", "queued_at_us", "iteration", "kind", "camera", "name",
+    "seq", "pipeline", "queued_at_ns", "iteration", "kind", "camera", "name",
     "value", "session",
 };
 
@@ -31,8 +31,12 @@ void SteeringLog::append(SteeringRecord rec) {
   digest_ = common::fnv1a_word(digest_, rec.update.kind);
   digest_ = common::fnv1a_word(digest_, rec.update.camera);
   digest_ = common::fnv1a_str(rec.update.name, digest_);
+  // Quantized through int64 first: a direct double->uint64 cast is UB for
+  // negative values (steered azimuths can be negative), which would make the
+  // digest implementation-defined.
   digest_ = common::fnv1a_word(
-      digest_, static_cast<std::uint64_t>(rec.update.value * 1e6));
+      digest_, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(rec.update.value * 1e6)));
   digest_ = common::fnv1a_word(digest_, rec.update.session);
   records_.push_back(std::move(rec));
 }
@@ -52,7 +56,10 @@ std::string SteeringLog::to_json() const {
     json::Object o;
     o.emplace("seq", static_cast<double>(r.seq));
     o.emplace("pipeline", r.pipeline);
-    o.emplace("queued_at_us", static_cast<double>(r.queued_at) / 1000.0);
+    // Integer nanoseconds: a /1000.0 microsecond form would truncate on the
+    // way back in and rebuild a different replay digest. Doubles hold ns
+    // exactly through 2^53 and the dump prints %.17g, so this round-trips.
+    o.emplace("queued_at_ns", static_cast<double>(r.queued_at));
     o.emplace("iteration", static_cast<double>(r.applied_iteration));
     o.emplace("kind", static_cast<double>(r.update.kind));
     o.emplace("camera", static_cast<double>(r.update.camera));
@@ -98,8 +105,7 @@ SteeringLog SteeringLog::from_json(std::string_view text) {
     SteeringRecord r;
     r.seq = static_cast<std::uint64_t>(rv.number_or("seq", 0.0));
     r.pipeline = rv.string_or("pipeline", "");
-    r.queued_at =
-        static_cast<des::Time>(rv.number_or("queued_at_us", 0.0) * 1000.0);
+    r.queued_at = static_cast<des::Time>(rv.number_or("queued_at_ns", 0.0));
     r.applied_iteration =
         static_cast<std::uint64_t>(rv.number_or("iteration", 0.0));
     r.update.kind = static_cast<std::uint8_t>(rv.number_or("kind", 0.0));

@@ -60,6 +60,8 @@ ViewerTier::ViewerTier(net::Process& proc, rpc::Engine& engine,
     : proc_(&proc),
       engine_(&engine),
       config_(std::move(config)),
+      frame_bytes_metric_("viewer.frame_bytes.p" +
+                          std::to_string(proc.id())),
       mu_(proc.sim()),
       render_cv_(proc.sim()),
       pump_cv_(proc.sim()),
@@ -489,7 +491,7 @@ void ViewerTier::deliver(const DeliveryItem& item) {
   // Wire-size distribution: what the delta codec actually ships per frame
   // (stats_json summarizes it as p50/p99). Recorded before the charge --
   // the `frames` pointers die across the yield.
-  auto& hist = obs::MetricsRegistry::global().histogram("viewer.frame_bytes");
+  auto& hist = obs::MetricsRegistry::global().histogram(frame_bytes_metric_);
   for (const EncodedFrame* f : frames) hist.record(f->wire_bytes());
   const net::ProcId remote = s.remote;
   proc_->sim().charge(config_.deliver_cost * n);
@@ -529,7 +531,7 @@ json::Value ViewerTier::stats_json() const {
   root.emplace("cache_hit_rate", cache_hit_rate());
   root.emplace("steering_records", static_cast<double>(log_.size()));
   if (const obs::Histogram* h =
-          obs::MetricsRegistry::global().find_histogram("viewer.frame_bytes");
+          obs::MetricsRegistry::global().find_histogram(frame_bytes_metric_);
       h != nullptr && h->count > 0) {
     root.emplace("frame_bytes_p50", h->approx_quantile(0.5));
     root.emplace("frame_bytes_p99", h->approx_quantile(0.99));

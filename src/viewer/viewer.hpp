@@ -163,6 +163,13 @@ class ViewerTier {
   }
   [[nodiscard]] json::Value stats_json() const;
 
+  // Registry name of this tier's wire-size histogram. Keyed by proc id so
+  // several tiers in one process keep separate distributions; stats_json()
+  // summarizes this histogram, not a merged process-global one.
+  [[nodiscard]] const std::string& frame_bytes_metric() const noexcept {
+    return frame_bytes_metric_;
+  }
+
   // Pauses/resumes a whole quality class (DRR weight; 0 = paused).
   void set_class_weight(const std::string& cls, std::uint32_t weight);
 
@@ -233,6 +240,7 @@ class ViewerTier {
   net::Process* proc_;
   rpc::Engine* engine_;
   ViewerConfig config_;
+  std::string frame_bytes_metric_;
   des::Mutex mu_;
   des::CondVar render_cv_;
   des::CondVar pump_cv_;

@@ -271,6 +271,36 @@ TEST(Colza, AdminCreateListDestroy) {
   w.sim.run();
 }
 
+// Regression: destroy a pipeline while its viewer render is in flight. The
+// tier's render fiber pops the producer and then yields on the modeled
+// render charge; destroy_pipeline lands inside that window and frees the
+// backend. The producer holds only a weak_ptr, so the already-popped render
+// serves an empty frame instead of calling into freed memory.
+TEST(Colza, DestroyPipelineDuringInFlightRender) {
+  ColzaWorld w(2);
+  w.create_everywhere("pipe", "recording");
+  Server* srv = nullptr;
+  for (const auto& s : w.area->servers()) {
+    if (s->alive()) {
+      srv = s.get();
+      break;
+    }
+  }
+  ASSERT_NE(srv, nullptr);
+  w.client_proc->spawn("driver", [&] {
+    viewer::ViewerTier& tier = srv->viewer();
+    const std::uint64_t id = tier.connect(/*quality=*/0);
+    ASSERT_TRUE(tier.subscribe(id, "pipe", 0).ok());
+    tier.publish("pipe", 1);
+    // Yield long enough for the render fiber to pop the producer but less
+    // than its modeled render cost, so the destroy lands mid-render.
+    w.sim.sleep_for(des::microseconds(50));
+    ASSERT_TRUE(srv->destroy_pipeline("pipe").ok());
+    tier.quiesce();
+  });
+  w.sim.run();
+}
+
 TEST(Colza, AdminLeaveShrinksGroup) {
   ColzaWorld w(4);
   w.client_proc->spawn("admin", [&] {

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/checksum.hpp"
 #include "des/simulation.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
@@ -105,6 +107,38 @@ TEST(FrameCodec, DeltaAgainstWrongBaseIsDetected) {
   EXPECT_EQ(decoded.status().code(), StatusCode::corrupt);
 }
 
+// A hostile delta whose run lengths are chosen so their 64-bit sum wraps
+// around: the CRC is honest (it covers the payload as sent), so only the
+// RLE bounds check stands between this frame and an out-of-bounds write.
+TEST(FrameCodec, DeltaWithWrappingRunLengthsIsRejected) {
+  const FrameImage base = test_image(1, 0, 0.0);  // 8x8 -> n = 256 bytes
+  EncodedFrame f;
+  f.pipeline = "pipe";
+  f.camera = 0;
+  f.iteration = 2;
+  f.kind = static_cast<std::uint8_t>(FrameKind::delta);
+  f.base_iteration = 1;
+  f.width = base.width;
+  f.height = base.height;
+  auto put_varint = [&](std::uint64_t v) {
+    while (v >= 0x80) {
+      f.payload.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    f.payload.push_back(static_cast<std::uint8_t>(v));
+  };
+  // zeros + lit == 16 modulo 2^64: a sum-form bounds check accepts this and
+  // then writes 32 literal bytes far outside the 256-byte image.
+  put_varint(~std::uint64_t{0} - 15);  // zeros = 2^64 - 16
+  put_varint(32);                      // lit
+  f.payload.insert(f.payload.end(), 32, 0xFF);
+  f.crc = common::crc32c(std::as_bytes(std::span(f.payload)));
+  f.image_hash = 0;
+  auto decoded = decode(f, &base);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.status().code(), StatusCode::corrupt);
+}
+
 TEST(FrameCodec, DimensionMismatchFallsBackToKeyframe) {
   const FrameImage base = test_image(1, 0, 0.0, 8, 8);
   const FrameImage next = test_image(2, 0, 0.0, 16, 16);
@@ -170,8 +204,8 @@ TEST(ViewerTier, SingleFlightRenderUnderFanOut) {
   rig.sim.run();
 }
 
-// Every delivered frame lands in the viewer.frame_bytes histogram, and the
-// stats document summarizes the distribution through the log2-bucket
+// Every delivered frame lands in the tier's per-proc frame-bytes histogram,
+// and the stats document summarizes the distribution through the log2-bucket
 // quantile approximation (keyframes and deltas differ by orders of
 // magnitude, so min <= p50 <= p99 <= max is a real spread here).
 TEST(ViewerTier, StatsReportFrameByteQuantiles) {
@@ -189,8 +223,8 @@ TEST(ViewerTier, StatsReportFrameByteQuantiles) {
     }
     rig.tier.quiesce();
 
-    const obs::Histogram* h =
-        obs::MetricsRegistry::global().find_histogram("viewer.frame_bytes");
+    const obs::Histogram* h = obs::MetricsRegistry::global().find_histogram(
+        rig.tier.frame_bytes_metric());
     ASSERT_NE(h, nullptr);
     EXPECT_EQ(h->count, rig.tier.frames_delivered());
     const double p50 = h->approx_quantile(0.5);
@@ -419,6 +453,13 @@ TEST(ViewerSteering, LogJsonRoundTripsAndIsStrict) {
   rec.update.kind = static_cast<std::uint8_t>(SteeringUpdate::Kind::camera);
   rec.update.camera = 2;
   rec.update.value = 1.5;
+  log.append(rec);
+  // Non-microsecond-aligned arrival and a negative steered value (a camera
+  // azimuth can be negative): both must survive the JSON round trip with the
+  // digest intact.
+  rec.seq = 3;
+  rec.queued_at = des::microseconds(1500) + 7;
+  rec.update.value = -42.25;
   log.append(rec);
 
   const SteeringLog back = SteeringLog::from_json(log.to_json());
